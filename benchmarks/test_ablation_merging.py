@@ -1,0 +1,68 @@
+"""Ablation: PCC-based OC merging on/off (Section IV-D).
+
+Without merging the classifier must distinguish all raw best-OC labels,
+many of which are near-interchangeable streaming variants -- the situation
+the paper's merging is designed to avoid ("jumping among OCs with similar
+performance ... interferes with prediction results").  We compare 5-class
+merged accuracy against raw-label accuracy, and additionally report the
+*performance regret* of the merged prediction (how close the representative
+OC's best time is to the stencil's true optimum), which is the quantity
+that actually matters downstream.
+"""
+
+import numpy as np
+
+from repro.ml import GBDTClassifier, accuracy
+from repro.profiling import stratified_kfold_indices
+
+from conftest import print_table
+
+
+def test_ablation_merging(mart_2d, scale, benchmark):
+    gpu = "V100"
+    campaign = mart_2d.campaign
+    grouping = mart_2d.grouping
+    ds = mart_2d.classification_dataset(gpu)
+
+    # Raw labels: index into the sorted list of observed best OCs.
+    raw_names = sorted(set(ds.best_ocs))
+    raw_index = {n: i for i, n in enumerate(raw_names)}
+    raw_labels = np.array([raw_index[n] for n in ds.best_ocs])
+
+    def cv(labels):
+        accs = []
+        for tr, te in stratified_kfold_indices(labels, scale.n_folds, 0):
+            m = GBDTClassifier(
+                n_rounds=60, learning_rate=0.15, max_depth=3, seed=0
+            ).fit(ds.features[tr], labels[tr])
+            accs.append(accuracy(labels[te], m.predict(ds.features[te])))
+        return float(np.mean(accs))
+
+    merged_acc = cv(ds.labels)
+    raw_acc = cv(raw_labels)
+
+    # Regret of predicting each stencil's merged-class representative.
+    regrets = []
+    for i, profile in enumerate(campaign.profiles[gpu]):
+        rep = grouping.representatives[ds.labels[i]]
+        rep_time = profile.time_of(rep)
+        if np.isfinite(rep_time):
+            regrets.append(rep_time / profile.best_time_ms)
+    regret = float(np.mean(regrets))
+
+    print_table(
+        f"Ablation: PCC merging ({gpu}, 2-D)",
+        ["variant", "classes", "accuracy"],
+        [
+            ["merged (paper)", grouping.n_classes, merged_acc],
+            ["raw best-OC labels", len(raw_names), raw_acc],
+        ],
+    )
+    print(f"\n  mean regret of merged representative vs true best: {regret:.3f}x")
+
+    # Merging must make the task no harder, and the representative OC must
+    # stay close to optimal performance.
+    assert merged_acc >= raw_acc - 0.05
+    assert regret < 1.5
+
+    benchmark.pedantic(lambda: cv(ds.labels), rounds=1, iterations=1)

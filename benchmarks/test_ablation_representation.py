@@ -1,0 +1,60 @@
+"""Ablation: stencil representation for OC selection.
+
+DESIGN.md calls out the choice between the Table II feature set and the
+Fig. 6 binary tensor.  This bench compares three encodings on the same
+labels: GBDT over features (the paper's pairing), GBDT over the flattened
+tensor, and ConvNet over the tensor -- quantifying what each representation
+contributes ("which representation is more suitable depends on the
+performance comparison in specific scenarios", Section IV-C).
+"""
+
+import numpy as np
+
+from repro.ml import ConvNetClassifier, GBDTClassifier, accuracy
+from repro.profiling import stratified_kfold_indices
+
+from conftest import print_table
+
+
+def _cv(make, X, labels, n_folds, seed):
+    accs = []
+    for tr, te in stratified_kfold_indices(labels, n_folds, seed):
+        model = make()
+        model.fit(X[tr], labels[tr])
+        accs.append(accuracy(labels[te], model.predict(X[te])))
+    return float(np.mean(accs))
+
+
+def test_ablation_representation(mart_2d, scale, benchmark):
+    gpu = "V100"
+    ds = mart_2d.classification_dataset(gpu)
+    flat = ds.tensors.reshape(ds.n_samples, -1)
+    results = {
+        "GBDT + features": _cv(
+            lambda: GBDTClassifier(n_rounds=60, learning_rate=0.15, max_depth=3, seed=0),
+            ds.features, ds.labels, scale.n_folds, 0,
+        ),
+        "GBDT + flat tensor": _cv(
+            lambda: GBDTClassifier(n_rounds=60, learning_rate=0.15, max_depth=3, seed=0),
+            flat, ds.labels, scale.n_folds, 0,
+        ),
+        "ConvNet + tensor": _cv(
+            lambda: ConvNetClassifier(
+                n_classes=ds.n_classes, epochs=scale.nn_epochs, seed=0
+            ),
+            ds.tensors, ds.labels, scale.n_folds, 0,
+        ),
+    }
+    print_table(
+        f"Ablation: representation for OC selection ({gpu}, 2-D)",
+        ["representation", "accuracy"],
+        [[k, v] for k, v in results.items()],
+    )
+    chance = 1.0 / ds.n_classes
+    assert all(v > chance for v in results.values())
+
+    benchmark.pedantic(
+        lambda: GBDTClassifier(n_rounds=10, seed=0).fit(ds.features, ds.labels),
+        rounds=1,
+        iterations=1,
+    )

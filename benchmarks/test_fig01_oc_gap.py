@@ -1,0 +1,45 @@
+"""Fig. 1: best-vs-worst OC performance gap per stencil on V100.
+
+Paper: "the performance gap among OCs is significant, where the best OC
+achieves an average speedup of 9.95x over the worst OC", with crashed OCs
+excluded from the figure.
+"""
+
+import numpy as np
+
+from repro.gpu import GPUSimulator
+from repro.optimizations import OC, default_setting
+from repro.stencil import get
+
+from conftest import print_table
+
+
+def test_fig01_oc_gap(motivation_2d, motivation_3d, benchmark):
+    rows = []
+    gaps = []
+    for campaign in (motivation_2d, motivation_3d):
+        for p in campaign.profiles["V100"]:
+            times = {n: r.best_time_ms for n, r in p.oc_results.items()}
+            worst_oc = max(times, key=times.get)
+            gap = times[worst_oc] / p.best_time_ms
+            gaps.append(gap)
+            rows.append(
+                [p.stencil.name, p.best_oc, worst_oc, gap, len(times), 30 - len(times)]
+            )
+    print_table(
+        "Fig. 1: best OC normalized to worst OC (V100)",
+        ["stencil", "best OC", "worst OC", "gap (x)", "valid OCs", "crashed"],
+        rows,
+    )
+    avg = float(np.mean(gaps))
+    print(f"\n  average best/worst gap: {avg:.2f}x  (paper: 9.95x)")
+
+    # Shape assertions: a significant, order-of-magnitude-scale gap with
+    # crashed combinations present for high-order stencils.
+    assert 3.0 < avg < 30.0
+    assert max(gaps) > 8.0
+    assert any(r[5] > 0 for r in rows)  # some OCs crash (paper Section III-A)
+
+    # Representative timing unit: one simulated kernel run.
+    sim = GPUSimulator("V100")
+    benchmark(sim.time, get("star2d1r"), OC.parse("naive"), default_setting())

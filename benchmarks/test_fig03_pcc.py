@@ -1,0 +1,45 @@
+"""Fig. 3: distribution of top-100 pairwise-OC PCCs per GPU.
+
+Paper: the top-100 PCC distributions are close across GPUs, and the
+intersection of top pairs across all architectures is ~28% of the total --
+the basis for merging OCs into fewer prediction classes.
+"""
+
+import numpy as np
+
+from repro.profiling import oc_time_matrix, pairwise_pcc, pcc_intersection, top_pairs
+
+from conftest import print_table
+
+
+def test_fig03_pcc(mart_2d, benchmark):
+    campaign = mart_2d.campaign
+    per_gpu_top = {}
+    rows = []
+    for gpu in campaign.gpus:
+        _, m = oc_time_matrix(campaign, gpu)
+        pcc = benchmark.pedantic(
+            pairwise_pcc, args=(m,), rounds=1, iterations=1
+        ) if gpu == campaign.gpus[0] else pairwise_pcc(m)
+        pairs = top_pairs(pcc, 100)
+        per_gpu_top[gpu] = pairs
+        vals = np.array([abs(v) for _, _, v in pairs])
+        rows.append(
+            [gpu, len(pairs), float(vals.min()), float(np.median(vals)),
+             float(vals.max())]
+        )
+    print_table(
+        "Fig. 3: top-100 pairwise-OC |PCC| distribution per GPU",
+        ["GPU", "pairs", "min", "median", "max"],
+        rows,
+    )
+    common = pcc_intersection(per_gpu_top)
+    share = len(common) / 100
+    print(f"\n  cross-architecture intersection: {len(common)}/100 "
+          f"({share:.0%}; paper: 28%)")
+
+    # Strong correlations exist and a substantial cross-GPU intersection
+    # supports merging; it is neither empty nor everything.
+    for row in rows:
+        assert row[4] > 0.9  # strongest pairs are near-perfectly correlated
+    assert 0.05 <= share <= 0.95

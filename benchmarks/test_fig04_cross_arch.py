@@ -1,0 +1,51 @@
+"""Fig. 4: best-OC performance per GPU normalized to the 2080Ti.
+
+Paper observations: stencil performance is not proportional to SM count;
+the A100 is not always fastest (box3d3r/box3d4r run best on V100);
+cost-efficiency can favour a different GPU entirely.
+
+Documented deviation: the paper reports near-parity between the 2080Ti and
+V100 on some low-order 2-D stencils; our simulated 2080Ti is FP64-bound
+(0.41 TFLOPS), so all other GPUs beat it consistently (see EXPERIMENTS.md).
+"""
+
+from repro.gpu import GPU_ORDER, GPUSimulator
+from repro.optimizations import OC, default_setting
+from repro.stencil import get
+
+from conftest import print_table
+
+
+def test_fig04_cross_arch(motivation_2d, motivation_3d, benchmark):
+    rows = []
+    inversions = []
+    a100_losses = 0
+    for campaign in (motivation_2d, motivation_3d):
+        for i, s in enumerate(campaign.stencils):
+            times = {g: campaign.profiles[g][i].best_time_ms for g in GPU_ORDER}
+            base = times["2080Ti"]
+            norm = {g: base / times[g] for g in GPU_ORDER}
+            rows.append([s.name] + [norm[g] for g in GPU_ORDER])
+            if norm["V100"] > norm["A100"]:
+                inversions.append(s.name)
+            if min(times, key=times.get) != "A100":
+                a100_losses += 1
+    print_table(
+        "Fig. 4: best performance normalized to 2080Ti",
+        ["stencil"] + list(GPU_ORDER),
+        rows,
+    )
+    print(f"\n  stencils where V100 beats A100: {inversions}")
+    print(f"  stencils where A100 is not fastest: {a100_losses}/{len(rows)}")
+
+    # The headline observations must hold.
+    assert inversions, "expected at least one V100 > A100 inversion"
+    assert a100_losses >= 1, "the most 'powerful' GPU must not always win"
+    # P100 (56 SMs) vs V100 (80 SMs): speedup is sublinear in SM count for
+    # memory-bound stencils -- "performance is not proportional to cores".
+    p100_vs_v100 = [r[2] / r[3] for r in rows]
+    assert max(p100_vs_v100) > 56 / 80
+
+    benchmark(
+        GPUSimulator("A100").time, get("star3d1r"), OC.parse("naive"), default_setting()
+    )

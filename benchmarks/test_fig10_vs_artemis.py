@@ -1,0 +1,51 @@
+"""Fig. 10: speedup of ConvNet- and GBDT-selected OCs over Artemis.
+
+Paper: ConvNet averages 1.30x (2-D) and 1.32x (3-D) over Artemis; GBDT is
+slightly behind ConvNet.  Both tuners get the same per-OC random budget.
+"""
+
+from repro.baselines import ArtemisBaseline
+
+from _speedup_common import geomean, predicted_oc_times
+from conftest import print_table
+
+
+def test_fig10_vs_artemis(mart_2d, mart_3d, scale, benchmark):
+    rows = []
+    all_ratios = {m: [] for m in ("gbdt", "convnet")}
+    for ndim, mart in ((2, mart_2d), (3, mart_3d)):
+        for gpu in mart.gpus:
+            stencils, _ = predicted_oc_times(mart, gpu, "gbdt", scale.nn_epochs)
+            artemis = ArtemisBaseline(gpu, mart.n_settings, mart.seed, sigma=mart.sigma)
+            base_times = [artemis.tune(s)[2] for s in stencils]
+            speedups = {}
+            for method in ("gbdt", "convnet"):
+                _, times = predicted_oc_times(mart, gpu, method, scale.nn_epochs)
+                ratios = [b / t for b, t in zip(base_times, times)]
+                speedups[method] = geomean(ratios)
+                all_ratios[method].extend(ratios)
+            rows.append([f"{ndim}D", gpu, speedups["convnet"], speedups["gbdt"]])
+    print_table(
+        "Fig. 10: speedup over Artemis (geometric mean, held-out stencils)",
+        ["dims", "GPU", "ConvNet", "GBDT"],
+        rows,
+    )
+    overall = {m: geomean(all_ratios[m]) for m in all_ratios}
+    print(f"\n  overall: ConvNet {overall['convnet']:.2f}x, GBDT "
+          f"{overall['gbdt']:.2f}x  (paper: 1.30x/1.32x ConvNet)")
+
+    # The predicted OC must be competitive with Artemis's wider search:
+    # never catastrophically behind, and ahead on average is the target.
+    assert overall["gbdt"] > 0.85
+    assert overall["convnet"] > 0.80
+    # Individual mispredictions can cost several x (the paper reports
+    # averages only); they must stay rare rather than absent.
+    bad = sum(1 for v in all_ratios.values() for r in v if r < 0.5)
+    total = sum(len(v) for v in all_ratios.values())
+    assert bad / total < 0.25
+
+    benchmark.pedantic(
+        lambda: ArtemisBaseline("V100", 4, 0).tune(mart_2d.campaign.stencils[0]),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,56 @@
+"""Fig. 15: ground truth and prediction accuracy of the most cost-efficient
+rental GPU (the 2080Ti is not offered by Google Cloud).
+
+Paper: P100 is the most cost-efficient for most instances (61.0% of 2-D,
+56.7% of 3-D); StencilMART predicts the right rental with 97.3%/96.1%
+average accuracy.
+"""
+
+from repro.core import RentalAdvisor, build_cross_gpu_instances
+from repro.gpu import GPUS, RENTAL_GPUS
+from repro.stencil import generate_population
+
+from conftest import print_table
+
+
+def test_fig15_cost_efficiency(mart_2d, mart_3d, scale, benchmark):
+    rows = []
+    overall = []
+    p100_shares = []
+    for ndim, mart in ((2, mart_2d), (3, mart_3d)):
+        mart.fit_predictor(
+            "gbr", max_rows=8000, n_rounds=scale.gbdt_rounds, max_depth=6
+        )
+        advisor = RentalAdvisor(mart, method="gbr")
+        fresh = generate_population(ndim, 12, seed=8000 + ndim)
+        instances = build_cross_gpu_instances(
+            fresh, RENTAL_GPUS, n_per_stencil=4, seed=8000 + ndim, sigma=mart.sigma
+        )
+        res = advisor.evaluate(instances, RENTAL_GPUS, by_cost=True)
+        overall.append(res.overall_accuracy)
+        p100_shares.append(res.shares["P100"])
+        for g in RENTAL_GPUS:
+            rows.append(
+                [f"{ndim}D", g, f"${GPUS[g].rental_per_hour:.2f}/hr",
+                 res.shares[g], res.accuracies[g]]
+            )
+    print_table(
+        "Fig. 15: most cost-efficient rental GPU (share won, pred. accuracy)",
+        ["dims", "GPU", "rate", "ground-truth share", "pred. accuracy"],
+        rows,
+    )
+    print(f"\n  P100 cost-efficiency share 2D/3D: "
+          f"{p100_shares[0]:.1%} / {p100_shares[1]:.1%} (paper: 61.0% / 56.7%)")
+    print(f"  overall accuracy 2D/3D: {overall[0]:.1%} / {overall[1]:.1%} "
+          "(paper: 97.3% / 96.1%)")
+
+    # P100's price advantage makes it the cost-efficiency default (paper's
+    # key takeaway), and the recommendation is predictable above chance.
+    assert max(p100_shares) > 0.4
+    assert min(overall) > 0.5
+
+    inst = build_cross_gpu_instances(
+        generate_population(2, 1, seed=1), RENTAL_GPUS, n_per_stencil=1, seed=1
+    )[0]
+    advisor = RentalAdvisor(mart_2d, method="gbr")
+    benchmark(advisor.recommend_cheapest, inst, RENTAL_GPUS)

@@ -1,0 +1,29 @@
+"""Table I: the six optimizations, their constraints, and the OC space."""
+
+from repro.optimizations import ALL_OCS, TABLE_I, Opt, enumerate_ocs
+
+from conftest import print_table
+
+
+def test_table1_optimizations(benchmark):
+    rows = [
+        [info.number, info.full_name, info.opt.value, info.constraint]
+        for info in TABLE_I
+    ]
+    print_table(
+        "Table I: optimizations of stencil computation on GPUs",
+        ["No.", "Optimization", "Abbrev", "Constraint"],
+        rows,
+    )
+    ocs = benchmark(enumerate_ocs)
+    print(f"\n  valid optimization combinations: {len(ocs)}")
+
+    assert len(TABLE_I) == 6
+    assert len(ocs) == 30
+    # Constraint spot checks straight from the table.
+    names = {oc.name for oc in ocs}
+    assert "ST_RT" in names and "RT" not in names
+    assert "ST_PR" in names and "PR" not in names
+    assert not any({"BM", "CM"} <= set(n.split("_")) for n in names)
+    assert "TB" in names  # TB has no enabling constraint
+    assert all(opt in {o.opt for o in TABLE_I} for opt in Opt)

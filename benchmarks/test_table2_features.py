@@ -1,0 +1,28 @@
+"""Table II: the candidate feature set of a stencil."""
+
+from repro.stencil import describe, extract_features, feature_names, get
+
+from conftest import print_table
+
+
+def test_table2_features(benchmark):
+    meanings = {
+        "order": "The maximum extent of non-zeros.",
+        "nnz": "The number of non-zeros in the tensor.",
+        "sparsity": "The density of non-zeros in the tensor.",
+        "nnz_order_n": "The number of non-zeros of order-n neighbors.",
+        "nnzRatio_order_n": "The ratio of non-zeros of order-n neighbors.",
+    }
+    rows = [[i + 1, k, v] for i, (k, v) in enumerate(meanings.items())]
+    print_table("Table II: candidate feature set", ["No.", "Feature", "Meaning"], rows)
+
+    s = get("box2d2r")
+    feats = benchmark(extract_features, s)
+    named = describe(s)
+    print_table(
+        f"example extraction: {s.name}",
+        ["feature", "value"],
+        [[k, float(v)] for k, v in named.items()],
+    )
+    assert len(feats) == len(feature_names())
+    assert named["order"] == 2 and named["nnz"] == 25

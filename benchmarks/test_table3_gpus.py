@@ -1,0 +1,39 @@
+"""Tables III and IV: the evaluation GPUs and host machines."""
+
+from repro.gpu import GPU_ORDER, GPUS, MACHINES, hardware_features
+
+from conftest import print_table
+
+
+def test_table3_gpus(benchmark):
+    rows = []
+    for name in ("P100", "V100", "2080Ti", "A100"):
+        g = GPUS[name]
+        rows.append(
+            [
+                g.name,
+                g.generation,
+                f"{g.memory_gb} GB",
+                f"{g.mem_bw_gbs:,.0f} GB/s",
+                g.sms,
+                g.fp64_tflops,
+                f"${g.rental_per_hour:.2f}/hr" if g.rental_per_hour else "-",
+            ]
+        )
+    print_table(
+        "Table III: GPUs used for evaluation",
+        ["GPU", "Generation", "Mem.", "Mem. BW", "SMs", "TFLOPS", "Rental"],
+        rows,
+    )
+    print_table(
+        "Table IV: machines used for evaluation",
+        ["CPU", "Frequency", "Cores", "Main Mem.", "GPU"],
+        [
+            [m.cpu, f"{m.frequency_ghz} GHz", m.cores, f"{m.main_memory_gb} GB",
+             ", ".join(m.gpus)]
+            for m in MACHINES
+        ],
+    )
+    feats = benchmark(hardware_features, "A100")
+    assert feats == (40.0, 1555.0, 108.0, 9.7)
+    assert len(GPU_ORDER) == 4 and len(MACHINES) == 2

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Compare StencilMART's predicted-OC tuning against Artemis and AN5D.
+
+For each named benchmark stencil, every method gets the same per-OC random
+search budget; StencilMART spends it only on the OC its classifier
+predicts, Artemis explores high-impact skeletons first, AN5D tunes its
+fixed streaming + temporal-blocking strategy (paper Figs. 10-11).
+
+Run:  python examples/autotune_compare.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.baselines import AN5DBaseline, ArtemisBaseline, OracleBaseline
+from repro.core import StencilMART
+from repro.stencil import benchmark_stencils
+
+GPU = "V100"
+BUDGET = 6
+SEED = 21
+
+
+def main() -> None:
+    t0 = time.time()
+    print(f"== Tuner comparison on {GPU} (budget {BUDGET} settings/OC) ==")
+
+    mart = StencilMART(ndim=2, gpus=(GPU,), n_settings=BUDGET, seed=SEED)
+    mart.build_dataset(n_stencils=40)
+    mart.fit_selector("gbdt", GPU)
+
+    artemis = ArtemisBaseline(GPU, BUDGET, SEED)
+    an5d = AN5DBaseline(GPU, BUDGET, SEED)
+    oracle = OracleBaseline(GPU, BUDGET, SEED)
+
+    rows = []
+    for s in benchmark_stencils(2):
+        oc, _, t_mart = mart.tune(s, GPU)
+        _, _, t_art = artemis.tune(s)
+        _, _, t_an5d = an5d.tune(s)
+        _, _, t_best = oracle.tune(s)
+        rows.append((s.name, oc.name, t_mart, t_art, t_an5d, t_best))
+
+    print(f"\n{'stencil':12s} {'predicted OC':18s} {'mart':>8s} {'artemis':>8s} "
+          f"{'an5d':>8s} {'oracle':>8s} {'vs.art':>7s} {'vs.an5d':>7s}")
+    sp_art, sp_an5d = [], []
+    for name, oc, tm, ta, tn, tb in rows:
+        sp_art.append(ta / tm)
+        sp_an5d.append(tn / tm)
+        print(f"{name:12s} {oc:18s} {tm:8.3f} {ta:8.3f} {tn:8.3f} {tb:8.3f} "
+              f"{ta / tm:6.2f}x {tn / tm:6.2f}x")
+    print(f"\ngeometric-mean speedup over Artemis: "
+          f"{np.exp(np.mean(np.log(sp_art))):.2f}x")
+    print(f"geometric-mean speedup over AN5D:    "
+          f"{np.exp(np.mean(np.log(sp_an5d))):.2f}x")
+    print(f"done in {time.time() - t0:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

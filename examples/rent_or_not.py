@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Case study: to rent or not to rent a cloud GPU (paper Section V-D).
+
+Trains the cross-architecture time predictor on measurements from all four
+GPUs, then -- for a batch of fresh stencil instances -- asks which cloud
+GPU is (a) fastest and (b) most cost-efficient, and scores the
+recommendations against simulated ground truth.
+
+Run:  python examples/rent_or_not.py
+"""
+
+import time
+
+from repro.core import RentalAdvisor, StencilMART, build_cross_gpu_instances
+from repro.gpu import GPU_ORDER, GPUS, RENTAL_GPUS
+from repro.stencil import generate_population
+
+
+def main() -> None:
+    t0 = time.time()
+    print("== Rent or not: cloud GPU selection ==")
+    for name in GPU_ORDER:
+        print(" ", GPUS[name].describe())
+
+    # Train the regressor on profiled instances from every GPU.
+    mart = StencilMART(ndim=3, gpus=GPU_ORDER, n_settings=4, seed=13)
+    mart.build_dataset(n_stencils=16)
+    mart.fit_predictor("gbr", max_rows=8000, n_rounds=80)
+    print(f"\npredictor trained ({time.time() - t0:.1f}s)")
+
+    # Fresh stencils the model has never seen.
+    fresh = generate_population(3, 10, seed=999)
+    instances = build_cross_gpu_instances(fresh, GPU_ORDER, n_per_stencil=4, seed=5)
+    advisor = RentalAdvisor(mart, method="gbr")
+
+    # (a) pure performance
+    perf = advisor.evaluate(instances, GPU_ORDER)
+    print("\n-- pure performance --")
+    for g in GPU_ORDER:
+        print(f"  {g:7s} wins {perf.shares[g]:6.1%} of instances "
+              f"(prediction accuracy {perf.accuracies[g]:.1%})")
+    print(f"  overall best-GPU accuracy: {perf.overall_accuracy:.1%}")
+
+    # (b) cost efficiency (2080Ti is not rentable)
+    cost = advisor.evaluate(instances, RENTAL_GPUS, by_cost=True)
+    print("\n-- cost efficiency (rental GPUs only) --")
+    for g in RENTAL_GPUS:
+        rate = GPUS[g].rental_per_hour
+        print(f"  {g:7s} (${rate:.2f}/hr) wins {cost.shares[g]:6.1%} "
+              f"(prediction accuracy {cost.accuracies[g]:.1%})")
+    print(f"  overall cost-efficiency accuracy: {cost.overall_accuracy:.1%}")
+
+    # A concrete recommendation for one instance.
+    inst = instances[0]
+    fastest = advisor.recommend_fastest(inst, GPU_ORDER)
+    cheapest = advisor.recommend_cheapest(inst)
+    print(f"\nexample instance ({inst.stencil.name}, OC {inst.oc}):")
+    print(f"  predicted fastest GPU: {fastest}; most cost-efficient: {cheapest}")
+    print(f"\ndone in {time.time() - t0:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The sandbox this reproduction is developed in has no network access and no
+``wheel`` package, so PEP 517 editable installs fail at ``bdist_wheel``.
+``python setup.py develop`` (or ``pip install -e . --no-build-isolation``
+wherever wheel exists) installs the package from ``src/``.
+"""
+
+from setuptools import setup
+
+setup()

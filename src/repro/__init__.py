@@ -1,0 +1,50 @@
+"""StencilMART reproduction.
+
+An end-to-end reimplementation of *StencilMART: Predicting Optimization
+Selection for Stencil Computations across GPUs* (Sun et al., IPDPS 2022):
+random stencil generation, binary-tensor / feature representation, a
+simulated multi-GPU profiling substrate, from-scratch GBDT and neural
+models, best-OC classification, and cross-architecture execution-time
+regression.
+
+Quickstart::
+
+    from repro import StencilMART, stencil
+
+    mart = StencilMART(ndim=2, seed=7)
+    mart.build_dataset(n_stencils=60)
+    mart.fit_selector("gbdt")
+    best_oc = mart.predict_best_oc(stencil.get("star2d2r"), gpu="V100")
+"""
+
+from . import config, errors, stencil
+
+__version__ = "1.0.0"
+
+__all__ = ["config", "errors", "stencil", "__version__"]
+
+
+def __getattr__(name: str):
+    # Lazy imports keep `import repro` cheap and avoid import cycles while
+    # the heavier subsystems (simulator, ML) are pulled in on demand.
+    if name in {
+        "gpu",
+        "optimizations",
+        "profiling",
+        "ml",
+        "core",
+        "baselines",
+        "codegen",
+        "tuning",
+        "cli",
+    }:
+        import importlib
+
+        mod = importlib.import_module(f".{name}", __name__)
+        globals()[name] = mod
+        return mod
+    if name == "StencilMART":
+        from .core import StencilMART
+
+        return StencilMART
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,36 @@
+"""Exhaustive oracle: the best OC found by profiling every combination.
+
+Not a paper baseline -- the upper bound every tuner is measured against,
+used by ablation benches and the speedup figures' sanity checks.
+"""
+
+from __future__ import annotations
+
+from ..errors import DatasetError
+from ..gpu.simulator import GPUSimulator
+from ..optimizations.combos import ALL_OCS, OC
+from ..optimizations.params import ParamSetting
+from ..profiling.search import RandomSearch
+from ..stencil.stencil import Stencil
+
+
+class OracleBaseline:
+    """Profiles every OC with the standard budget and keeps the best."""
+
+    name = "Oracle"
+
+    def __init__(self, gpu: str, n_settings: int, seed: int, sigma: float = 0.03):
+        self.search = RandomSearch(GPUSimulator(gpu, sigma=sigma), n_settings, seed)
+
+    def tune(self, stencil: Stencil, stencil_id: int = -1) -> tuple[OC, ParamSetting, float]:
+        """Best configuration over the full OC space."""
+        best: tuple[float, OC, ParamSetting] | None = None
+        for oc in ALL_OCS:
+            result, _ = self.search.tune_oc(stencil, stencil_id, oc)
+            if result is None:
+                continue
+            if best is None or result.best_time_ms < best[0]:
+                best = (result.best_time_ms, oc, result.best_setting)
+        if best is None:
+            raise DatasetError("no OC could run for this stencil")
+        return best[1], best[2], best[0]

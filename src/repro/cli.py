@@ -1,0 +1,166 @@
+"""Command-line interface for the StencilMART reproduction.
+
+Four subcommands mirror the pipeline stages::
+
+    python -m repro generate --ndim 2 --count 20          # print stencils
+    python -m repro profile  --ndim 2 --count 20 -o c.json  # profile -> JSON
+    python -m repro select   --campaign c.json --stencil star2d2r --gpu V100
+    python -m repro predict  --campaign c.json --stencil star2d2r \
+        --oc ST_RT --gpu A100                              # time prediction
+
+``generate`` and ``profile`` run standalone; ``select`` and ``predict``
+train on a saved campaign so repeated queries do not re-simulate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .config import DEFAULT_SEED
+from .gpu.specs import GPU_ORDER
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--seed", type=int, default=DEFAULT_SEED, help="master seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="StencilMART reproduction pipeline"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate random stencils (Algorithm 1)")
+    g.add_argument("--ndim", type=int, choices=(2, 3), required=True)
+    g.add_argument("--count", type=int, default=10)
+    g.add_argument("--max-order", type=int, default=4)
+    _add_common(g)
+
+    p = sub.add_parser("profile", help="profile a population across GPUs")
+    p.add_argument("--ndim", type=int, choices=(2, 3), required=True)
+    p.add_argument("--count", type=int, default=20)
+    p.add_argument("--gpus", nargs="+", default=list(GPU_ORDER))
+    p.add_argument("--n-settings", type=int, default=6)
+    p.add_argument("-o", "--output", required=True, help="campaign JSON path")
+    _add_common(p)
+
+    s = sub.add_parser("select", help="predict the best OC for a stencil")
+    s.add_argument("--campaign", required=True, help="campaign JSON path")
+    s.add_argument("--stencil", required=True, help="named stencil, e.g. star2d2r")
+    s.add_argument("--gpu", required=True, choices=list(GPU_ORDER))
+    s.add_argument("--method", default="gbdt", choices=("gbdt", "convnet", "fcnet"))
+    _add_common(s)
+
+    t = sub.add_parser("predict", help="predict execution time cross-architecture")
+    t.add_argument("--campaign", required=True)
+    t.add_argument("--stencil", required=True)
+    t.add_argument("--oc", required=True, help="OC name, e.g. ST_RT")
+    t.add_argument("--gpu", required=True, choices=list(GPU_ORDER))
+    t.add_argument("--method", default="gbr", choices=("gbr", "mlp", "convmlp"))
+    _add_common(t)
+
+    return parser
+
+
+def _load_mart_from_campaign(path: str, seed: int):
+    from .core import StencilMART
+    from .profiling import load_campaign, merge_ocs
+
+    campaign = load_campaign(path)
+    mart = StencilMART(
+        ndim=campaign.ndim,
+        gpus=campaign.gpus,
+        n_settings=campaign.n_settings,
+        seed=seed,
+    )
+    mart.campaign = campaign
+    mart.grouping = merge_ocs(campaign, n_classes=mart.n_classes)
+    return mart
+
+
+def cmd_generate(args) -> int:
+    from .stencil import classify, generate_population
+
+    pop = generate_population(
+        args.ndim, args.count, max_order=args.max_order, seed=args.seed
+    )
+    for s in pop:
+        print(
+            f"{s.name}: order={s.order} nnz={s.nnz} shape={classify(s).value} "
+            f"offsets={sorted(s.offsets)}"
+        )
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from .profiling import run_campaign, save_campaign
+    from .stencil import generate_population
+
+    pop = generate_population(args.ndim, args.count, seed=args.seed)
+    campaign = run_campaign(
+        pop, gpus=tuple(args.gpus), n_settings=args.n_settings, seed=args.seed
+    )
+    save_campaign(campaign, args.output)
+    n_meas = sum(len(campaign.measurements(g)) for g in campaign.gpus)
+    print(
+        f"profiled {len(pop)} stencils x {len(campaign.ocs)} OCs on "
+        f"{len(campaign.gpus)} GPUs ({n_meas} measurements) -> {args.output}"
+    )
+    return 0
+
+
+def cmd_select(args) -> int:
+    from .stencil import get
+
+    mart = _load_mart_from_campaign(args.campaign, args.seed)
+    mart.fit_selector(args.method, args.gpu)
+    stencil = get(args.stencil)
+    oc = mart.predict_best_oc(stencil, args.gpu, method=args.method)
+    print(f"predicted best OC for {stencil.name} on {args.gpu}: {oc.name}")
+    oc, setting, t = mart.tune(stencil, args.gpu, method=args.method)
+    print(f"tuned: {oc.name} {dict((k, v) for k, v in setting.items() if v)}")
+    print(f"simulated time: {t:.3f} ms/step")
+    return 0
+
+
+def cmd_predict(args) -> int:
+    from .gpu import GPUSimulator
+    from .optimizations import OC_BY_NAME, sample_setting
+    from .stencil import get
+
+    import numpy as np
+
+    mart = _load_mart_from_campaign(args.campaign, args.seed)
+    mart.fit_predictor(args.method, max_rows=8000)
+    stencil = get(args.stencil)
+    oc = OC_BY_NAME.get(args.oc)
+    if oc is None:
+        print(f"unknown OC {args.oc!r}", file=sys.stderr)
+        return 2
+    rng = np.random.default_rng(args.seed)
+    setting = sample_setting(oc, stencil.ndim, rng)
+    pred = mart.predict_time(stencil, oc, setting, args.gpu, method=args.method)
+    actual = GPUSimulator(args.gpu).time(stencil, oc, setting)
+    print(f"{stencil.name} under {oc.name} on {args.gpu}:")
+    print(f"  setting: {dict((k, v) for k, v in setting.items() if v)}")
+    print(f"  predicted {pred:.3f} ms/step; simulated {actual:.3f} ms/step "
+          f"({abs(pred - actual) / actual:.1%} error)")
+    return 0
+
+
+_COMMANDS = {
+    "generate": cmd_generate,
+    "profile": cmd_profile,
+    "select": cmd_select,
+    "predict": cmd_predict,
+}
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

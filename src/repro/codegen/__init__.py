@@ -1,0 +1,5 @@
+"""CUDA source generation for stencil kernel variants."""
+
+from .cuda import CudaKernelGenerator, generate_cuda
+
+__all__ = ["CudaKernelGenerator", "generate_cuda"]

@@ -1,0 +1,33 @@
+"""The StencilMART framework: selection, prediction and GPU choice."""
+
+from .cost import CaseStudyResult, RentalAdvisor
+from .report import campaign_summary, gap_report, grouping_summary, win_table
+from .framework import (
+    CLASSIFIERS,
+    REGRESSORS,
+    PredictorResult,
+    SelectorResult,
+    StencilMART,
+)
+from .prediction import (
+    CrossGPUInstance,
+    build_cross_gpu_instances,
+    ground_truth_shares,
+)
+
+__all__ = [
+    "CLASSIFIERS",
+    "CaseStudyResult",
+    "CrossGPUInstance",
+    "PredictorResult",
+    "REGRESSORS",
+    "RentalAdvisor",
+    "SelectorResult",
+    "StencilMART",
+    "campaign_summary",
+    "gap_report",
+    "grouping_summary",
+    "win_table",
+    "build_cross_gpu_instances",
+    "ground_truth_shares",
+]

@@ -1,0 +1,106 @@
+"""Rent-or-not advisor (paper Section V-D).
+
+Given a trained cross-architecture predictor, decide -- without touching
+any cloud GPU -- which GPU is fastest for a stencil instance and which is
+the most cost-efficient to rent, then score those decisions against the
+measured ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..gpu.specs import RENTAL_GPUS, get_gpu
+from .framework import StencilMART
+from .prediction import CrossGPUInstance
+
+
+@dataclass
+class CaseStudyResult:
+    """Per-GPU ground-truth shares and prediction accuracies (Fig. 14/15)."""
+
+    gpus: tuple[str, ...]
+    shares: dict[str, float]  # fraction of instances each GPU truly wins
+    accuracies: dict[str, float]  # prediction accuracy among those instances
+    overall_accuracy: float
+
+
+class RentalAdvisor:
+    """Wraps a fitted :class:`StencilMART` time predictor for GPU choice."""
+
+    def __init__(self, mart: StencilMART, method: str = "mlp"):
+        self.mart = mart
+        self.method = method
+
+    # ------------------------------------------------------------------
+    def predicted_times(
+        self, inst: CrossGPUInstance, gpus: "tuple[str, ...]"
+    ) -> dict[str, float]:
+        """Model-predicted time of the instance on each GPU."""
+        return {
+            g: self.mart.predict_time(
+                inst.stencil, inst.oc, inst.setting, g, method=self.method
+            )
+            for g in gpus
+        }
+
+    def recommend_fastest(
+        self, inst: CrossGPUInstance, gpus: "tuple[str, ...]"
+    ) -> str:
+        """GPU predicted to execute the instance fastest."""
+        times = self.predicted_times(inst, gpus)
+        return min(times, key=lambda g: (times[g], g))
+
+    def recommend_cheapest(
+        self, inst: CrossGPUInstance, gpus: "tuple[str, ...]" = RENTAL_GPUS
+    ) -> str:
+        """Rental GPU with the lowest predicted time x price."""
+        times = self.predicted_times(inst, gpus)
+        costs = {
+            g: t * get_gpu(g).rental_per_hour
+            for g, t in times.items()
+            if get_gpu(g).rental_per_hour is not None
+        }
+        if not costs:
+            raise DatasetError("no rentable GPU among candidates")
+        return min(costs, key=lambda g: (costs[g], g))
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        instances: "list[CrossGPUInstance]",
+        gpus: "tuple[str, ...]",
+        by_cost: bool = False,
+    ) -> CaseStudyResult:
+        """Score GPU recommendations against ground truth (Fig. 14/15).
+
+        ``shares[g]`` is the fraction of instances *g* truly wins;
+        ``accuracies[g]`` is the prediction accuracy restricted to those
+        instances (the number printed above each bar in the figures).
+        """
+        gpus = tuple(gpus)
+        truth: list[str] = []
+        pred: list[str] = []
+        for inst in instances:
+            if by_cost:
+                truth.append(inst.best_gpu_by_cost())
+                pred.append(self.recommend_cheapest(inst, gpus))
+            else:
+                truth.append(inst.best_gpu())
+                pred.append(self.recommend_fastest(inst, gpus))
+        truth_a, pred_a = np.array(truth), np.array(pred)
+        shares: dict[str, float] = {}
+        accuracies: dict[str, float] = {}
+        for g in gpus:
+            mask = truth_a == g
+            shares[g] = float(mask.mean())
+            accuracies[g] = (
+                float((pred_a[mask] == g).mean()) if mask.any() else float("nan")
+            )
+        overall = float((truth_a == pred_a).mean())
+        return CaseStudyResult(
+            gpus=gpus, shares=shares, accuracies=accuracies, overall_accuracy=overall
+        )

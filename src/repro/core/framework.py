@@ -1,0 +1,354 @@
+"""The StencilMART facade (paper Fig. 5).
+
+One object wires the full pipeline together:
+
+1. random stencil generation (Algorithm 1),
+2. multi-GPU profiling of every OC under random parameter search,
+3. PCC-based OC merging into prediction classes,
+4. classifier training / cross-validation for best-OC selection (Fig. 9),
+5. regressor training / cross-validation for cross-architecture execution
+   time prediction (Fig. 12),
+6. end-to-end tuning that applies the predicted OC (Figs. 10-11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import DEFAULT_SEED, MAX_ORDER, N_MERGED_CLASSES
+from ..errors import DatasetError, ModelError, NotFittedError
+from ..gpu.noise import DEFAULT_SIGMA
+from ..gpu.simulator import GPUSimulator
+from ..gpu.specs import GPU_ORDER
+from ..ml import (
+    ConvMLPRegressor,
+    ConvNetClassifier,
+    FcNetClassifier,
+    GBDTClassifier,
+    GBRegressor,
+    LogTimeTransform,
+    MLPRegressor,
+    accuracy,
+    mape,
+)
+from ..optimizations.combos import OC, OC_BY_NAME
+from ..optimizations.params import ParamSetting
+from ..profiling import (
+    ClassificationDataset,
+    OCGrouping,
+    RandomSearch,
+    RegressionDataset,
+    build_classification_dataset,
+    build_regression_dataset,
+    kfold_indices,
+    merge_ocs,
+    run_campaign,
+    stratified_kfold_indices,
+)
+from ..profiling.dataset import oc_flags
+from ..gpu.specs import hardware_features
+from ..stencil.features import extract_features
+from ..stencil.generator import generate_population
+from ..stencil.stencil import Stencil
+from ..stencil.tensorize import assign_tensor
+
+#: Classifier registry: name -> factory(n_classes, seed, **hyper).
+CLASSIFIERS = ("gbdt", "convnet", "fcnet")
+
+#: Regressor registry.
+REGRESSORS = ("gbr", "mlp", "convmlp")
+
+
+@dataclass
+class SelectorResult:
+    """Cross-validation outcome for one classification mechanism."""
+
+    method: str
+    gpu: str
+    fold_accuracies: list[float]
+
+    @property
+    def accuracy(self) -> float:
+        return float(np.mean(self.fold_accuracies))
+
+
+@dataclass
+class PredictorResult:
+    """Cross-validation outcome for one regression mechanism."""
+
+    method: str
+    gpu: str
+    fold_mapes: list[float]
+
+    @property
+    def mape(self) -> float:
+        return float(np.mean(self.fold_mapes))
+
+
+class StencilMART:
+    """Automatic optimization selection and performance prediction.
+
+    Parameters
+    ----------
+    ndim:
+        Stencil dimensionality for this instance (the paper trains 2-D and
+        3-D models separately).
+    gpus:
+        GPUs profiled into the dataset.
+    n_settings:
+        Random parameter settings per OC during profiling.
+    n_classes:
+        Merged OC classes (paper: 5).
+    sigma:
+        Measurement-noise level of the simulated profiler.
+    seed:
+        Master seed; every downstream stream derives from it.
+    """
+
+    def __init__(
+        self,
+        ndim: int,
+        gpus: "tuple[str, ...] | list[str]" = GPU_ORDER,
+        n_settings: int = 8,
+        n_classes: int = N_MERGED_CLASSES,
+        max_order: int = MAX_ORDER,
+        sigma: float = DEFAULT_SIGMA,
+        seed: int = DEFAULT_SEED,
+    ):
+        self.ndim = int(ndim)
+        self.gpus = tuple(gpus)
+        self.n_settings = int(n_settings)
+        self.n_classes = int(n_classes)
+        self.max_order = int(max_order)
+        self.sigma = float(sigma)
+        self.seed = int(seed)
+        self.campaign = None
+        self.grouping: OCGrouping | None = None
+        self._selectors: dict[tuple[str, str], object] = {}
+        self._predictors: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # dataset construction
+    # ------------------------------------------------------------------
+    def build_dataset(
+        self,
+        n_stencils: int = 100,
+        stencils: "list[Stencil] | None" = None,
+    ) -> "StencilMART":
+        """Generate (or accept) a stencil population and profile it."""
+        if stencils is None:
+            stencils = generate_population(
+                self.ndim, n_stencils, max_order=self.max_order, seed=self.seed
+            )
+        self.campaign = run_campaign(
+            stencils,
+            gpus=self.gpus,
+            n_settings=self.n_settings,
+            seed=self.seed,
+            sigma=self.sigma,
+        )
+        self.grouping = merge_ocs(self.campaign, n_classes=self.n_classes)
+        return self
+
+    def _require_dataset(self):
+        if self.campaign is None or self.grouping is None:
+            raise NotFittedError("call build_dataset() first")
+
+    def classification_dataset(self, gpu: str) -> ClassificationDataset:
+        """The per-GPU OC-selection dataset."""
+        self._require_dataset()
+        return build_classification_dataset(
+            self.campaign, self.grouping, gpu, self.max_order
+        )
+
+    def regression_dataset(
+        self, gpus: "tuple[str, ...] | None" = None
+    ) -> RegressionDataset:
+        """The (optionally multi-GPU) performance-prediction dataset."""
+        self._require_dataset()
+        return build_regression_dataset(self.campaign, gpus, self.max_order)
+
+    # ------------------------------------------------------------------
+    # classification: OC selection
+    # ------------------------------------------------------------------
+    def _make_classifier(self, method: str, **hyper):
+        method = method.lower()
+        seed = hyper.pop("seed", self.seed)
+        if method == "gbdt":
+            defaults = dict(
+                n_rounds=60, learning_rate=0.15, max_depth=3, subsample=0.8
+            )
+            defaults.update(hyper)
+            return GBDTClassifier(seed=seed, **defaults)
+        if method == "convnet":
+            return ConvNetClassifier(n_classes=self.n_classes, seed=seed, **hyper)
+        if method == "fcnet":
+            return FcNetClassifier(n_classes=self.n_classes, seed=seed, **hyper)
+        raise ModelError(f"unknown classifier {method!r}; known: {CLASSIFIERS}")
+
+    @staticmethod
+    def _classifier_inputs(ds: ClassificationDataset, method: str) -> np.ndarray:
+        return ds.features if method == "gbdt" else ds.tensors
+
+    def fit_selector(self, method: str, gpu: str, **hyper) -> "StencilMART":
+        """Train an OC-selection model on the full per-GPU dataset."""
+        ds = self.classification_dataset(gpu)
+        model = self._make_classifier(method, **hyper)
+        model.fit(self._classifier_inputs(ds, method), ds.labels)
+        self._selectors[(method, gpu)] = model
+        return self
+
+    def predict_best_oc(self, stencil: Stencil, gpu: str, method: str = "gbdt") -> OC:
+        """Predicted best OC (the representative of the predicted class)."""
+        model = self._selectors.get((method, gpu))
+        if model is None:
+            raise NotFittedError(f"fit_selector({method!r}, {gpu!r}) first")
+        if method == "gbdt":
+            x = extract_features(stencil, self.max_order)[None, :]
+        else:
+            x = assign_tensor(stencil, self.max_order)[None, ...]
+        cls = int(model.predict(x)[0])
+        return OC_BY_NAME[self.grouping.representatives[cls]]
+
+    def evaluate_selector(
+        self, method: str, gpu: str, n_folds: int = 5, **hyper
+    ) -> SelectorResult:
+        """Stratified k-fold accuracy of one mechanism on one GPU (Fig. 9)."""
+        ds = self.classification_dataset(gpu)
+        X = self._classifier_inputs(ds, method)
+        accs: list[float] = []
+        for tr, te in stratified_kfold_indices(ds.labels, n_folds, self.seed):
+            model = self._make_classifier(method, **dict(hyper))
+            model.fit(X[tr], ds.labels[tr])
+            accs.append(accuracy(ds.labels[te], model.predict(X[te])))
+        return SelectorResult(method=method, gpu=gpu, fold_accuracies=accs)
+
+    # ------------------------------------------------------------------
+    # end-to-end tuning (Figs. 10-11)
+    # ------------------------------------------------------------------
+    def tune(
+        self, stencil: Stencil, gpu: str, method: str = "gbdt"
+    ) -> tuple[OC, ParamSetting, float]:
+        """Tune *stencil* on *gpu* using the predicted OC only.
+
+        Runs the same random-search budget the baselines get, but spends it
+        entirely on the OC the classifier selected.  Falls back to the next
+        most likely class if the predicted OC cannot run at all.
+        """
+        self._require_dataset()
+        oc = self.predict_best_oc(stencil, gpu, method)
+        search = RandomSearch(
+            GPUSimulator(gpu, sigma=self.sigma), self.n_settings, self.seed
+        )
+        result, _ = search.tune_oc(stencil, -1, oc)
+        if result is None:
+            for rep in self.grouping.representatives:
+                result, _ = search.tune_oc(stencil, -1, OC_BY_NAME[rep])
+                if result is not None:
+                    oc = OC_BY_NAME[rep]
+                    break
+        if result is None:
+            raise DatasetError(f"no runnable OC for stencil on {gpu}")
+        return oc, result.best_setting, result.best_time_ms
+
+    # ------------------------------------------------------------------
+    # regression: cross-architecture performance prediction
+    # ------------------------------------------------------------------
+    def _make_regressor(self, method: str, **hyper):
+        method = method.lower()
+        seed = hyper.pop("seed", self.seed)
+        if method == "gbr":
+            defaults = dict(n_rounds=80, learning_rate=0.15, max_depth=5)
+            defaults.update(hyper)
+            return GBRegressor(seed=seed, **defaults)
+        if method == "mlp":
+            return MLPRegressor(seed=seed, **hyper)
+        if method == "convmlp":
+            return ConvMLPRegressor(seed=seed, **hyper)
+        raise ModelError(f"unknown regressor {method!r}; known: {REGRESSORS}")
+
+    def fit_predictor(
+        self,
+        method: str,
+        gpus: "tuple[str, ...] | None" = None,
+        max_rows: int | None = None,
+        **hyper,
+    ) -> "StencilMART":
+        """Train a time predictor on measurements from *gpus* (default all).
+
+        ``max_rows`` subsamples the instance set (deterministically) to
+        bound CPU-only training time at large scales.
+        """
+        ds = self.regression_dataset(gpus)
+        rows = self._row_subset(ds.n_samples, max_rows)
+        model = self._make_regressor(method, **hyper)
+        if method == "convmlp":
+            model.fit(ds.tensors[rows], ds.aux[rows], ds.times_ms[rows])
+        elif method == "gbr":
+            model.fit(
+                ds.features[rows], LogTimeTransform.forward(ds.times_ms[rows])
+            )
+        else:
+            model.fit(ds.features[rows], ds.times_ms[rows])
+        self._predictors[method] = model
+        return self
+
+    def _row_subset(self, n: int, max_rows: int | None) -> np.ndarray:
+        if max_rows is None or n <= max_rows:
+            return np.arange(n)
+        rng = np.random.default_rng(self.seed)
+        return np.sort(rng.choice(n, size=max_rows, replace=False))
+
+    def predict_time(
+        self,
+        stencil: Stencil,
+        oc: "OC | str",
+        setting: ParamSetting,
+        gpu: str,
+        method: str = "mlp",
+    ) -> float:
+        """Predicted execution time (ms) without touching the target GPU."""
+        model = self._predictors.get(method)
+        if model is None:
+            raise NotFittedError(f"fit_predictor({method!r}) first")
+        oc_name = oc if isinstance(oc, str) else oc.name
+        feats = extract_features(stencil, self.max_order)
+        aux = np.concatenate(
+            [oc_flags(oc_name), setting.encode(), np.array(hardware_features(gpu))]
+        )
+        if method == "convmlp":
+            tensor = assign_tensor(stencil, self.max_order)[None, ...]
+            return float(model.predict(tensor, aux[None, :])[0])
+        x = np.concatenate([feats, aux])[None, :]
+        if method == "gbr":
+            return float(LogTimeTransform.inverse(model.predict(x))[0])
+        return float(model.predict(x)[0])
+
+    def evaluate_predictor(
+        self,
+        method: str,
+        gpu: str,
+        n_folds: int = 5,
+        max_rows: int | None = 6000,
+        **hyper,
+    ) -> PredictorResult:
+        """K-fold MAPE of one regression mechanism on one GPU (Fig. 12)."""
+        ds = self.regression_dataset((gpu,))
+        rows = self._row_subset(ds.n_samples, max_rows)
+        mapes: list[float] = []
+        for tr_i, te_i in kfold_indices(rows.shape[0], n_folds, self.seed):
+            tr, te = rows[tr_i], rows[te_i]
+            model = self._make_regressor(method, **dict(hyper))
+            if method == "convmlp":
+                model.fit(ds.tensors[tr], ds.aux[tr], ds.times_ms[tr])
+                pred = model.predict(ds.tensors[te], ds.aux[te])
+            elif method == "gbr":
+                model.fit(ds.features[tr], LogTimeTransform.forward(ds.times_ms[tr]))
+                pred = LogTimeTransform.inverse(model.predict(ds.features[te]))
+            else:
+                model.fit(ds.features[tr], ds.times_ms[tr])
+                pred = model.predict(ds.features[te])
+            mapes.append(mape(ds.times_ms[te], pred))
+        return PredictorResult(method=method, gpu=gpu, fold_mapes=mapes)

@@ -1,0 +1,71 @@
+"""Human-readable reports over campaigns, groupings and selections.
+
+These are the strings the CLI and examples print; keeping them in the
+library (rather than scattered format strings) makes them testable and
+uniform.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from ..profiling.merge import OCGrouping, oc_win_counts
+from ..profiling.profiler import ProfileCampaign
+
+
+def campaign_summary(campaign: ProfileCampaign) -> str:
+    """Multi-line overview of a profiling campaign."""
+    lines = [
+        f"profiling campaign: {len(campaign.stencils)} {campaign.ndim}-D stencils, "
+        f"{len(campaign.ocs)} OCs, GPUs: {', '.join(campaign.gpus)}",
+    ]
+    for gpu in campaign.gpus:
+        n_meas = len(campaign.measurements(gpu))
+        best = Counter(campaign.best_oc_labels(gpu))
+        top, top_n = best.most_common(1)[0]
+        times = [p.best_time_ms for p in campaign.profiles[gpu]]
+        lines.append(
+            f"  {gpu}: {n_meas} measurements; best-OC mode {top} "
+            f"({top_n}/{len(times)}); median best time "
+            f"{float(np.median(times)):.3f} ms"
+        )
+    return "\n".join(lines)
+
+
+def grouping_summary(grouping: OCGrouping) -> str:
+    """One line per merged class: representative and members."""
+    lines = [f"{grouping.n_classes} merged OC classes:"]
+    for c, (rep, members) in enumerate(
+        zip(grouping.representatives, grouping.groups)
+    ):
+        others = [m for m in members if m != rep]
+        suffix = f" (+ {len(others)} merged: {', '.join(others[:4])}" + (
+            ", ...)" if len(others) > 4 else ")"
+        ) if others else ""
+        lines.append(f"  class {c}: {rep}{suffix}")
+    return "\n".join(lines)
+
+
+def win_table(campaign: ProfileCampaign) -> str:
+    """Fig. 2-style win counts, one line per OC that ever wins."""
+    wins = oc_win_counts(campaign)
+    lines = ["best-OC win counts across (stencil, GPU) cases:"]
+    for name, count in sorted(wins.items(), key=lambda kv: (-kv[1], kv[0])):
+        if count:
+            lines.append(f"  {name}: {count}")
+    return "\n".join(lines)
+
+
+def gap_report(campaign: ProfileCampaign, gpu: str) -> str:
+    """Fig. 1-style per-stencil best/worst gap summary for one GPU."""
+    gaps = []
+    for p in campaign.profiles[gpu]:
+        times = [r.best_time_ms for r in p.oc_results.values()]
+        gaps.append(max(times) / min(times))
+    return (
+        f"{gpu}: best/worst OC gap over {len(gaps)} stencils -- "
+        f"mean {float(np.mean(gaps)):.2f}x, median {float(np.median(gaps)):.2f}x, "
+        f"max {float(np.max(gaps)):.2f}x"
+    )

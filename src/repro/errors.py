@@ -1,0 +1,53 @@
+"""Exception hierarchy for the StencilMART reproduction.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class.  The simulator raises :class:`KernelLaunchError` for
+configurations that would crash on real hardware (the paper's "OC crashes
+under certain stencils" cases, Section III-A); tuners treat those as
+infeasible points rather than hard failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class StencilError(ReproError):
+    """Invalid stencil definition (bad offsets, dimension mismatch, ...)."""
+
+
+class OptimizationError(ReproError):
+    """Invalid optimization combination or parameter setting."""
+
+
+class ConstraintViolation(OptimizationError):
+    """An optimization combination violates a Table I constraint.
+
+    Example: enabling retiming (RT) without streaming (ST), or enabling both
+    block merging (BM) and cyclic merging (CM) at the same time.
+    """
+
+
+class KernelLaunchError(ReproError):
+    """The simulated kernel cannot launch on the target GPU.
+
+    Raised when a (stencil, OC, parameter setting) exceeds a hard hardware
+    limit -- registers per thread, shared memory per block, threads per
+    block -- or yields zero occupancy.  This mirrors real CUDA launch
+    failures and resource-spill crashes the paper observes for e.g.
+    temporal blocking of 3-D order-4 stencils without streaming.
+    """
+
+
+class DatasetError(ReproError):
+    """Malformed or inconsistent profiling dataset."""
+
+
+class ModelError(ReproError):
+    """Machine-learning model misuse (predict before fit, shape mismatch)."""
+
+
+class NotFittedError(ModelError):
+    """An estimator was used before :meth:`fit` was called."""

@@ -1,0 +1,34 @@
+"""Simulated GPU substrate (Tables III/IV plus the timing model)."""
+
+from .noise import noise_factor
+from .occupancy import Occupancy, compute_occupancy
+from .simulator import GPUSimulator, SimResult, simulate
+from .specs import (
+    GPU_ORDER,
+    GPUS,
+    HARDWARE_FEATURE_NAMES,
+    MACHINES,
+    RENTAL_GPUS,
+    GPUSpec,
+    MachineSpec,
+    get_gpu,
+    hardware_features,
+)
+
+__all__ = [
+    "GPU_ORDER",
+    "GPUS",
+    "GPUSimulator",
+    "GPUSpec",
+    "HARDWARE_FEATURE_NAMES",
+    "MACHINES",
+    "MachineSpec",
+    "Occupancy",
+    "RENTAL_GPUS",
+    "SimResult",
+    "compute_occupancy",
+    "get_gpu",
+    "hardware_features",
+    "noise_factor",
+    "simulate",
+]

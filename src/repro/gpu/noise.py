@@ -1,0 +1,56 @@
+"""Deterministic measurement noise.
+
+Real profiling runs jitter run to run; a noiseless analytical model would
+make the regression task unrealistically easy and the classification labels
+unrealistically clean.  We perturb each simulated time with multiplicative
+lognormal noise whose seed is derived from the full run identity
+(GPU, stencil, OC, parameter setting), so repeated "measurements" of the
+same configuration agree exactly while distinct configurations decorrelate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import struct
+
+#: Standard deviation of the lognormal jitter (about +/-3% per sample).
+DEFAULT_SIGMA = 0.03
+
+
+def _digest(*parts: object) -> tuple[int, int]:
+    """Stable pair of 64-bit words from arbitrary run-identity parts.
+
+    Python's builtin ``hash`` is salted per process, so we serialize the
+    repr of each part through blake2b instead.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        h.update(repr(part).encode())
+        h.update(b"\x1f")
+    return struct.unpack("<QQ", h.digest())
+
+
+def standard_normal(*key: object) -> float:
+    """Deterministic standard-normal draw keyed by *key* (Box-Muller).
+
+    Constructing a ``numpy`` Generator per call would dominate the
+    simulator's runtime at dataset scale, so the two uniforms come straight
+    from a blake2b digest of the key.
+    """
+    a, b = _digest(*key)
+    u1 = (a + 1) / (2**64 + 1)  # in (0, 1), never exactly 0
+    u2 = b / 2**64
+    return math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+
+
+def noise_factor(*key: object, sigma: float = DEFAULT_SIGMA) -> float:
+    """Deterministic multiplicative jitter for the run identified by *key*.
+
+    Returns ``exp(sigma * z)`` with ``z`` standard normal derived from the
+    key; the expected value is slightly above 1 (lognormal mean), which is
+    harmless since every configuration receives the same treatment.
+    """
+    if sigma <= 0:
+        return 1.0
+    return math.exp(sigma * standard_normal(*key))

@@ -1,0 +1,269 @@
+"""Analytical GPU timing simulator for stencil kernels.
+
+This is the measurement substrate standing in for the paper's four physical
+GPUs: given a :class:`~repro.optimizations.kernelmodel.KernelProfile` and a
+:class:`~repro.gpu.specs.GPUSpec`, it produces an execution time per sweep
+in milliseconds.  The model composes:
+
+1. **Occupancy** -- CUDA-style residency math; zero-occupancy and
+   over-limit configurations raise :class:`KernelLaunchError` ("the OC
+   crashes under certain stencils", Section III-A).
+2. **Latency hiding** -- achieved DRAM bandwidth and issue throughput are
+   saturating functions of resident warps; register-heavy variants lose
+   both.
+3. **Memory hierarchy** -- DRAM time uses the profile's base reads plus an
+   L2-capacity-dependent re-read amplification; L2 time uses the SM<->L2
+   transaction volume against the GPU's L2 bandwidth; coalescing scales
+   the effective DRAM bandwidth.
+4. **Compute** -- FP64 roofline with the per-architecture achieved
+   efficiency (the CUDA 10.0 / PTX-JIT penalty on A100 lives in the spec).
+5. **Wave quantization** -- the dominant phase is stretched by the tail
+   effect when the block count does not fill an integer number of waves.
+6. **Streaming stalls** -- per-plane synchronization plus exposed load
+   latency, mostly hidden by prefetching.
+7. **Launch overhead** -- per kernel invocation; temporal blocking
+   amortizes it across fused steps.
+8. **Measurement noise** -- deterministic lognormal jitter keyed by the
+   full run identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import KernelLaunchError
+from ..optimizations.combos import OC
+from ..optimizations.kernelmodel import TIME_STEPS, KernelProfile, build_profile
+from ..optimizations.params import ParamSetting
+from ..stencil.stencil import Stencil
+from .noise import noise_factor
+from .occupancy import Occupancy, compute_occupancy
+from .specs import GPUSpec, get_gpu
+
+#: Half-saturation occupancies for the latency-hiding curves: DRAM traffic
+#: needs more parallelism to saturate than the issue pipelines do.
+_BW_HALF_OCC = 0.15
+_COMPUTE_HALF_OCC = 0.10
+
+#: DRAM efficiency derating for cache-served schemes, whose warps keep many
+#: concurrent row streams alive (DRAM page thrash, sector overfetch).
+_SCATTER_EFF = 0.70
+
+#: Fraction of nominal L2 capacity usable for stencil reuse windows.
+_L2_USABLE = 0.80
+
+#: Streaming per-iteration costs in cycles.
+_SYNC_CYCLES = 25.0
+_EXPOSED_LATENCY_CYCLES = 320.0
+_PREFETCH_HIDING = 0.70
+
+#: Exponent of the smooth-max combining the three roofline phases.
+_SMOOTH_P = 4.0
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Timing breakdown for one simulated kernel configuration.
+
+    ``time_ms`` is the headline number: execution time per time step
+    (sweep), noise included.  The phase fields are noise-free and per
+    launch, kept for reports and ablation studies.
+    """
+
+    time_ms: float
+    dram_ms: float
+    l2_ms: float
+    compute_ms: float
+    stream_ms: float
+    launch_ms: float
+    occupancy: Occupancy
+    utilization: float
+    profile: KernelProfile
+
+
+class GPUSimulator:
+    """Timing model for one GPU.
+
+    Parameters
+    ----------
+    gpu:
+        GPU name or spec (Table III).
+    sigma:
+        Measurement-noise level; 0 disables noise (used by model tests).
+    """
+
+    def __init__(self, gpu: "GPUSpec | str", sigma: float = 0.03):
+        self.spec = get_gpu(gpu) if isinstance(gpu, str) else gpu
+        self.sigma = float(sigma)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        stencil: Stencil,
+        oc: OC,
+        setting: ParamSetting,
+        grid: tuple[int, ...] | None = None,
+        boundary=None,
+    ) -> SimResult:
+        """Simulate *stencil* under *oc*/*setting*; returns per-step timing.
+
+        ``boundary`` (a :class:`repro.stencil.Boundary`) enables the
+        future-work extension: boundary handling scales the time by its
+        overhead factor (divergent edge blocks, ghost traffic).
+
+        Raises
+        ------
+        KernelLaunchError
+            When the configuration exceeds a hardware limit on this GPU.
+        """
+        profile = build_profile(stencil, oc, setting, grid=grid)
+        result = self.time_profile(profile)
+        if boundary is not None:
+            from ..stencil.boundary import boundary_overhead_factor
+            from ..optimizations.kernelmodel import default_grid
+
+            dims = default_grid(stencil.ndim) if grid is None else tuple(grid)
+            factor = boundary_overhead_factor(stencil, dims, boundary)
+            result = SimResult(
+                time_ms=result.time_ms * factor,
+                dram_ms=result.dram_ms,
+                l2_ms=result.l2_ms,
+                compute_ms=result.compute_ms,
+                stream_ms=result.stream_ms,
+                launch_ms=result.launch_ms,
+                occupancy=result.occupancy,
+                utilization=result.utilization,
+                profile=result.profile,
+            )
+        if self.sigma > 0:
+            jitter = noise_factor(
+                self.spec.name,
+                stencil.cache_key(),
+                oc.name,
+                setting.as_tuple(),
+                sigma=self.sigma,
+            )
+            result = SimResult(
+                time_ms=result.time_ms * jitter,
+                dram_ms=result.dram_ms,
+                l2_ms=result.l2_ms,
+                compute_ms=result.compute_ms,
+                stream_ms=result.stream_ms,
+                launch_ms=result.launch_ms,
+                occupancy=result.occupancy,
+                utilization=result.utilization,
+                profile=result.profile,
+            )
+        return result
+
+    def time(self, stencil, oc, setting, grid=None) -> float:
+        """Convenience wrapper returning only ``time_ms``."""
+        return self.run(stencil, oc, setting, grid=grid).time_ms
+
+    # ------------------------------------------------------------------
+    def time_profile(self, profile: KernelProfile) -> SimResult:
+        """Noise-free timing for a pre-built kernel profile."""
+        spec = self.spec
+        occ = compute_occupancy(
+            spec,
+            profile.threads_per_block,
+            profile.regs_per_thread,
+            profile.smem_per_block,
+        )
+        if profile.n_blocks < 1:
+            raise KernelLaunchError("empty grid: zero thread blocks")
+
+        # Resident parallelism may be supply-limited when few blocks exist.
+        blocks_per_sm_eff = min(
+            occ.blocks_per_sm,
+            max(1, -(-profile.n_blocks // spec.sms)),  # ceil div
+        )
+        warps_per_block = -(-profile.threads_per_block // spec.warp_size)
+        achieved_occ = min(
+            1.0,
+            blocks_per_sm_eff * warps_per_block / spec.max_warps_per_sm,
+        )
+
+        bw_frac = achieved_occ / (achieved_occ + _BW_HALF_OCC)
+        comp_frac = achieved_occ / (achieved_occ + _COMPUTE_HALF_OCC)
+
+        # Wave quantization / tail effect.
+        slots_per_wave = occ.blocks_per_sm * spec.sms
+        n_waves = -(-profile.n_blocks // slots_per_wave)
+        utilization = profile.n_blocks / (n_waves * slots_per_wave)
+        utilization = max(utilization, 1e-3)
+
+        # --- DRAM phase -------------------------------------------------
+        if profile.reuse_window_bytes > 0:
+            p_hit = min(1.0, _L2_USABLE * spec.l2_bytes / profile.reuse_window_bytes)
+        else:
+            p_hit = 1.0
+        reads = profile.read_bytes_base * (
+            1.0 + (profile.read_amplification - 1.0) * (1.0 - p_hit)
+        )
+        dram_bytes = reads + profile.write_bytes
+        dram_bw = (
+            spec.dram_bytes_per_s
+            * spec.memory_efficiency
+            * bw_frac
+            * profile.coalescing
+        )
+        if profile.scattered:
+            dram_bw *= _SCATTER_EFF
+        dram_s = dram_bytes / dram_bw
+
+        # --- L2 phase ---------------------------------------------------
+        l2_bw = spec.dram_bytes_per_s * spec.l2_bw_ratio * bw_frac
+        l2_s = profile.l2_bytes / l2_bw
+
+        # --- shared-memory phase ------------------------------------------
+        # Aggregate shared-memory bandwidth: 128 B/cycle per SM derated for
+        # bank conflicts and issue overhead.
+        smem_bw = spec.sms * 128.0 * spec.boost_clock_mhz * 1e6 * 0.35 * comp_frac
+        smem_s = profile.smem_bytes / smem_bw
+
+        # --- compute phase ----------------------------------------------
+        flops_rate = spec.peak_fp64_flops * spec.compute_efficiency * comp_frac
+        compute_s = profile.flops / flops_rate
+
+        # --- combine ----------------------------------------------------
+        p = _SMOOTH_P
+        main_s = (dram_s**p + l2_s**p + compute_s**p + smem_s**p) ** (1.0 / p)
+        main_s /= utilization
+
+        # --- streaming stalls ---------------------------------------------
+        stream_s = 0.0
+        if profile.stream_iters:
+            exposed = _EXPOSED_LATENCY_CYCLES
+            if profile.prefetch:
+                exposed *= 1.0 - _PREFETCH_HIDING
+            exposed /= max(1.0, warps_per_block / 4.0)
+            cycles = profile.stream_iters * (_SYNC_CYCLES + exposed)
+            stream_s = n_waves * cycles / (spec.boost_clock_mhz * 1e6)
+
+        launch_s = spec.kernel_launch_us * 1e-6
+        per_launch_s = main_s + stream_s + launch_s
+        per_step_ms = per_launch_s * profile.launches / TIME_STEPS * 1e3
+
+        return SimResult(
+            time_ms=per_step_ms,
+            dram_ms=dram_s * 1e3,
+            l2_ms=l2_s * 1e3,
+            compute_ms=compute_s * 1e3,
+            stream_ms=stream_s * 1e3,
+            launch_ms=launch_s * 1e3,
+            occupancy=occ,
+            utilization=utilization,
+            profile=profile,
+        )
+
+
+def simulate(
+    gpu: "GPUSpec | str",
+    stencil: Stencil,
+    oc: OC,
+    setting: ParamSetting,
+    sigma: float = 0.03,
+) -> float:
+    """One-shot convenience: per-step time in ms for a configuration."""
+    return GPUSimulator(gpu, sigma=sigma).time(stencil, oc, setting)

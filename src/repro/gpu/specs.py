@@ -1,0 +1,242 @@
+"""GPU and host-machine specification database (paper Tables III and IV).
+
+Table III lists the headline numbers (memory, bandwidth, SM count, peak
+double-precision TFLOPS, Google Cloud rental price).  The simulator also
+needs per-SM microarchitectural limits (register file, shared memory,
+resident threads/blocks) and cache sizes; those are taken from the NVIDIA
+whitepapers / CUDA occupancy tables for each generation and recorded here so
+every model input is explicit and testable.
+
+Two *efficiency* fields encode measured-vs-theoretical gaps that matter for
+reproducing the paper's cross-architecture observations:
+
+``compute_efficiency``
+    Achieved fraction of peak FP64 FMA throughput for compiled stencil
+    kernels.  The paper's software stack is CUDA v10.0, which cannot target
+    Ampere (``sm_80``) natively -- A100 binaries run through PTX JIT and
+    lose a significant fraction of compute throughput, which is how a V100
+    can beat an A100 on compute-bound high-order box stencils (Fig. 4).
+``memory_efficiency``
+    Achieved fraction of peak DRAM bandwidth under ideal streaming access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of one GPU model.
+
+    Headline fields mirror Table III; the remaining fields are the
+    occupancy and memory-hierarchy limits the simulator consumes.
+    Sizes are bytes unless suffixed otherwise; clocks are MHz.
+    """
+
+    name: str
+    generation: str
+    memory_gb: int
+    mem_bw_gbs: float
+    sms: int
+    fp64_tflops: float
+    rental_per_hour: float | None  # None: not offered by Google Cloud
+
+    # Per-SM occupancy limits (CUDA occupancy tables).
+    registers_per_sm: int
+    smem_per_sm: int
+    smem_per_block_max: int
+    max_threads_per_sm: int
+    max_threads_per_block: int
+    max_blocks_per_sm: int
+    max_registers_per_thread: int
+
+    # Memory hierarchy.
+    l2_bytes: int
+    l2_bw_ratio: float  # L2 bandwidth as a multiple of DRAM bandwidth
+
+    # Clocks and overheads.
+    boost_clock_mhz: int
+    kernel_launch_us: float
+
+    # Achieved-vs-theoretical efficiency (see module docstring).
+    compute_efficiency: float
+    memory_efficiency: float
+
+    @property
+    def warp_size(self) -> int:
+        return 32
+
+    @property
+    def max_warps_per_sm(self) -> int:
+        return self.max_threads_per_sm // self.warp_size
+
+    @property
+    def peak_fp64_flops(self) -> float:
+        """Peak FP64 throughput in FLOP/s."""
+        return self.fp64_tflops * 1e12
+
+    @property
+    def dram_bytes_per_s(self) -> float:
+        return self.mem_bw_gbs * 1e9
+
+    def describe(self) -> str:
+        """One-line summary used by reports and examples."""
+        rent = f"${self.rental_per_hour:.2f}/hr" if self.rental_per_hour else "n/a"
+        return (
+            f"{self.name} ({self.generation}): {self.memory_gb} GB, "
+            f"{self.mem_bw_gbs:.0f} GB/s, {self.sms} SMs, "
+            f"{self.fp64_tflops} FP64 TFLOPS, rental {rent}"
+        )
+
+
+_KB = 1024
+_MB = 1024 * 1024
+
+#: The four evaluation GPUs (Table III).  Microarchitectural numbers follow
+#: the Pascal/Volta/Turing/Ampere whitepapers; efficiency factors reflect
+#: the paper's CUDA 10.0 stack (see module docstring).
+GPUS: dict[str, GPUSpec] = {
+    "P100": GPUSpec(
+        name="P100",
+        generation="Pascal",
+        memory_gb=16,
+        mem_bw_gbs=720.0,
+        sms=56,
+        fp64_tflops=5.3,
+        rental_per_hour=1.46,
+        registers_per_sm=65536,
+        smem_per_sm=64 * _KB,
+        smem_per_block_max=48 * _KB,
+        max_threads_per_sm=2048,
+        max_threads_per_block=1024,
+        max_blocks_per_sm=32,
+        max_registers_per_thread=255,
+        l2_bytes=4 * _MB,
+        l2_bw_ratio=2.6,
+        boost_clock_mhz=1480,
+        kernel_launch_us=5.0,
+        compute_efficiency=0.92,
+        memory_efficiency=0.76,
+    ),
+    "V100": GPUSpec(
+        name="V100",
+        generation="Volta",
+        memory_gb=32,
+        mem_bw_gbs=900.0,
+        sms=80,
+        fp64_tflops=7.8,
+        rental_per_hour=2.48,
+        registers_per_sm=65536,
+        smem_per_sm=96 * _KB,
+        smem_per_block_max=96 * _KB,
+        max_threads_per_sm=2048,
+        max_threads_per_block=1024,
+        max_blocks_per_sm=32,
+        max_registers_per_thread=255,
+        l2_bytes=6 * _MB,
+        l2_bw_ratio=3.0,
+        boost_clock_mhz=1530,
+        kernel_launch_us=5.0,
+        compute_efficiency=0.95,
+        memory_efficiency=0.80,
+    ),
+    "2080Ti": GPUSpec(
+        name="2080Ti",
+        generation="Turing",
+        memory_gb=11,
+        mem_bw_gbs=616.0,
+        sms=68,
+        fp64_tflops=0.41,
+        rental_per_hour=None,
+        registers_per_sm=65536,
+        smem_per_sm=64 * _KB,
+        smem_per_block_max=64 * _KB,
+        max_threads_per_sm=1024,
+        max_threads_per_block=1024,
+        max_blocks_per_sm=16,
+        max_registers_per_thread=255,
+        l2_bytes=int(5.5 * _MB),
+        l2_bw_ratio=4.2,
+        boost_clock_mhz=1545,
+        kernel_launch_us=3.0,
+        compute_efficiency=0.93,
+        memory_efficiency=0.79,
+    ),
+    "A100": GPUSpec(
+        name="A100",
+        generation="Ampere",
+        memory_gb=40,
+        mem_bw_gbs=1555.0,
+        sms=108,
+        fp64_tflops=9.7,
+        rental_per_hour=2.93,
+        registers_per_sm=65536,
+        smem_per_sm=164 * _KB,
+        smem_per_block_max=160 * _KB,
+        max_threads_per_sm=2048,
+        max_threads_per_block=1024,
+        max_blocks_per_sm=32,
+        max_registers_per_thread=255,
+        l2_bytes=40 * _MB,
+        l2_bw_ratio=2.8,
+        boost_clock_mhz=1410,
+        kernel_launch_us=6.0,
+        # CUDA 10.0 cannot emit sm_80 SASS; A100 runs PTX-JIT-compiled
+        # kernels with a substantial compute penalty but near-native
+        # memory behaviour.
+        compute_efficiency=0.70,
+        memory_efficiency=0.82,
+    ),
+}
+
+#: Evaluation order used by the figures.
+GPU_ORDER = ("2080Ti", "P100", "V100", "A100")
+
+#: GPUs available for cloud rental (Fig. 15 excludes the 2080Ti).
+RENTAL_GPUS = tuple(n for n in GPU_ORDER if GPUS[n].rental_per_hour is not None)
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Look up a GPU spec by name (e.g. ``"V100"``)."""
+    try:
+        return GPUS[name]
+    except KeyError:
+        known = ", ".join(GPU_ORDER)
+        raise KeyError(f"unknown GPU {name!r}; known: {known}") from None
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Host machine description (paper Table IV)."""
+
+    cpu: str
+    frequency_ghz: float
+    cores: int
+    main_memory_gb: int
+    gpus: tuple[str, ...]
+
+
+#: The two evaluation hosts (Table IV).
+MACHINES: tuple[MachineSpec, ...] = (
+    MachineSpec("Xeon Silver 4110", 2.1, 16, 192, ("2080Ti",)),
+    MachineSpec("Xeon E5-2680 v4", 2.4, 28, 252, ("P100", "V100", "A100")),
+)
+
+
+def hardware_features(gpu: "GPUSpec | str") -> "tuple[float, ...]":
+    """The GPU feature vector attached to regression inputs (Section IV-E).
+
+    Following the paper (inspired by Habitat [27]) this is: memory
+    capacity, memory bandwidth, SM count, and peak FLOPS.
+    """
+    spec = get_gpu(gpu) if isinstance(gpu, str) else gpu
+    return (
+        float(spec.memory_gb),
+        float(spec.mem_bw_gbs),
+        float(spec.sms),
+        float(spec.fp64_tflops),
+    )
+
+
+HARDWARE_FEATURE_NAMES = ("mem_gb", "mem_bw_gbs", "sms", "fp64_tflops")

@@ -1,0 +1,28 @@
+"""Machine-learning substrate: metrics, GBDT and neural models."""
+
+from . import nn
+from .gbdt import GBDTClassifier, GBRegressor
+from .metrics import accuracy, confusion_matrix, kendall_tau, mape, pcc, top_k_accuracy
+from .nn import ConvMLPRegressor, ConvNetClassifier, FcNetClassifier, MLPRegressor
+from .preprocess import LogTimeTransform, MaxNormalizer, one_hot
+from .tree import RegressionTree
+
+__all__ = [
+    "ConvMLPRegressor",
+    "ConvNetClassifier",
+    "FcNetClassifier",
+    "GBDTClassifier",
+    "GBRegressor",
+    "LogTimeTransform",
+    "MLPRegressor",
+    "MaxNormalizer",
+    "RegressionTree",
+    "accuracy",
+    "confusion_matrix",
+    "kendall_tau",
+    "mape",
+    "nn",
+    "one_hot",
+    "pcc",
+    "top_k_accuracy",
+]

@@ -1,0 +1,33 @@
+"""A small NumPy neural-network library (the TensorFlow substitute)."""
+
+from .layers import ConvND, Dense, Dropout, Flatten, Layer, ReLU
+from .losses import MSELoss, SoftmaxCrossEntropy
+from .models import (
+    ConvMLPRegressor,
+    ConvNetClassifier,
+    FcNetClassifier,
+    MLPRegressor,
+)
+from .network import Sequential, TwoBranch, train_epochs
+from .optimizers import SGD, Adam, Optimizer
+
+__all__ = [
+    "Adam",
+    "ConvMLPRegressor",
+    "ConvND",
+    "ConvNetClassifier",
+    "Dense",
+    "Dropout",
+    "FcNetClassifier",
+    "Flatten",
+    "Layer",
+    "MLPRegressor",
+    "MSELoss",
+    "Optimizer",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "SoftmaxCrossEntropy",
+    "TwoBranch",
+    "train_epochs",
+]

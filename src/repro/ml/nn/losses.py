@@ -1,0 +1,53 @@
+"""Training losses: softmax cross-entropy and mean squared error."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ModelError
+
+
+class SoftmaxCrossEntropy:
+    """Softmax + cross-entropy against integer labels.
+
+    ``forward`` returns the mean loss; ``backward`` returns the gradient
+    with respect to the logits (softmax minus one-hot, averaged).
+    """
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ModelError(f"logits must be 2-D, got {logits.shape}")
+        y = np.asarray(labels, dtype=np.int64).ravel()
+        if y.shape[0] != logits.shape[0]:
+            raise ModelError("label/logit count mismatch")
+        z = logits - logits.max(axis=1, keepdims=True)
+        log_probs = z - np.log(np.exp(z).sum(axis=1, keepdims=True))
+        self._probs = np.exp(log_probs)
+        self._labels = y
+        return float(-log_probs[np.arange(y.shape[0]), y].mean())
+
+    def backward(self) -> np.ndarray:
+        g = self._probs.copy()
+        g[np.arange(self._labels.shape[0]), self._labels] -= 1.0
+        return g / self._labels.shape[0]
+
+    @staticmethod
+    def probabilities(logits: np.ndarray) -> np.ndarray:
+        z = logits - logits.max(axis=1, keepdims=True)
+        e = np.exp(z)
+        return e / e.sum(axis=1, keepdims=True)
+
+
+class MSELoss:
+    """Mean squared error on a single regression output."""
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        p = pred.reshape(pred.shape[0], -1)
+        t = np.asarray(target, dtype=np.float64).reshape(p.shape[0], -1)
+        if p.shape != t.shape:
+            raise ModelError(f"pred {p.shape} vs target {t.shape}")
+        self._diff = p - t
+        return float((self._diff**2).mean())
+
+    def backward(self) -> np.ndarray:
+        return 2.0 * self._diff / self._diff.size

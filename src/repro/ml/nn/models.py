@@ -1,0 +1,325 @@
+"""The paper's four neural models as scikit-style estimators.
+
+Classification (Section IV-D):
+
+- :class:`ConvNetClassifier` (Fig. 7): convolutional layers over the
+  assigned binary tensor, fully connected head, softmax over merged OC
+  classes.  Adapting to 3-D stencils only raises the convolution
+  dimensionality.
+- :class:`FcNetClassifier`: fully connected layers over the flattened
+  tensor; its accuracy is sensitive to the layer count, which is exposed.
+
+Regression (Section IV-E):
+
+- :class:`MLPRegressor` (Fig. 13 studies its depth/width): hidden ReLU
+  layers over the flat feature vector (stencil features, OC flags, encoded
+  parameters, hardware characteristics), inputs max-normalized to [0, 1].
+- :class:`ConvMLPRegressor` (Fig. 8): a CNN branch over the assigned
+  tensor concatenated with an MLP branch over the non-stencil features.
+
+Execution times are modeled in ``log2`` space and converted back in
+:meth:`predict` so MAPE is reported on real milliseconds.
+
+Training defaults follow Section V-A3 (Adam; batch 50 for classifiers,
+256 for regressors).  The paper trains 100 epochs at lr 1e-4 / 5e-4; the
+scaled-down default here uses 1e-3 with proportionally fewer epochs --
+pass ``lr``/``epochs`` to reproduce the paper's schedule exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...errors import ModelError, NotFittedError
+from ..preprocess import LogTimeTransform, MaxNormalizer
+from .layers import ConvND, Dense, Flatten, ReLU
+from .losses import MSELoss, SoftmaxCrossEntropy
+from .network import Sequential, TwoBranch, train_epochs
+from .optimizers import Adam
+
+
+def _as_tensor_batch(tensors: np.ndarray) -> np.ndarray:
+    """Normalize ``(n, edge^d)`` stencil tensors to ``(n, 1, edge^d)``."""
+    t = np.asarray(tensors, dtype=np.float64)
+    if t.ndim < 3:
+        raise ModelError(f"expected batched spatial tensors, got {t.shape}")
+    return t[:, None, ...]
+
+
+class ConvNetClassifier:
+    """CNN over assigned tensors predicting the best merged OC class."""
+
+    def __init__(
+        self,
+        n_classes: int,
+        channels: tuple[int, int] = (16, 32),
+        dense: int = 64,
+        kernel: int = 3,
+        lr: float = 1e-3,
+        epochs: int = 30,
+        batch_size: int = 50,
+        seed: int = 0,
+    ):
+        self.n_classes = int(n_classes)
+        self.channels = channels
+        self.dense = int(dense)
+        self.kernel = int(kernel)
+        self.lr = float(lr)
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.seed = int(seed)
+        self._net: Sequential | None = None
+
+    def _build(self, spatial: tuple[int, ...], rng: np.random.Generator) -> Sequential:
+        c1, c2 = self.channels
+        s1 = tuple(s - self.kernel + 1 for s in spatial)
+        s2 = tuple(s - self.kernel + 1 for s in s1)
+        flat = c2 * math.prod(s2)
+        return Sequential(
+            [
+                ConvND(1, c1, spatial, self.kernel, rng),
+                ReLU(),
+                ConvND(c1, c2, s1, self.kernel, rng),
+                ReLU(),
+                Flatten(),
+                Dense(flat, self.dense, rng),
+                ReLU(),
+                Dense(self.dense, self.n_classes, rng),
+            ]
+        )
+
+    def fit(self, tensors: np.ndarray, labels: np.ndarray) -> "ConvNetClassifier":
+        X = _as_tensor_batch(tensors)
+        y = np.asarray(labels, dtype=np.int64).ravel()
+        rng = np.random.default_rng(self.seed)
+        self._net = self._build(X.shape[2:], rng)
+        loss = SoftmaxCrossEntropy()
+        net = self._net
+
+        def fwd_bwd(batch, targets):
+            (xb,) = batch
+            logits = net.forward(xb, training=True)
+            value = loss.forward(logits, targets)
+            net.backward(loss.backward())
+            return value
+
+        self.history_ = train_epochs(
+            (X,), y, fwd_bwd, net.params_and_grads, Adam(self.lr),
+            self.epochs, self.batch_size, rng,
+        )
+        return self
+
+    def predict_proba(self, tensors: np.ndarray) -> np.ndarray:
+        if self._net is None:
+            raise NotFittedError("ConvNetClassifier.predict before fit")
+        logits = self._net.forward(_as_tensor_batch(tensors), training=False)
+        return SoftmaxCrossEntropy.probabilities(logits)
+
+    def predict(self, tensors: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(tensors), axis=1)
+
+
+class FcNetClassifier:
+    """Fully connected classifier over flattened assigned tensors."""
+
+    def __init__(
+        self,
+        n_classes: int,
+        hidden: tuple[int, ...] = (128, 64),
+        lr: float = 1e-3,
+        epochs: int = 30,
+        batch_size: int = 50,
+        seed: int = 0,
+    ):
+        if not hidden:
+            raise ModelError("FcNet needs at least one hidden layer")
+        self.n_classes = int(n_classes)
+        self.hidden = tuple(int(h) for h in hidden)
+        self.lr = float(lr)
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.seed = int(seed)
+        self._net: Sequential | None = None
+
+    def fit(self, tensors: np.ndarray, labels: np.ndarray) -> "FcNetClassifier":
+        X = np.asarray(tensors, dtype=np.float64).reshape(len(tensors), -1)
+        y = np.asarray(labels, dtype=np.int64).ravel()
+        rng = np.random.default_rng(self.seed)
+        layers: list = []
+        width = X.shape[1]
+        for h in self.hidden:
+            layers += [Dense(width, h, rng), ReLU()]
+            width = h
+        layers.append(Dense(width, self.n_classes, rng))
+        self._net = Sequential(layers)
+        loss = SoftmaxCrossEntropy()
+        net = self._net
+
+        def fwd_bwd(batch, targets):
+            (xb,) = batch
+            value = loss.forward(net.forward(xb, training=True), targets)
+            net.backward(loss.backward())
+            return value
+
+        self.history_ = train_epochs(
+            (X,), y, fwd_bwd, net.params_and_grads, Adam(self.lr),
+            self.epochs, self.batch_size, rng,
+        )
+        return self
+
+    def predict_proba(self, tensors: np.ndarray) -> np.ndarray:
+        if self._net is None:
+            raise NotFittedError("FcNetClassifier.predict before fit")
+        X = np.asarray(tensors, dtype=np.float64).reshape(len(tensors), -1)
+        return SoftmaxCrossEntropy.probabilities(self._net.forward(X))
+
+    def predict(self, tensors: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(tensors), axis=1)
+
+
+class MLPRegressor:
+    """Multilayer perceptron predicting ``log2`` execution time.
+
+    ``n_layers`` and ``layer_size`` span the Fig. 13 sensitivity grid
+    (4-10 layers, 2^4-2^10 units).
+    """
+
+    def __init__(
+        self,
+        n_layers: int = 7,
+        layer_size: int = 64,
+        lr: float = 1e-3,
+        epochs: int = 30,
+        batch_size: int = 256,
+        seed: int = 0,
+    ):
+        if n_layers < 1:
+            raise ModelError(f"n_layers must be >= 1, got {n_layers}")
+        self.n_layers = int(n_layers)
+        self.layer_size = int(layer_size)
+        self.lr = float(lr)
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.seed = int(seed)
+        self._net: Sequential | None = None
+        self._norm = MaxNormalizer()
+
+    def fit(self, X: np.ndarray, times_ms: np.ndarray) -> "MLPRegressor":
+        Xn = self._norm.fit_transform(np.asarray(X, dtype=np.float64))
+        y = LogTimeTransform.forward(times_ms)[:, None]
+        rng = np.random.default_rng(self.seed)
+        layers: list = []
+        width = Xn.shape[1]
+        for _ in range(self.n_layers):
+            layers += [Dense(width, self.layer_size, rng), ReLU()]
+            width = self.layer_size
+        layers.append(Dense(width, 1, rng))
+        self._net = Sequential(layers)
+        loss = MSELoss()
+        net = self._net
+
+        def fwd_bwd(batch, targets):
+            (xb,) = batch
+            value = loss.forward(net.forward(xb, training=True), targets)
+            net.backward(loss.backward())
+            return value
+
+        self.history_ = train_epochs(
+            (Xn,), y, fwd_bwd, net.params_and_grads, Adam(self.lr),
+            self.epochs, self.batch_size, rng,
+        )
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted execution times in milliseconds."""
+        if self._net is None:
+            raise NotFittedError("MLPRegressor.predict before fit")
+        Xn = self._norm.transform(np.asarray(X, dtype=np.float64))
+        return LogTimeTransform.inverse(self._net.forward(Xn).ravel())
+
+
+class ConvMLPRegressor:
+    """Fig. 8: CNN over the assigned tensor + MLP over the flat features."""
+
+    def __init__(
+        self,
+        channels: tuple[int, int] = (8, 16),
+        mlp_hidden: tuple[int, ...] = (64, 64),
+        head_hidden: int = 64,
+        kernel: int = 3,
+        lr: float = 1e-3,
+        epochs: int = 20,
+        batch_size: int = 256,
+        seed: int = 0,
+    ):
+        self.channels = channels
+        self.mlp_hidden = tuple(int(h) for h in mlp_hidden)
+        self.head_hidden = int(head_hidden)
+        self.kernel = int(kernel)
+        self.lr = float(lr)
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.seed = int(seed)
+        self._net: TwoBranch | None = None
+        self._norm = MaxNormalizer()
+
+    def fit(
+        self, tensors: np.ndarray, aux: np.ndarray, times_ms: np.ndarray
+    ) -> "ConvMLPRegressor":
+        Xt = _as_tensor_batch(tensors)
+        Xa = self._norm.fit_transform(np.asarray(aux, dtype=np.float64))
+        y = LogTimeTransform.forward(times_ms)[:, None]
+        rng = np.random.default_rng(self.seed)
+
+        c1, c2 = self.channels
+        spatial = Xt.shape[2:]
+        s1 = tuple(s - self.kernel + 1 for s in spatial)
+        s2 = tuple(s - self.kernel + 1 for s in s1)
+        cnn = Sequential(
+            [
+                ConvND(1, c1, spatial, self.kernel, rng),
+                ReLU(),
+                ConvND(c1, c2, s1, self.kernel, rng),
+                ReLU(),
+                Flatten(),
+            ]
+        )
+        layers: list = []
+        width = Xa.shape[1]
+        for h in self.mlp_hidden:
+            layers += [Dense(width, h, rng), ReLU()]
+            width = h
+        mlp = Sequential(layers)
+        joint = c2 * math.prod(s2) + width
+        head = Sequential(
+            [
+                Dense(joint, self.head_hidden, rng),
+                ReLU(),
+                Dense(self.head_hidden, 1, rng),
+            ]
+        )
+        self._net = TwoBranch(cnn, mlp, head)
+        loss = MSELoss()
+        net = self._net
+
+        def fwd_bwd(batch, targets):
+            xt, xa = batch
+            value = loss.forward(net.forward(xt, xa, training=True), targets)
+            net.backward(loss.backward())
+            return value
+
+        self.history_ = train_epochs(
+            (Xt, Xa), y, fwd_bwd, net.params_and_grads, Adam(self.lr),
+            self.epochs, self.batch_size, rng,
+        )
+        return self
+
+    def predict(self, tensors: np.ndarray, aux: np.ndarray) -> np.ndarray:
+        """Predicted execution times in milliseconds."""
+        if self._net is None:
+            raise NotFittedError("ConvMLPRegressor.predict before fit")
+        Xt = _as_tensor_batch(tensors)
+        Xa = self._norm.transform(np.asarray(aux, dtype=np.float64))
+        return LogTimeTransform.inverse(self._net.forward(Xt, Xa).ravel())

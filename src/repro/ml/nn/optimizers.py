@@ -1,0 +1,74 @@
+"""First-order optimizers.
+
+Adam matches the paper's training setup (Section V-A3: Adam with learning
+rates 1e-4 / 5e-4); plain SGD is kept for ablations and tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ModelError
+
+
+class Optimizer:
+    """Updates a fixed list of (param, grad) array pairs in place."""
+
+    def step(self, params_and_grads: "list[tuple[np.ndarray, np.ndarray]]") -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Vanilla stochastic gradient descent with optional momentum."""
+
+    def __init__(self, lr: float = 0.01, momentum: float = 0.0):
+        if lr <= 0:
+            raise ModelError(f"lr must be positive, got {lr}")
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def step(self, params_and_grads) -> None:
+        for param, grad in params_and_grads:
+            if self.momentum > 0.0:
+                v = self._velocity.setdefault(id(param), np.zeros_like(param))
+                v *= self.momentum
+                v -= self.lr * grad
+                param += v
+            else:
+                param -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        if lr <= 0:
+            raise ModelError(f"lr must be positive, got {lr}")
+        self.lr = float(lr)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, params_and_grads) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1**self._t
+        bias2 = 1.0 - b2**self._t
+        for param, grad in params_and_grads:
+            m = self._m.setdefault(id(param), np.zeros_like(param))
+            v = self._v.setdefault(id(param), np.zeros_like(param))
+            m *= b1
+            m += (1.0 - b1) * grad
+            v *= b2
+            v += (1.0 - b2) * grad * grad
+            param -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)

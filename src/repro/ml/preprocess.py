@@ -1,0 +1,69 @@
+"""Input/target preprocessing for the learned models.
+
+Section IV-E: "we normalize the inputs to the range of [0, 1] by dividing
+by the maximum value of each input feature" (for MLP and ConvMLP), and
+numerical parameters receive a ``log2`` transform (done upstream in
+:meth:`ParamSetting.encode`).  Execution times span three orders of
+magnitude, so regressors operate on ``log2(time)`` internally and convert
+back for MAPE reporting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NotFittedError
+
+
+class MaxNormalizer:
+    """Scale each column to [0, 1] by its training-set maximum magnitude.
+
+    Columns that are constant zero are passed through unchanged.  Negative
+    inputs (log2 of sub-unit values) scale into [-1, 1]; the paper's
+    feature ranges are non-negative after encoding, so this matches its
+    [0, 1] recipe on real data while remaining total.
+    """
+
+    def __init__(self) -> None:
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "MaxNormalizer":
+        X = np.asarray(X, dtype=np.float64)
+        scale = np.abs(X).max(axis=0)
+        scale[scale == 0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.scale_ is None:
+            raise NotFittedError("MaxNormalizer.transform before fit")
+        return np.asarray(X, dtype=np.float64) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class LogTimeTransform:
+    """Bijection between execution times (ms) and the model's target space.
+
+    ``forward`` maps times to ``log2``, ``inverse`` maps predictions back.
+    """
+
+    @staticmethod
+    def forward(times_ms: np.ndarray) -> np.ndarray:
+        t = np.asarray(times_ms, dtype=np.float64)
+        if (t <= 0).any():
+            raise ValueError("times must be strictly positive")
+        return np.log2(t)
+
+    @staticmethod
+    def inverse(log_times: np.ndarray) -> np.ndarray:
+        return np.exp2(np.asarray(log_times, dtype=np.float64))
+
+
+def one_hot(labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """``(n, n_classes)`` one-hot float64 encoding."""
+    y = np.asarray(labels, dtype=np.int64).ravel()
+    out = np.zeros((y.shape[0], n_classes), dtype=np.float64)
+    out[np.arange(y.shape[0]), y] = 1.0
+    return out

@@ -1,0 +1,194 @@
+"""Gradient-aware regression trees (the GBDT building block).
+
+Implements XGBoost-style exact greedy splitting [5]: each node stores the
+Newton leaf weight ``-G / (H + lambda)`` and splits on the feature
+threshold maximising the regularized gain
+
+    0.5 * (GL^2/(HL+l) + GR^2/(HR+l) - G^2/(H+l)) - gamma.
+
+Split search is vectorized per feature via argsort + cumulative sums, which
+is the appropriate NumPy idiom at this dataset size (no histogram binning
+needed for a few thousand rows and ~30 features).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ModelError, NotFittedError
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves have ``feature == -1``."""
+
+    feature: int
+    threshold: float
+    left: int
+    right: int
+    value: float
+
+
+class RegressionTree:
+    """A single gradient/hessian-fitted regression tree.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum node depth (root is depth 0).
+    min_child_weight:
+        Minimum sum of hessians per child (XGBoost's pruning guard).
+    reg_lambda:
+        L2 regularization on leaf weights.
+    gamma:
+        Minimum gain to accept a split.
+    min_samples_split:
+        Minimum rows required to attempt a split.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 4,
+        min_child_weight: float = 1.0,
+        reg_lambda: float = 1.0,
+        gamma: float = 0.0,
+        min_samples_split: int = 2,
+    ):
+        self.max_depth = int(max_depth)
+        self.min_child_weight = float(min_child_weight)
+        self.reg_lambda = float(reg_lambda)
+        self.gamma = float(gamma)
+        self.min_samples_split = int(min_samples_split)
+        self._nodes: list[_Node] = []
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, grad: np.ndarray, hess: np.ndarray) -> "RegressionTree":
+        """Grow the tree on gradients/hessians of the boosting objective."""
+        X = np.asarray(X, dtype=np.float64)
+        g = np.asarray(grad, dtype=np.float64).ravel()
+        h = np.asarray(hess, dtype=np.float64).ravel()
+        if X.ndim != 2 or X.shape[0] != g.shape[0] or g.shape != h.shape:
+            raise ModelError(
+                f"inconsistent shapes: X{X.shape}, grad{g.shape}, hess{h.shape}"
+            )
+        self._nodes = []
+        self._grow(X, g, h, np.arange(X.shape[0]), depth=0)
+        return self
+
+    def _leaf_value(self, g_sum: float, h_sum: float) -> float:
+        return -g_sum / (h_sum + self.reg_lambda)
+
+    def _grow(
+        self, X: np.ndarray, g: np.ndarray, h: np.ndarray, idx: np.ndarray, depth: int
+    ) -> int:
+        node_id = len(self._nodes)
+        g_sum = float(g[idx].sum())
+        h_sum = float(h[idx].sum())
+        # Reserve the slot; children fill in after recursion.
+        self._nodes.append(_Node(-1, 0.0, -1, -1, self._leaf_value(g_sum, h_sum)))
+
+        if depth >= self.max_depth or idx.size < self.min_samples_split:
+            return node_id
+        split = self._best_split(X, g, h, idx, g_sum, h_sum)
+        if split is None:
+            return node_id
+        feature, threshold = split
+        mask = X[idx, feature] <= threshold
+        left_idx, right_idx = idx[mask], idx[~mask]
+        left = self._grow(X, g, h, left_idx, depth + 1)
+        right = self._grow(X, g, h, right_idx, depth + 1)
+        node = self._nodes[node_id]
+        node.feature = feature
+        node.threshold = threshold
+        node.left = left
+        node.right = right
+        return node_id
+
+    def _best_split(
+        self,
+        X: np.ndarray,
+        g: np.ndarray,
+        h: np.ndarray,
+        idx: np.ndarray,
+        g_sum: float,
+        h_sum: float,
+    ) -> tuple[int, float] | None:
+        lam = self.reg_lambda
+        parent_score = g_sum * g_sum / (h_sum + lam)
+        best_gain = self.gamma
+        best: tuple[int, float] | None = None
+        for f in range(X.shape[1]):
+            x = X[idx, f]
+            order = np.argsort(x, kind="stable")
+            xs = x[order]
+            gs = np.cumsum(g[idx][order])
+            hs = np.cumsum(h[idx][order])
+            # Candidate cut after position i requires xs[i] != xs[i+1].
+            distinct = np.flatnonzero(xs[:-1] != xs[1:])
+            if distinct.size == 0:
+                continue
+            gl, hl = gs[distinct], hs[distinct]
+            gr, hr = g_sum - gl, h_sum - hl
+            valid = (hl >= self.min_child_weight) & (hr >= self.min_child_weight)
+            if not valid.any():
+                continue
+            gain = 0.5 * (
+                gl * gl / (hl + lam) + gr * gr / (hr + lam) - parent_score
+            )
+            gain[~valid] = -np.inf
+            k = int(np.argmax(gain))
+            if gain[k] > best_gain:
+                best_gain = float(gain[k])
+                cut = distinct[k]
+                best = (f, float(0.5 * (xs[cut] + xs[cut + 1])))
+        return best
+
+    # ------------------------------------------------------------------
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Leaf weights for each row of *X*."""
+        if not self._nodes:
+            raise NotFittedError("RegressionTree.predict before fit")
+        X = np.asarray(X, dtype=np.float64)
+        out = np.empty(X.shape[0], dtype=np.float64)
+        # Vectorized level traversal: route index sets through the tree.
+        stack: list[tuple[int, np.ndarray]] = [(0, np.arange(X.shape[0]))]
+        while stack:
+            node_id, rows = stack.pop()
+            if rows.size == 0:
+                continue
+            node = self._nodes[node_id]
+            if node.feature < 0:
+                out[rows] = node.value
+                continue
+            mask = X[rows, node.feature] <= node.threshold
+            stack.append((node.left, rows[mask]))
+            stack.append((node.right, rows[~mask]))
+        return out
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def depth(self) -> int:
+        """Actual depth of the grown tree."""
+        if not self._nodes:
+            return 0
+
+        def d(node_id: int) -> int:
+            node = self._nodes[node_id]
+            if node.feature < 0:
+                return 0
+            return 1 + max(d(node.left), d(node.right))
+
+        return d(0)
+
+    def feature_importance(self, n_feats: int) -> np.ndarray:
+        """Split counts per feature (simple frequency importance)."""
+        out = np.zeros(n_feats)
+        for node in self._nodes:
+            if node.feature >= 0:
+                out[node.feature] += 1
+        return out

@@ -1,0 +1,53 @@
+"""Stencil optimizations, combinations and kernel characterization."""
+
+from .combos import ALL_OCS, NAIVE, OC, OC_BY_NAME, enumerate_ocs
+from .kernelmodel import (
+    TIME_STEPS,
+    KernelProfile,
+    build_profile,
+    default_grid,
+    reuse_window_bytes,
+)
+from .params import (
+    N_PARAM_FEATURES,
+    PARAM_NAMES,
+    PARAM_SPECS,
+    ParamKind,
+    ParamSetting,
+    ParamSpec,
+    default_setting,
+    param_space_size,
+    relevant_params,
+    sample_setting,
+    sample_settings,
+)
+from .passes import MUTUALLY_EXCLUSIVE, REQUIRES_ST, TABLE_I, Opt, constraint_violations
+
+__all__ = [
+    "ALL_OCS",
+    "MUTUALLY_EXCLUSIVE",
+    "NAIVE",
+    "N_PARAM_FEATURES",
+    "OC",
+    "OC_BY_NAME",
+    "Opt",
+    "PARAM_NAMES",
+    "PARAM_SPECS",
+    "ParamKind",
+    "ParamSetting",
+    "ParamSpec",
+    "REQUIRES_ST",
+    "TABLE_I",
+    "TIME_STEPS",
+    "KernelProfile",
+    "build_profile",
+    "constraint_violations",
+    "default_grid",
+    "default_setting",
+    "enumerate_ocs",
+    "param_space_size",
+    "relevant_params",
+    "reuse_window_bytes",
+    "sample_setting",
+    "sample_settings",
+]

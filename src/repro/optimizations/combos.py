@@ -1,0 +1,99 @@
+"""Optimization combinations (OCs) under the Table I constraints.
+
+An :class:`OC` is an immutable set of enabled optimizations with a
+canonical name (``"naive"`` for the empty set, otherwise abbreviations
+joined by underscores in Table I order, e.g. ``"ST_BM_RT_PR"``).
+Enumerating all constraint-satisfying subsets of the six optimizations
+yields 30 OCs; that full space is what the motivation study (Figures 1-3)
+sweeps.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from functools import cached_property
+
+from ..errors import ConstraintViolation
+from .passes import Opt, constraint_violations
+
+#: Canonical ordering of abbreviations inside an OC name.
+_CANONICAL = (Opt.ST, Opt.BM, Opt.CM, Opt.RT, Opt.PR, Opt.TB)
+
+
+@dataclass(frozen=True)
+class OC:
+    """A validated optimization combination."""
+
+    opts: frozenset[Opt]
+
+    def __post_init__(self) -> None:
+        problems = constraint_violations(self.opts)
+        if problems:
+            raise ConstraintViolation("; ".join(problems))
+
+    @classmethod
+    def of(cls, *opts: "Opt | str") -> "OC":
+        """Build an OC from optimization values or abbreviations.
+
+        ``OC.of("ST", "RT")`` and ``OC.of(Opt.ST, Opt.RT)`` are equivalent;
+        ``OC.of()`` is the naive (unoptimized) combination.
+        """
+        return cls(frozenset(Opt(o) for o in opts))
+
+    @classmethod
+    def parse(cls, name: str) -> "OC":
+        """Parse a canonical OC name (``"naive"`` or ``"ST_PR"``)."""
+        if name == "naive":
+            return cls(frozenset())
+        return cls.of(*name.split("_"))
+
+    @cached_property
+    def name(self) -> str:
+        if not self.opts:
+            return "naive"
+        return "_".join(o.value for o in _CANONICAL if o in self.opts)
+
+    def __contains__(self, opt: "Opt | str") -> bool:
+        return Opt(opt) in self.opts
+
+    def __len__(self) -> int:
+        return len(self.opts)
+
+    def __lt__(self, other: "OC") -> bool:
+        return self.sort_key < other.sort_key
+
+    @cached_property
+    def sort_key(self) -> tuple:
+        """Deterministic ordering: by size then canonical position."""
+        positions = tuple(i for i, o in enumerate(_CANONICAL) if o in self.opts)
+        return (len(self.opts), positions)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OC({self.name})"
+
+
+#: The naive (no optimization) combination.
+NAIVE = OC(frozenset())
+
+
+def enumerate_ocs() -> list[OC]:
+    """All optimization combinations satisfying the Table I constraints.
+
+    Returns the 30 valid subsets of the six optimizations in deterministic
+    (size-major) order, starting with ``naive``.
+    """
+    out: list[OC] = []
+    for r in range(len(_CANONICAL) + 1):
+        for subset in itertools.combinations(_CANONICAL, r):
+            opts = frozenset(subset)
+            if not constraint_violations(opts):
+                out.append(OC(opts))
+    return sorted(out)
+
+
+#: Cached full OC list (30 entries).
+ALL_OCS: tuple[OC, ...] = tuple(enumerate_ocs())
+
+#: Name -> OC lookup for the full space.
+OC_BY_NAME: dict[str, OC] = {oc.name: oc for oc in ALL_OCS}

@@ -1,0 +1,218 @@
+"""Parameter spaces for optimization combinations (Section IV-E).
+
+The parameter space of an OC mixes three kinds (the paper's taxonomy):
+
+- **numeric** parameters restricted to powers of two (block dimensions,
+  merging factor, streaming unroll/tile counts, temporal fuse degree);
+- **Boolean** parameters (shared-memory usage);
+- **enumeration** parameters numbered from 1 with unit stride (merging
+  dimension, streaming dimension -- dimension 1 is the innermost /
+  contiguous axis).
+
+Every OC shares one *global* parameter vector layout so settings can feed a
+fixed-width regression input: parameters irrelevant to an OC take a neutral
+default.  When encoded as model features, numeric parameters are
+``log2``-transformed for training stability (Section IV-E).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from types import MappingProxyType
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from ..errors import OptimizationError
+from .combos import OC
+from .passes import Opt
+
+
+class ParamKind(str, Enum):
+    """The three parameter types of Section IV-E."""
+
+    POW2 = "pow2"
+    BOOL = "bool"
+    ENUM = "enum"
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One tunable parameter: its kind, legal choices and neutral default."""
+
+    name: str
+    kind: ParamKind
+    choices: tuple[int, ...]
+    default: int
+
+    def __post_init__(self) -> None:
+        if self.kind is ParamKind.POW2:
+            bad = [c for c in self.choices if c < 1 or c & (c - 1)]
+            if bad:
+                raise OptimizationError(f"{self.name}: non-power-of-two choices {bad}")
+        if self.kind is ParamKind.BOOL and set(self.choices) - {0, 1}:
+            raise OptimizationError(f"{self.name}: boolean choices must be 0/1")
+
+    def encode(self, value: int) -> float:
+        """Feature encoding: log2 for numeric, identity for bool/enum."""
+        if self.kind is ParamKind.POW2:
+            return math.log2(value) if value > 0 else -1.0
+        return float(value)
+
+
+#: Global parameter layout, shared by every OC (order is the feature order).
+PARAM_SPECS: tuple[ParamSpec, ...] = (
+    ParamSpec("block_x", ParamKind.POW2, (16, 32, 64, 128, 256), 32),
+    ParamSpec("block_y", ParamKind.POW2, (1, 2, 4, 8, 16), 4),
+    ParamSpec("block_z", ParamKind.POW2, (1, 2, 4, 8), 1),
+    ParamSpec("merge_factor", ParamKind.POW2, (2, 4, 8), 1),
+    ParamSpec("merge_dim", ParamKind.ENUM, (1, 2, 3), 0),
+    ParamSpec("use_smem", ParamKind.BOOL, (0, 1), 0),
+    ParamSpec("stream_dim", ParamKind.ENUM, (1, 2, 3), 0),
+    ParamSpec("stream_unroll", ParamKind.POW2, (1, 2, 4), 1),
+    ParamSpec("stream_tiles", ParamKind.POW2, (1, 2, 4, 8), 1),
+    ParamSpec("temporal_steps", ParamKind.POW2, (2, 4), 1),
+)
+
+PARAM_NAMES: tuple[str, ...] = tuple(s.name for s in PARAM_SPECS)
+_SPEC_BY_NAME: dict[str, ParamSpec] = {s.name: s for s in PARAM_SPECS}
+
+#: Number of entries in the encoded parameter feature vector.
+N_PARAM_FEATURES = len(PARAM_SPECS)
+
+
+class ParamSetting(Mapping[str, int]):
+    """An immutable, validated assignment of the global parameter vector.
+
+    Unspecified parameters take their neutral default; values must come
+    from each parameter's choice list (or be the default).
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, **values: int):
+        assigned: dict[str, int] = {}
+        for name, value in values.items():
+            spec = _SPEC_BY_NAME.get(name)
+            if spec is None:
+                raise OptimizationError(f"unknown parameter {name!r}")
+            v = int(value)
+            if v != spec.default and v not in spec.choices:
+                raise OptimizationError(
+                    f"{name}={v} not in choices {spec.choices} "
+                    f"(default {spec.default})"
+                )
+            assigned[name] = v
+        full = {s.name: assigned.get(s.name, s.default) for s in PARAM_SPECS}
+        object.__setattr__(self, "_values", MappingProxyType(full))
+
+    def __getitem__(self, key: str) -> int:
+        return self._values[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __hash__(self) -> int:
+        return hash(self.as_tuple())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ParamSetting) and self.as_tuple() == other.as_tuple()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        non_default = {
+            k: v for k, v in self._values.items() if v != _SPEC_BY_NAME[k].default
+        }
+        return f"ParamSetting({non_default})"
+
+    def as_tuple(self) -> tuple[int, ...]:
+        """Values in global layout order (hashable identity)."""
+        return tuple(self._values[n] for n in PARAM_NAMES)
+
+    def replace(self, **changes: int) -> "ParamSetting":
+        """A copy with some parameters changed."""
+        merged = dict(self._values)
+        merged.update(changes)
+        return ParamSetting(**merged)
+
+    def encode(self) -> np.ndarray:
+        """Fixed-width feature vector (log2 numeric, raw bool/enum)."""
+        return np.array(
+            [s.encode(self._values[s.name]) for s in PARAM_SPECS],
+            dtype=np.float64,
+        )
+
+
+def relevant_params(oc: OC, ndim: int) -> tuple[str, ...]:
+    """Names of parameters that actually influence *oc* on a *ndim*-D grid.
+
+    The remaining parameters are pinned to their defaults by the sampler so
+    random search does not waste budget on dead dimensions.
+    """
+    names: list[str] = ["block_x", "use_smem"]
+    if ndim == 3 or Opt.ST not in oc.opts:
+        names.append("block_y")
+    if ndim == 3 and Opt.ST not in oc.opts:
+        names.append("block_z")
+    if Opt.BM in oc.opts or Opt.CM in oc.opts:
+        names += ["merge_factor", "merge_dim"]
+    if Opt.ST in oc.opts:
+        names += ["stream_dim", "stream_unroll", "stream_tiles"]
+    if Opt.TB in oc.opts:
+        names.append("temporal_steps")
+    order = {n: i for i, n in enumerate(PARAM_NAMES)}
+    return tuple(sorted(set(names), key=order.__getitem__))
+
+
+def _choices_for(name: str, ndim: int) -> tuple[int, ...]:
+    spec = _SPEC_BY_NAME[name]
+    if spec.kind is ParamKind.ENUM and name in ("merge_dim", "stream_dim"):
+        return tuple(c for c in spec.choices if c <= ndim)
+    return spec.choices
+
+
+def sample_setting(oc: OC, ndim: int, rng: np.random.Generator) -> ParamSetting:
+    """Draw one random parameter setting for *oc* (uniform per parameter).
+
+    Mirrors the paper's random search: only OC-relevant parameters vary.
+    """
+    values: dict[str, int] = {}
+    for name in relevant_params(oc, ndim):
+        choices = _choices_for(name, ndim)
+        values[name] = int(choices[rng.integers(len(choices))])
+    return ParamSetting(**values)
+
+
+def sample_settings(
+    oc: OC, ndim: int, count: int, rng: np.random.Generator
+) -> list[ParamSetting]:
+    """Draw *count* distinct settings (deduplicated, bounded retries)."""
+    out: list[ParamSetting] = []
+    seen: set[tuple[int, ...]] = set()
+    attempts = 0
+    while len(out) < count and attempts < count * 40:
+        attempts += 1
+        s = sample_setting(oc, ndim, rng)
+        key = s.as_tuple()
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(s)
+    return out
+
+
+def param_space_size(oc: OC, ndim: int) -> int:
+    """Cardinality of the OC's relevant parameter space."""
+    size = 1
+    for name in relevant_params(oc, ndim):
+        size *= len(_choices_for(name, ndim))
+    return size
+
+
+def default_setting() -> ParamSetting:
+    """The all-defaults setting (naive kernel launch configuration)."""
+    return ParamSetting()

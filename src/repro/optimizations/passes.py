@@ -1,0 +1,75 @@
+"""The six stencil optimizations and their Table I constraints.
+
+=====  ==================  ============================================
+No.    Optimization        Constraint
+=====  ==================  ============================================
+1      Streaming (ST)      --
+2      Block Merging (BM)  not valid when CM enabled
+3      Cyclic Merging (CM) not valid when BM enabled
+4      Retiming (RT)       only valid when ST enabled
+5      Prefetching (PR)    only valid when ST enabled
+6      Temporal Blocking   --
+       (TB)
+=====  ==================  ============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Opt(str, Enum):
+    """Optimization abbreviations from Table I."""
+
+    ST = "ST"  # streaming (2.5-D spatial blocking, concurrent streaming)
+    BM = "BM"  # block merging: adjacent output points per thread
+    CM = "CM"  # cyclic merging: strided output points per thread
+    RT = "RT"  # retiming: decompose into accumulating sub-computations
+    PR = "PR"  # prefetching: overlap next-plane loads with compute
+    TB = "TB"  # temporal blocking: fuse time steps
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class OptInfo:
+    """Descriptive metadata for one optimization (Table I row)."""
+
+    number: int
+    opt: Opt
+    full_name: str
+    constraint: str
+
+
+TABLE_I: tuple[OptInfo, ...] = (
+    OptInfo(1, Opt.ST, "Streaming", "-"),
+    OptInfo(2, Opt.BM, "Block Merging", "Not valid when CM enabled."),
+    OptInfo(3, Opt.CM, "Cyclic Merging", "Not valid when BM enabled."),
+    OptInfo(4, Opt.RT, "Retiming", "Only valid when ST enabled."),
+    OptInfo(5, Opt.PR, "Prefetching", "Only valid when ST enabled."),
+    OptInfo(6, Opt.TB, "Temporal Blocking", "-"),
+)
+
+#: Optimizations that require streaming to be enabled.
+REQUIRES_ST = frozenset({Opt.RT, Opt.PR})
+
+#: Mutually exclusive optimization pairs.
+MUTUALLY_EXCLUSIVE: tuple[frozenset[Opt], ...] = (frozenset({Opt.BM, Opt.CM}),)
+
+
+def constraint_violations(opts: frozenset[Opt]) -> list[str]:
+    """Return human-readable Table I violations for a set of optimizations.
+
+    An empty list means the combination is valid.
+    """
+    problems: list[str] = []
+    for pair in MUTUALLY_EXCLUSIVE:
+        if pair <= opts:
+            a, b = sorted(p.value for p in pair)
+            problems.append(f"{a} and {b} are mutually exclusive")
+    for opt in sorted(opts & REQUIRES_ST, key=lambda o: o.value):
+        if Opt.ST not in opts:
+            problems.append(f"{opt.value} requires ST")
+    return problems

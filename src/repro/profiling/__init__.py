@@ -1,0 +1,48 @@
+"""Profiling campaigns, random search, PCC merging and dataset assembly."""
+
+from .crossval import kfold_indices, stratified_kfold_indices
+from .dataset import (
+    ClassificationDataset,
+    RegressionDataset,
+    build_classification_dataset,
+    build_regression_dataset,
+    oc_flags,
+    regression_feature_size,
+)
+from .merge import (
+    OCGrouping,
+    merge_ocs,
+    oc_time_matrix,
+    pairwise_pcc,
+    pcc_intersection,
+    top_pairs,
+)
+from .profiler import ProfileCampaign, run_campaign
+from .records import Measurement, OCResult, StencilProfile
+from .search import RandomSearch
+from .storage import load_campaign, save_campaign
+
+__all__ = [
+    "ClassificationDataset",
+    "Measurement",
+    "OCGrouping",
+    "OCResult",
+    "ProfileCampaign",
+    "RandomSearch",
+    "RegressionDataset",
+    "StencilProfile",
+    "build_classification_dataset",
+    "build_regression_dataset",
+    "kfold_indices",
+    "load_campaign",
+    "merge_ocs",
+    "oc_flags",
+    "oc_time_matrix",
+    "pairwise_pcc",
+    "pcc_intersection",
+    "run_campaign",
+    "save_campaign",
+    "regression_feature_size",
+    "stratified_kfold_indices",
+    "top_pairs",
+]

@@ -1,0 +1,65 @@
+"""K-fold cross-validation utilities (Section V-A3).
+
+The paper evaluates every model with 5-fold cross validation: the dataset
+is shuffled into five folds; each fold serves once as the test set with the
+other four as training data.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import DatasetError
+
+
+def kfold_indices(
+    n: int, n_folds: int, seed: int
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(train_idx, test_idx)`` pairs for shuffled k-fold CV.
+
+    Fold sizes differ by at most one element; every index appears in
+    exactly one test fold.
+    """
+    if n_folds < 2:
+        raise DatasetError(f"n_folds must be >= 2, got {n_folds}")
+    if n < n_folds:
+        raise DatasetError(f"cannot split {n} samples into {n_folds} folds")
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n)
+    folds = np.array_split(perm, n_folds)
+    for k in range(n_folds):
+        test = np.sort(folds[k])
+        train = np.sort(np.concatenate([folds[i] for i in range(n_folds) if i != k]))
+        yield train, test
+
+
+def stratified_kfold_indices(
+    labels: np.ndarray, n_folds: int, seed: int
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """K-fold CV preserving class proportions per fold.
+
+    Used for OC-selection evaluation so that rare best-OC classes appear
+    in every training split.
+    """
+    labels = np.asarray(labels)
+    n = labels.shape[0]
+    if n_folds < 2:
+        raise DatasetError(f"n_folds must be >= 2, got {n_folds}")
+    rng = np.random.default_rng(seed)
+    fold_of = np.empty(n, dtype=np.int64)
+    for cls in np.unique(labels):
+        idx = np.flatnonzero(labels == cls)
+        idx = rng.permutation(idx)
+        # Rotate the starting fold per class so small classes do not all
+        # land in fold 0.
+        start = int(rng.integers(n_folds))
+        for pos, i in enumerate(idx):
+            fold_of[i] = (start + pos) % n_folds
+    for k in range(n_folds):
+        test = np.flatnonzero(fold_of == k)
+        train = np.flatnonzero(fold_of != k)
+        if test.size == 0:
+            raise DatasetError(f"fold {k} is empty; too few samples")
+        yield train, test

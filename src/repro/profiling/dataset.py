@@ -1,0 +1,169 @@
+"""Dataset assembly for the classification and regression tasks.
+
+Two tasks, two datasets (Section IV-A):
+
+- **OC selection** (classification): one sample per stencil per GPU; the
+  input is the Table II feature vector (GBDT / FcNet) or the assigned
+  binary tensor (ConvNet); the label is the PCC-merged class of the
+  stencil's best OC on that GPU.
+- **Performance prediction** (regression): one sample per raw measurement;
+  the input concatenates the stencil representation, the encoded parameter
+  setting (log2 numerics) and the GPU hardware features; the target is the
+  measured execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import MAX_ORDER
+from ..errors import DatasetError
+from ..gpu.specs import hardware_features
+from ..optimizations.combos import OC_BY_NAME
+from ..optimizations.params import N_PARAM_FEATURES
+from ..stencil.features import batch_features, n_features
+from ..stencil.tensorize import batch_tensors
+from .merge import OCGrouping
+from .profiler import ProfileCampaign
+
+#: Number of hardware features attached to regression inputs.
+N_HW_FEATURES = 4
+
+#: One-hot style OC identity is encoded as six optimization flags.
+N_OC_FEATURES = 6
+_OC_FLAG_ORDER = ("ST", "BM", "CM", "RT", "PR", "TB")
+
+
+def oc_flags(oc_name: str) -> np.ndarray:
+    """Encode an OC as six 0/1 optimization flags (model input)."""
+    oc = OC_BY_NAME[oc_name]
+    return np.array(
+        [1.0 if flag in {o.value for o in oc.opts} else 0.0 for flag in _OC_FLAG_ORDER]
+    )
+
+
+@dataclass
+class ClassificationDataset:
+    """Per-GPU OC-selection dataset.
+
+    ``features``: ``(n, n_features)`` Table II vectors;
+    ``tensors``: ``(n, (2R+1)^d)`` assigned tensors;
+    ``labels``: merged-class indices;
+    ``best_ocs``: the underlying raw best OC names (reports).
+    """
+
+    gpu: str
+    features: np.ndarray
+    tensors: np.ndarray
+    labels: np.ndarray
+    best_ocs: list[str]
+    grouping: OCGrouping
+
+    @property
+    def n_samples(self) -> int:
+        return self.features.shape[0]
+
+    @property
+    def n_classes(self) -> int:
+        return self.grouping.n_classes
+
+
+def build_classification_dataset(
+    campaign: ProfileCampaign,
+    grouping: OCGrouping,
+    gpu: str,
+    max_order: int = MAX_ORDER,
+) -> ClassificationDataset:
+    """Assemble the OC-selection dataset for one GPU."""
+    stencils = campaign.stencils
+    best = campaign.best_oc_labels(gpu)
+    labels = np.array([grouping.label(b) for b in best], dtype=np.int64)
+    return ClassificationDataset(
+        gpu=gpu,
+        features=batch_features(stencils, max_order),
+        tensors=batch_tensors(stencils, max_order),
+        labels=labels,
+        best_ocs=best,
+        grouping=grouping,
+    )
+
+
+@dataclass
+class RegressionDataset:
+    """Cross-architecture performance-prediction dataset.
+
+    ``features``: ``(n, F)`` flat inputs -- stencil features, OC flags,
+    encoded parameter setting, hardware features;
+    ``tensors``: ``(n, (2R+1)^d)`` stencil tensors (ConvMLP branch);
+    ``aux``: ``(n, F - n_stencil_features)`` the non-stencil part alone
+    (the MLP branch of ConvMLP);
+    ``times_ms``: measured execution times;
+    ``stencil_ids`` / ``gpus``: provenance for grouped splits.
+    """
+
+    features: np.ndarray
+    tensors: np.ndarray
+    aux: np.ndarray
+    times_ms: np.ndarray
+    stencil_ids: np.ndarray
+    gpus: list[str]
+
+    @property
+    def n_samples(self) -> int:
+        return self.features.shape[0]
+
+
+def regression_feature_size(max_order: int = MAX_ORDER) -> int:
+    """Width of the flat regression input vector."""
+    return n_features(max_order) + N_OC_FEATURES + N_PARAM_FEATURES + N_HW_FEATURES
+
+
+def build_regression_dataset(
+    campaign: ProfileCampaign,
+    gpus: "tuple[str, ...] | list[str] | None" = None,
+    max_order: int = MAX_ORDER,
+) -> RegressionDataset:
+    """Assemble the regression dataset from raw measurements.
+
+    Parameters
+    ----------
+    campaign:
+        The profiling campaign to draw measurements from.
+    gpus:
+        GPUs to include (default: all in the campaign).  Cross-architecture
+        experiments train on some GPUs' rows and test on others' by
+        filtering on ``dataset.gpus``.
+    """
+    use_gpus = tuple(gpus) if gpus is not None else campaign.gpus
+    stencils = campaign.stencils
+    sten_feats = batch_features(stencils, max_order)
+    sten_tensors = batch_tensors(stencils, max_order)
+    hw = {g: np.array(hardware_features(g)) for g in use_gpus}
+
+    rows: list[np.ndarray] = []
+    aux_rows: list[np.ndarray] = []
+    tensor_rows: list[np.ndarray] = []
+    times: list[float] = []
+    ids: list[int] = []
+    provenance: list[str] = []
+    for gpu in use_gpus:
+        for m in campaign.measurements(gpu):
+            aux = np.concatenate([oc_flags(m.oc), m.setting.encode(), hw[gpu]])
+            rows.append(np.concatenate([sten_feats[m.stencil_id], aux]))
+            aux_rows.append(aux)
+            tensor_rows.append(sten_tensors[m.stencil_id])
+            times.append(m.time_ms)
+            ids.append(m.stencil_id)
+            provenance.append(gpu)
+    if not rows:
+        raise DatasetError("campaign contains no measurements")
+    return RegressionDataset(
+        features=np.stack(rows),
+        tensors=np.stack(tensor_rows),
+        aux=np.stack(aux_rows),
+        times_ms=np.array(times),
+        stencil_ids=np.array(ids, dtype=np.int64),
+        gpus=provenance,
+    )

@@ -1,0 +1,214 @@
+"""PCC-based OC merging (Sections III-C and IV-D).
+
+Pairs of OCs whose best-setting times correlate strongly across stencils
+behave interchangeably, so predicting between them is noise.  StencilMART
+computes the Pearson correlation coefficient (PCC) of every OC pair per
+GPU, keeps the pairs that rank in the top-K on *every* GPU (the paper finds
+this intersection is ~28% of the top-100), and merges those pairs with
+union-find until the requested number of classes remains.  Each class is
+represented by the member OC that wins the most stencils (Fig. 2), and that
+representative is what the classifier learns to predict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import N_MERGED_CLASSES
+from ..errors import DatasetError
+from .profiler import ProfileCampaign
+
+
+def oc_time_matrix(
+    campaign: ProfileCampaign, gpu: str
+) -> tuple[list[str], np.ndarray]:
+    """Best-time matrix ``(n_ocs, n_stencils)`` in log2 milliseconds.
+
+    Entries are NaN where the OC crashed for that stencil.  Times are
+    log-transformed so the PCC measures proportional co-variation rather
+    than being dominated by the slowest stencils.
+    """
+    names = [oc.name for oc in campaign.ocs]
+    n_ocs, n_st = len(names), len(campaign.stencils)
+    m = np.full((n_ocs, n_st), np.nan)
+    for j, profile in enumerate(campaign.profiles[gpu]):
+        for i, name in enumerate(names):
+            r = profile.oc_results.get(name)
+            if r is not None:
+                m[i, j] = np.log2(r.best_time_ms)
+    return names, m
+
+
+def pairwise_pcc(matrix: np.ndarray, min_common: int = 4) -> np.ndarray:
+    """Pairwise PCC between matrix rows over their common valid columns.
+
+    Returns a symmetric ``(n, n)`` array with NaN on the diagonal and for
+    pairs with fewer than *min_common* jointly valid stencils.
+    """
+    n = matrix.shape[0]
+    out = np.full((n, n), np.nan)
+    for i in range(n):
+        for j in range(i + 1, n):
+            mask = ~np.isnan(matrix[i]) & ~np.isnan(matrix[j])
+            if mask.sum() < min_common:
+                continue
+            a, b = matrix[i, mask], matrix[j, mask]
+            sa, sb = a.std(), b.std()
+            if sa == 0 or sb == 0:
+                pcc = 1.0 if np.allclose(a - a.mean(), b - b.mean()) else 0.0
+            else:
+                pcc = float(np.corrcoef(a, b)[0, 1])
+            out[i, j] = out[j, i] = pcc
+    return out
+
+
+def top_pairs(pcc: np.ndarray, k: int) -> list[tuple[int, int, float]]:
+    """The *k* OC pairs with the largest |PCC|, strongest first."""
+    n = pcc.shape[0]
+    pairs = [
+        (i, j, float(pcc[i, j]))
+        for i in range(n)
+        for j in range(i + 1, n)
+        if not np.isnan(pcc[i, j])
+    ]
+    pairs.sort(key=lambda p: (-abs(p[2]), p[0], p[1]))
+    return pairs[:k]
+
+
+def pcc_intersection(
+    per_gpu_pairs: dict[str, list[tuple[int, int, float]]],
+) -> set[tuple[int, int]]:
+    """Pairs present in the top-K list of every GPU (Fig. 3's 28%)."""
+    sets = [
+        {(i, j) for i, j, _ in pairs} for pairs in per_gpu_pairs.values()
+    ]
+    common = set.intersection(*sets) if sets else set()
+    return common
+
+
+@dataclass
+class OCGrouping:
+    """The result of PCC-based OC merging.
+
+    ``class_of[oc_name]`` maps every OC to its class index in
+    ``[0, n_classes)``; ``representatives[c]`` is the OC the classifier
+    predicts for class ``c``; ``groups[c]`` lists all member OC names.
+    """
+
+    groups: list[list[str]]
+    representatives: list[str]
+    class_of: dict[str, int]
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.groups)
+
+    def label(self, oc_name: str) -> int:
+        """Class index of an OC name."""
+        try:
+            return self.class_of[oc_name]
+        except KeyError:
+            raise DatasetError(f"OC {oc_name!r} not in grouping") from None
+
+
+def oc_win_counts(campaign: ProfileCampaign) -> dict[str, int]:
+    """How many (stencil, GPU) cases each OC wins (Fig. 2's bar heights)."""
+    wins = {oc.name: 0 for oc in campaign.ocs}
+    for gpu in campaign.gpus:
+        for p in campaign.profiles[gpu]:
+            if p.oc_results:
+                wins[p.best_oc] += 1
+    return wins
+
+
+def merge_ocs(
+    campaign: ProfileCampaign,
+    n_classes: int = N_MERGED_CLASSES,
+    top_k: int = 100,
+    diversity: float = 0.75,
+) -> OCGrouping:
+    """Merge the campaign's OCs down to *n_classes* prediction targets.
+
+    Following Section IV-D, each final class is anchored by one of the
+    ``n_classes`` OCs that "obtain the best performance under more cases"
+    (Fig. 2); every remaining OC joins the anchor it correlates with most
+    strongly (mean |PCC| across GPUs, restricted to pairs that appear in
+    the cross-GPU top-K intersection first).  Anchoring -- rather than raw
+    union-find over top pairs -- keeps every class populated: transitive
+    chaining would otherwise collapse the strongly-correlated OC space
+    into one giant group and starve the classifier of labels ("each class
+    must contain sufficient data objects").
+
+    ``diversity`` rejects an anchor candidate whose mean |PCC| with an
+    already-chosen anchor exceeds the threshold, so the classes represent
+    genuinely different optimization mechanisms rather than five flavors
+    of the same streaming pipeline ("the StencilMART avoids jumping among
+    OCs with similar performance, which ... interferes with prediction
+    results").  When too few candidates pass, the threshold is relaxed.
+    """
+    names = [oc.name for oc in campaign.ocs]
+    n = len(names)
+    if n_classes < 1 or n_classes > n:
+        raise DatasetError(f"n_classes={n_classes} out of range for {n} OCs")
+
+    per_gpu_pcc: dict[str, np.ndarray] = {}
+    per_gpu_top: dict[str, list[tuple[int, int, float]]] = {}
+    for gpu in campaign.gpus:
+        _, m = oc_time_matrix(campaign, gpu)
+        # Center each stencil's column so the PCC measures how OC pairs
+        # deviate from the stencil's average, not the shared stencil-size
+        # driver (which would make every pair look correlated).
+        centered = m - np.nanmean(m, axis=0, keepdims=True)
+        pcc = pairwise_pcc(centered)
+        per_gpu_pcc[gpu] = pcc
+        per_gpu_top[gpu] = top_pairs(pcc, top_k)
+
+    stacked = np.stack(list(per_gpu_pcc.values()))
+    counts = (~np.isnan(stacked)).sum(axis=0)
+    sums = np.nansum(stacked, axis=0)
+    # All-NaN positions (the diagonal, never-computed pairs) stay NaN
+    # without tripping nanmean's empty-slice warning.
+    mean_pcc = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+    common = pcc_intersection(per_gpu_top)
+
+    wins = oc_win_counts(campaign)
+    # Anchors: the most-winning OCs, deterministically tie-broken by name,
+    # filtered so no two anchors correlate above the diversity threshold.
+    ranked = sorted(range(n), key=lambda i: (-wins[names[i]], names[i]))
+    anchors: list[int] = []
+    threshold = diversity
+    while len(anchors) < n_classes:
+        for i in ranked:
+            if len(anchors) >= n_classes:
+                break
+            if i in anchors:
+                continue
+            correlated = any(
+                not np.isnan(mean_pcc[i, a]) and abs(mean_pcc[i, a]) > threshold
+                for a in anchors
+            )
+            if not correlated:
+                anchors.append(i)
+        threshold = min(1.01, threshold + 0.1)  # relax until filled
+
+    def affinity(i: int, anchor: int) -> tuple[float, float]:
+        """(intersection preference, |PCC|) of OC *i* toward *anchor*."""
+        v = mean_pcc[i, anchor]
+        strength = abs(v) if not np.isnan(v) else -1.0
+        pair = (min(i, anchor), max(i, anchor))
+        return (1.0 if pair in common else 0.0, strength)
+
+    members: dict[int, list[int]] = {a: [a] for a in anchors}
+    for i in range(n):
+        if i in members:
+            continue
+        best_anchor = max(anchors, key=lambda a: (*affinity(i, a), -a))
+        members[best_anchor].append(i)
+
+    # Class order: anchors by wins, descending (class 0 = most common best).
+    groups = [sorted(names[i] for i in members[a]) for a in anchors]
+    representatives = [names[a] for a in anchors]
+    class_of = {name: c for c, g in enumerate(groups) for name in g}
+    return OCGrouping(groups=groups, representatives=representatives, class_of=class_of)

@@ -1,0 +1,89 @@
+"""Multi-GPU profiling campaigns over stencil populations.
+
+A :class:`ProfileCampaign` is the "stencil dataset" of Section IV-A: every
+stencil in a population is profiled under every OC on every GPU.  It is the
+single source the motivation figures, the classification dataset and the
+regression dataset are all derived from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import DEFAULT_SEED
+from ..errors import DatasetError
+from ..gpu.simulator import GPUSimulator
+from ..gpu.specs import GPU_ORDER
+from ..optimizations.combos import ALL_OCS, OC
+from ..stencil.stencil import Stencil
+from .records import Measurement, StencilProfile
+from .search import RandomSearch
+
+
+@dataclass
+class ProfileCampaign:
+    """Profiles for a stencil population across GPUs.
+
+    ``profiles[gpu][stencil_id]`` is the :class:`StencilProfile` of that
+    stencil on that GPU; stencil ids index into ``stencils``.
+    """
+
+    stencils: list[Stencil]
+    gpus: tuple[str, ...]
+    ocs: tuple[OC, ...]
+    n_settings: int
+    seed: int
+    profiles: dict[str, list[StencilProfile]] = field(default_factory=dict)
+
+    @property
+    def ndim(self) -> int:
+        return self.stencils[0].ndim
+
+    def profile(self, gpu: str, stencil_id: int) -> StencilProfile:
+        """The profile of one stencil on one GPU."""
+        return self.profiles[gpu][stencil_id]
+
+    def measurements(self, gpu: str) -> list[Measurement]:
+        """All raw measurements collected on *gpu*, in stencil order."""
+        out: list[Measurement] = []
+        for p in self.profiles[gpu]:
+            out.extend(p.measurements)
+        return out
+
+    def best_oc_labels(self, gpu: str) -> list[str]:
+        """Best OC name per stencil on *gpu* (classification raw labels)."""
+        return [p.best_oc for p in self.profiles[gpu]]
+
+
+def run_campaign(
+    stencils: list[Stencil],
+    gpus: "tuple[str, ...] | list[str]" = GPU_ORDER,
+    ocs: "tuple[OC, ...] | list[OC]" = ALL_OCS,
+    n_settings: int = 8,
+    seed: int = DEFAULT_SEED,
+    sigma: float = 0.03,
+) -> ProfileCampaign:
+    """Profile *stencils* under *ocs* on every GPU in *gpus*.
+
+    Deterministic for a given seed: the per-(stencil, OC) sampling streams
+    are derived from ``seed`` independently of iteration order.
+    """
+    if not stencils:
+        raise DatasetError("empty stencil population")
+    ndims = {s.ndim for s in stencils}
+    if len(ndims) != 1:
+        raise DatasetError(f"mixed dimensionalities in campaign: {sorted(ndims)}")
+    campaign = ProfileCampaign(
+        stencils=list(stencils),
+        gpus=tuple(gpus),
+        ocs=tuple(ocs),
+        n_settings=n_settings,
+        seed=seed,
+    )
+    for gpu in campaign.gpus:
+        search = RandomSearch(GPUSimulator(gpu, sigma=sigma), n_settings, seed)
+        campaign.profiles[gpu] = [
+            search.profile_stencil(s, i, campaign.ocs)
+            for i, s in enumerate(campaign.stencils)
+        ]
+    return campaign

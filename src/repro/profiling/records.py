@@ -1,0 +1,82 @@
+"""Record types produced by the profiling pipeline.
+
+The dataset design follows Section IV-A: for every generated stencil, every
+OC is profiled under several random parameter settings on every GPU.  Each
+individual (setting, time) pair becomes a :class:`Measurement` -- the raw
+material of the regression dataset -- while the per-OC minimum feeds OC
+selection and the motivation figures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import DatasetError
+from ..optimizations.combos import OC
+from ..optimizations.params import ParamSetting
+from ..stencil.stencil import Stencil
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One profiled run: (stencil, OC, setting, GPU) -> time."""
+
+    stencil_id: int
+    oc: str
+    setting: ParamSetting
+    gpu: str
+    time_ms: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.time_ms) or self.time_ms <= 0:
+            raise DatasetError(f"non-positive measurement: {self.time_ms}")
+
+
+@dataclass
+class OCResult:
+    """Best result of the random parameter search for one OC.
+
+    ``crashed`` counts settings rejected by the simulator
+    (:class:`KernelLaunchError`); an OC whose every sampled setting crashes
+    produces no :class:`OCResult` at all.
+    """
+
+    oc: str
+    best_setting: ParamSetting
+    best_time_ms: float
+    n_settings: int
+    crashed: int
+
+
+@dataclass
+class StencilProfile:
+    """All profiling results for one stencil on one GPU."""
+
+    stencil: Stencil
+    stencil_id: int
+    gpu: str
+    oc_results: dict[str, OCResult] = field(default_factory=dict)
+    measurements: list[Measurement] = field(default_factory=list)
+
+    @property
+    def best_oc(self) -> str:
+        """Name of the fastest OC (its best setting) on this GPU."""
+        if not self.oc_results:
+            raise DatasetError(
+                f"stencil {self.stencil_id} has no valid OC on {self.gpu}"
+            )
+        return min(
+            self.oc_results.values(), key=lambda r: (r.best_time_ms, r.oc)
+        ).oc
+
+    @property
+    def best_time_ms(self) -> float:
+        """Fastest time over all OCs (the stencil's achievable performance)."""
+        return self.oc_results[self.best_oc].best_time_ms
+
+    def time_of(self, oc: "str | OC") -> float:
+        """Best time of a specific OC; ``inf`` if it never ran."""
+        name = oc if isinstance(oc, str) else oc.name
+        r = self.oc_results.get(name)
+        return r.best_time_ms if r else math.inf

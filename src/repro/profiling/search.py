@@ -1,0 +1,213 @@
+"""Random parameter search per optimization combination (Section IV-A).
+
+"The StencilMART randomly searches the parameter settings under each OC and
+selects the shortest execution time for performance comparison."  Settings
+whose simulated launch crashes are resampled (bounded attempts), mirroring a
+profiling harness that records only successful runs; an OC with no valid
+setting at all is reported as crashed for that stencil/GPU, matching the
+paper's note that "there are some cases where OC crashes under certain
+stencils".
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from ..errors import KernelLaunchError
+from ..gpu.simulator import GPUSimulator
+from ..optimizations.combos import ALL_OCS, OC
+from ..optimizations.params import (
+    ParamSetting,
+    relevant_params,
+    sample_setting,
+)
+from ..optimizations.params import _choices_for  # search owns refinement
+from ..stencil.stencil import Stencil
+from .records import Measurement, OCResult, StencilProfile
+
+#: Sampling attempts allowed per requested valid setting.
+_ATTEMPTS_PER_SETTING = 12
+
+#: Coordinate-descent passes after random sampling.
+_REFINE_PASSES = 3
+
+
+class RandomSearch:
+    """Best-of-N random tuner over one simulated GPU.
+
+    Parameters
+    ----------
+    simulator:
+        The measurement substrate.
+    n_settings:
+        Valid parameter settings to measure per OC (the paper keeps this
+        budget identical across compared methods).
+    seed:
+        Base seed; the per-(stencil, OC) stream is derived from it so
+        profiles are independent of evaluation order.
+    refine:
+        When true (default), the best random sample is polished by
+        coordinate descent over each relevant parameter's choices.  Pure
+        best-of-N over this parameter space is high-variance (narrow
+        optima next to crash cliffs), which would make best-OC labels
+        depend on sampling luck rather than the stencil; the deterministic
+        refinement step recovers the per-OC optimum the paper's larger
+        profiling budget effectively reaches.
+    """
+
+    def __init__(
+        self,
+        simulator: GPUSimulator,
+        n_settings: int,
+        seed: int,
+        refine: bool = True,
+    ):
+        self.sim = simulator
+        self.n_settings = int(n_settings)
+        self.seed = int(seed)
+        self.refine = bool(refine)
+
+    # ------------------------------------------------------------------
+    def _rng(self, stencil_id: int, oc: OC) -> np.random.Generator:
+        # zlib.crc32 is stable across processes, unlike builtin hash().
+        # Ad-hoc tuning calls pass stencil_id=-1; SeedSequence needs
+        # non-negative entropy words.
+        oc_key = zlib.crc32(oc.name.encode())
+        return np.random.default_rng(
+            np.random.SeedSequence((self.seed, stencil_id & 0x7FFFFFFF, oc_key))
+        )
+
+    def tune_oc(
+        self, stencil: Stencil, stencil_id: int, oc: OC
+    ) -> tuple[OCResult | None, list[Measurement]]:
+        """Measure up to ``n_settings`` valid settings of *oc*.
+
+        Returns ``(None, [])`` when every attempted setting crashes.
+        """
+        rng = self._rng(stencil_id, oc)
+        measurements: list[Measurement] = []
+        seen: set[tuple[int, ...]] = set()
+        crashed = 0
+        attempts = 0
+        max_attempts = self.n_settings * _ATTEMPTS_PER_SETTING
+        while len(measurements) < self.n_settings and attempts < max_attempts:
+            attempts += 1
+            setting = sample_setting(oc, stencil.ndim, rng)
+            key = setting.as_tuple()
+            if key in seen:
+                continue
+            seen.add(key)
+            try:
+                t = self.sim.time(stencil, oc, setting)
+            except KernelLaunchError:
+                crashed += 1
+                continue
+            measurements.append(
+                Measurement(
+                    stencil_id=stencil_id,
+                    oc=oc.name,
+                    setting=setting,
+                    gpu=self.sim.spec.name,
+                    time_ms=t,
+                )
+            )
+        if not measurements:
+            return None, []
+        best = min(measurements, key=lambda m: m.time_ms)
+        best_setting, best_time = best.setting, best.time_ms
+        if self.refine:
+            # Basin-covering multi-start: the landscape's major basins are
+            # indexed by the discrete mode switches (shared memory on/off,
+            # stream axis, temporal degree); coordinate descent from the
+            # best sample of each basin makes the per-OC optimum nearly
+            # independent of sampling luck, so best-OC labels reflect the
+            # stencil rather than the seed.
+            basins: dict[tuple[int, int, int], Measurement] = {}
+            for meas in measurements:
+                key = (
+                    meas.setting["use_smem"],
+                    meas.setting["stream_dim"],
+                    meas.setting["temporal_steps"],
+                )
+                cur = basins.get(key)
+                if cur is None or meas.time_ms < cur.time_ms:
+                    basins[key] = cur = meas
+            for start in sorted(basins.values(), key=lambda m: m.time_ms):
+                if start.time_ms > 4.0 * best_time:
+                    continue  # hopeless basin; descent cannot recover 4x
+                setting, t, extra = self._coordinate_descent(
+                    stencil, stencil_id, oc, start.setting, start.time_ms, seen
+                )
+                measurements.extend(extra)
+                if t < best_time:
+                    best_setting, best_time = setting, t
+        result = OCResult(
+            oc=oc.name,
+            best_setting=best_setting,
+            best_time_ms=best_time,
+            n_settings=len(measurements),
+            crashed=crashed,
+        )
+        return result, measurements
+
+    def _coordinate_descent(
+        self,
+        stencil: Stencil,
+        stencil_id: int,
+        oc: OC,
+        setting: ParamSetting,
+        time_ms: float,
+        seen: set[tuple[int, ...]],
+    ) -> tuple[ParamSetting, float, list[Measurement]]:
+        """Polish *setting* one parameter at a time until a fixed point."""
+        extra: list[Measurement] = []
+        names = relevant_params(oc, stencil.ndim)
+        for _ in range(_REFINE_PASSES):
+            improved = False
+            for name in names:
+                for value in _choices_for(name, stencil.ndim):
+                    if setting[name] == value:
+                        continue
+                    candidate = setting.replace(**{name: value})
+                    key = candidate.as_tuple()
+                    try:
+                        t = self.sim.time(stencil, oc, candidate)
+                    except KernelLaunchError:
+                        continue
+                    if key not in seen:
+                        seen.add(key)
+                        extra.append(
+                            Measurement(
+                                stencil_id=stencil_id,
+                                oc=oc.name,
+                                setting=candidate,
+                                gpu=self.sim.spec.name,
+                                time_ms=t,
+                            )
+                        )
+                    if t < time_ms:
+                        setting, time_ms = candidate, t
+                        improved = True
+            if not improved:
+                break
+        return setting, time_ms, extra
+
+    # ------------------------------------------------------------------
+    def profile_stencil(
+        self,
+        stencil: Stencil,
+        stencil_id: int,
+        ocs: "tuple[OC, ...] | list[OC]" = ALL_OCS,
+    ) -> StencilProfile:
+        """Profile *stencil* under every OC in *ocs* on this GPU."""
+        profile = StencilProfile(
+            stencil=stencil, stencil_id=stencil_id, gpu=self.sim.spec.name
+        )
+        for oc in ocs:
+            result, ms = self.tune_oc(stencil, stencil_id, oc)
+            if result is not None:
+                profile.oc_results[oc.name] = result
+                profile.measurements.extend(ms)
+        return profile

@@ -1,0 +1,70 @@
+"""Candidate feature extraction (paper Table II).
+
+The feature set focuses on the distance structure of accessed neighbors
+relative to the central point -- unlike dense-tensor sparsity features, it
+captures *where* the accesses fall shell by shell:
+
+====  ==================  ===================================================
+No.   Feature             Meaning
+====  ==================  ===================================================
+1     ``order``           maximum Chebyshev extent of nonzeros
+2     ``nnz``             number of nonzeros in the assignment tensor
+3     ``sparsity``        density of nonzeros in the tensor
+4     ``nnz_order_n``     number of nonzeros among order-``n`` neighbors
+5     ``nnzRatio_order_n``ratio of nonzeros among order-``n`` neighbors
+====  ==================  ===================================================
+
+Shell features are emitted for every order ``n`` in ``1..max_order`` so the
+vector length is fixed for a given ``max_order``, independent of the
+stencil's own order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import MAX_ORDER
+from . import offsets as off
+from .stencil import Stencil
+
+
+def feature_names(max_order: int = MAX_ORDER) -> list[str]:
+    """Names of the Table II feature vector entries, in order."""
+    names = ["order", "nnz", "sparsity"]
+    names += [f"nnz_order_{n}" for n in range(1, max_order + 1)]
+    names += [f"nnzRatio_order_{n}" for n in range(1, max_order + 1)]
+    return names
+
+
+def n_features(max_order: int = MAX_ORDER) -> int:
+    """Length of the feature vector for a given *max_order*."""
+    return 3 + 2 * max_order
+
+
+def extract_features(stencil: Stencil, max_order: int = MAX_ORDER) -> np.ndarray:
+    """Extract the Table II candidate feature vector for *stencil*.
+
+    The ``sparsity`` and shell-ratio features are computed against the
+    fixed ``(2*max_order+1)^d`` tensor space so that 2-D and 3-D stencils
+    of different orders are comparable within a dimensionality.
+    """
+    counts = stencil.shell_counts(max_order)
+    tensor_cells = (2 * max_order + 1) ** stencil.ndim
+    vec = np.empty(n_features(max_order), dtype=np.float64)
+    vec[0] = stencil.order
+    vec[1] = stencil.nnz
+    vec[2] = stencil.nnz / tensor_cells
+    for n in range(1, max_order + 1):
+        vec[2 + n] = counts[n]
+        vec[2 + max_order + n] = counts[n] / off.shell_size(stencil.ndim, n)
+    return vec
+
+
+def batch_features(stencils: "list[Stencil]", max_order: int = MAX_ORDER) -> np.ndarray:
+    """Feature matrix of shape ``(n_stencils, n_features)``."""
+    return np.stack([extract_features(s, max_order) for s in stencils])
+
+
+def describe(stencil: Stencil, max_order: int = MAX_ORDER) -> dict[str, float]:
+    """Feature vector as a name -> value mapping (reporting convenience)."""
+    return dict(zip(feature_names(max_order), extract_features(stencil, max_order)))

@@ -1,0 +1,140 @@
+"""Random stencil generation (paper Algorithm 1).
+
+The generator grows a stencil shell by shell: order-1 points are sampled
+from the central point's Moore neighborhood; order-``n`` points are sampled
+from the Moore neighborhoods of the order-``(n-1)`` points selected in the
+previous iteration, after deleting lower-order candidates.  The result
+always satisfies the *neighbor access* property -- every accessed point of
+order ``n`` is adjacent to an accessed point of order ``n-1`` -- which a
+uniform sample over the tensor space would not guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import DEFAULT_SEED, MAX_ORDER
+from ..errors import StencilError
+from . import offsets as off
+from .offsets import Offset
+from .stencil import Stencil
+
+
+def generate_stencil(
+    ndim: int,
+    order: int,
+    rng: np.random.Generator,
+    keep_prob: float = 0.5,
+) -> Stencil:
+    """Generate one random stencil of exactly *order* via Algorithm 1.
+
+    Parameters
+    ----------
+    ndim:
+        Grid dimensionality (2 or 3).
+    order:
+        Target maximum order ``N``; each shell ``1..N`` receives at least
+        one point so the generated stencil's order is exactly ``N``.
+    rng:
+        NumPy random generator (no global state is touched).
+    keep_prob:
+        Per-candidate selection probability within a shell.  Lower values
+        yield sparser, more star-like stencils; higher values approach
+        boxes.
+
+    Notes
+    -----
+    The candidate pool for shell ``n`` is the union of Moore neighborhoods
+    of the shell-``(n-1)`` selections with all points of order ``< n``
+    removed (Algorithm 1 lines 8-14); when sampling leaves a shell empty,
+    one candidate is drawn uniformly so the stencil reaches its target
+    order (the paper's generator implicitly guarantees non-empty shells by
+    construction of its training population).
+    """
+    if order < 1 or order > MAX_ORDER:
+        raise StencilError(f"order must be in [1, {MAX_ORDER}], got {order}")
+    if not 0.0 < keep_prob <= 1.0:
+        raise StencilError(f"keep_prob must be in (0, 1], got {keep_prob}")
+    center: Offset = (0,) * ndim
+    np_list: set[Offset] = set()
+    selected_prev: list[Offset] = [center]
+    for n in range(1, order + 1):
+        candidates = sorted(
+            p
+            for p in off.neighbors_of_set(selected_prev if n > 1 else [center])
+            if off.chebyshev(p) == n
+        )
+        if not candidates:  # pragma: no cover - unreachable by construction
+            raise StencilError(f"no order-{n} candidates; generator invariant broken")
+        mask = rng.random(len(candidates)) < keep_prob
+        selected = [p for p, m in zip(candidates, mask) if m]
+        if not selected:
+            selected = [candidates[rng.integers(len(candidates))]]
+        np_list.update(selected)
+        selected_prev = selected
+    return Stencil(ndim=ndim, offsets=frozenset(np_list | {center}))
+
+
+def generate_population(
+    ndim: int,
+    count: int,
+    max_order: int = MAX_ORDER,
+    seed: int = DEFAULT_SEED,
+    keep_prob: float = 0.5,
+    unique: bool = True,
+) -> list[Stencil]:
+    """Generate *count* random stencils with orders drawn from ``1..max_order``.
+
+    Orders are sampled uniformly, matching the paper's population that
+    "covers the popular stencil shapes" up to the maximum order.  With
+    ``unique=True`` duplicate access patterns are rejected and resampled
+    (bounded retries) so the training set has no exact repeats.
+
+    Returns
+    -------
+    list[Stencil]
+        Stencils named ``rand{ndim}d-{i}``, deterministic for a given seed.
+    """
+    rng = np.random.default_rng(seed)
+    out: list[Stencil] = []
+    seen: set[tuple] = set()
+    attempts = 0
+    max_attempts = count * 50
+    while len(out) < count:
+        attempts += 1
+        if attempts > max_attempts:
+            if unique:
+                # The pattern space is finite at low orders; fall back to
+                # allowing duplicates rather than looping forever.
+                unique = False
+                continue
+            raise StencilError("generator failed to produce requested population")
+        order = int(rng.integers(1, max_order + 1))
+        s = generate_stencil(ndim, order, rng, keep_prob=keep_prob)
+        key = s.cache_key()
+        if unique and key in seen:
+            continue
+        seen.add(key)
+        out.append(
+            Stencil(ndim=s.ndim, offsets=s.offsets, name=f"rand{ndim}d-{len(out)}")
+        )
+    return out
+
+
+def verify_neighbor_property(stencil: Stencil) -> bool:
+    """Check the Algorithm 1 invariant on an arbitrary stencil.
+
+    Every accessed point of order ``n >= 1`` must be Moore-adjacent to an
+    accessed point of order ``n - 1``.  Used by property-based tests.
+    """
+    by_order: dict[int, set[Offset]] = {}
+    for p in stencil.offsets:
+        by_order.setdefault(off.chebyshev(p), set()).add(p)
+    for n in sorted(by_order):
+        if n == 0:
+            continue
+        below = by_order.get(n - 1, set())
+        for p in by_order[n]:
+            if not any(q in below for q in off.moore_neighbors(p)):
+                return False
+    return True

@@ -1,0 +1,112 @@
+"""Constructors and classifiers for the classic stencil shapes.
+
+The paper's motivation study covers *star*, *box* and *cross* stencils of
+orders 1-4 in 2-D and 3-D (Section III).  This module builds those shapes
+and classifies arbitrary stencils back into a shape family (used for
+reporting and for stratified analysis of the random population).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from . import offsets as off
+from .stencil import Stencil
+
+
+class Shape(str, Enum):
+    """Shape family of a stencil access pattern."""
+
+    STAR = "star"
+    BOX = "box"
+    CROSS = "cross"
+    IRREGULAR = "irregular"
+
+
+def star(ndim: int, order: int, name: str = "") -> Stencil:
+    """Axis-aligned star: points ``(0,..,±i,..,0)`` for ``i <= order``.
+
+    ``star2d1r`` is the classic 5-point Jacobi stencil; ``star3d1r`` the
+    7-point one.
+    """
+    _check(ndim, order)
+    pts: set[tuple[int, ...]] = {(0,) * ndim}
+    for d in range(ndim):
+        for i in range(1, order + 1):
+            for s in (-i, i):
+                p = [0] * ndim
+                p[d] = s
+                pts.add(tuple(p))
+    return Stencil(ndim=ndim, offsets=frozenset(pts), name=name or f"star{ndim}d{order}r")
+
+
+def box(ndim: int, order: int, name: str = "") -> Stencil:
+    """Dense box: every point with Chebyshev distance <= *order*.
+
+    ``box2d1r`` is the 9-point Moore stencil; ``box3d1r`` the 27-point one.
+    """
+    _check(ndim, order)
+    return Stencil(
+        ndim=ndim,
+        offsets=frozenset(off.ball(ndim, order)),
+        name=name or f"box{ndim}d{order}r",
+    )
+
+
+def cross(ndim: int, order: int, name: str = "") -> Stencil:
+    """Star plus full diagonals: axes and ``(±i, ±i, ...)`` points.
+
+    This is the "X plus +" pattern used for oriented derivative stencils;
+    the paper's ``cross2d1r`` is its order-1 2-D instance (9 points, same
+    count as ``box2d1r`` but only 8 distinct directions at higher order).
+    """
+    _check(ndim, order)
+    pts = set(star(ndim, order).offsets)
+    for i in range(1, order + 1):
+        for signs in _sign_combos(ndim):
+            pts.add(tuple(s * i for s in signs))
+    return Stencil(ndim=ndim, offsets=frozenset(pts), name=name or f"cross{ndim}d{order}r")
+
+
+def _sign_combos(ndim: int) -> list[tuple[int, ...]]:
+    out: list[tuple[int, ...]] = []
+
+    def rec(prefix: tuple[int, ...]) -> None:
+        if len(prefix) == ndim:
+            out.append(prefix)
+            return
+        rec(prefix + (-1,))
+        rec(prefix + (1,))
+
+    rec(())
+    return out
+
+
+def _check(ndim: int, order: int) -> None:
+    if ndim not in off.SUPPORTED_NDIMS:
+        raise ValueError(f"ndim must be one of {off.SUPPORTED_NDIMS}, got {ndim}")
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+
+
+def classify(stencil: Stencil) -> Shape:
+    """Classify *stencil* into a shape family.
+
+    A stencil is a *star* when every point lies on a coordinate axis, a
+    *box* when it is the full Chebyshev ball of its order, a *cross* when it
+    matches the star-plus-diagonals pattern, and *irregular* otherwise
+    (the typical outcome for randomly generated stencils).
+    """
+    r = stencil.order
+    if stencil.offsets == star(stencil.ndim, r).offsets:
+        return Shape.STAR
+    if stencil.offsets == box(stencil.ndim, r).offsets:
+        return Shape.BOX
+    if stencil.offsets == cross(stencil.ndim, r).offsets:
+        return Shape.CROSS
+    if all(off.on_axis(p) for p in stencil.offsets):
+        return Shape.STAR
+    return Shape.IRREGULAR
+
+
+BUILDERS = {Shape.STAR: star, Shape.BOX: box, Shape.CROSS: cross}

@@ -1,0 +1,74 @@
+"""Binary-tensor assignment for stencil access patterns (paper Fig. 6).
+
+A stencil in ``d`` dimensions with maximum order ``R`` is embedded into a
+``(2R+1)^d`` tensor: the cell at index ``offset + R`` (per dimension) is 1
+when the stencil accesses that neighbor and 0 otherwise.  The central point
+is always 1.  These tensors are the input representation for the ConvNet
+classifier and the CNN branch of ConvMLP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import MAX_ORDER
+from ..errors import StencilError
+from .stencil import Stencil
+
+
+def tensor_shape(ndim: int, max_order: int = MAX_ORDER) -> tuple[int, ...]:
+    """Shape of the assignment tensor: ``(2*max_order + 1)`` per dimension."""
+    return (2 * max_order + 1,) * ndim
+
+
+def assign_tensor(stencil: Stencil, max_order: int = MAX_ORDER) -> np.ndarray:
+    """Embed *stencil* into a binary float64 tensor.
+
+    Raises
+    ------
+    StencilError
+        If the stencil's order exceeds *max_order* (it would not fit).
+    """
+    if stencil.order > max_order:
+        raise StencilError(
+            f"stencil order {stencil.order} exceeds tensor max order {max_order}"
+        )
+    t = np.zeros(tensor_shape(stencil.ndim, max_order), dtype=np.float64)
+    for p in stencil.offsets:
+        idx = tuple(c + max_order for c in p)
+        t[idx] = 1.0
+    return t
+
+
+def from_tensor(tensor: np.ndarray, name: str = "") -> Stencil:
+    """Inverse of :func:`assign_tensor`: recover the stencil from a tensor.
+
+    Any strictly positive cell is treated as accessed.  The tensor must be
+    a hypercube of odd edge length so the central point is well defined.
+    """
+    shape = tensor.shape
+    if len(set(shape)) != 1:
+        raise StencilError(f"assignment tensor must be a hypercube, got {shape}")
+    edge = shape[0]
+    if edge % 2 != 1:
+        raise StencilError(f"tensor edge must be odd, got {edge}")
+    R = edge // 2
+    idx = np.argwhere(tensor > 0)
+    if idx.size == 0:
+        raise StencilError("tensor has no nonzero cells")
+    pts = {tuple(int(c) - R for c in row) for row in idx}
+    return Stencil(ndim=len(shape), offsets=frozenset(pts), name=name)
+
+
+def batch_tensors(stencils: "list[Stencil]", max_order: int = MAX_ORDER) -> np.ndarray:
+    """Stack assignment tensors into one array of shape ``(n, *tensor)``.
+
+    All stencils must share a dimensionality; the result feeds directly
+    into the ConvNet / ConvMLP training loops.
+    """
+    if not stencils:
+        raise StencilError("empty stencil list")
+    ndims = {s.ndim for s in stencils}
+    if len(ndims) != 1:
+        raise StencilError(f"mixed dimensionalities in batch: {sorted(ndims)}")
+    return np.stack([assign_tensor(s, max_order) for s in stencils])

@@ -1,0 +1,5 @@
+"""Alternative parameter-search strategies (csTuner-style GA)."""
+
+from .genetic import GAResult, GeneticSearch
+
+__all__ = ["GAResult", "GeneticSearch"]

@@ -1,0 +1,149 @@
+"""Structural tests for the CUDA source generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen import generate_cuda
+from repro.optimizations import OC, ParamSetting, sample_setting
+from repro.stencil import box, generate_stencil, star
+
+
+def gen(stencil, oc, **params):
+    return generate_cuda(stencil, oc, ParamSetting(**params))
+
+
+class TestCommonStructure:
+    def test_has_global_kernel(self):
+        src = gen(star(2, 1), "naive")
+        assert "__global__ void" in src
+        assert "__restrict__" in src
+
+    def test_tap_count_matches_nnz(self):
+        s = box(2, 2)
+        src = gen(s, "naive")
+        assert src.count("acc +=") == s.nnz
+
+    def test_boundary_guard_uses_order(self):
+        s = star(2, 3)
+        src = gen(s, "naive")
+        assert ">= 3" in src and "- 3" in src
+
+    def test_grid_dims_in_header(self):
+        src = gen(star(3, 1), "naive")
+        assert "#define NX 512" in src
+        assert "#define NZ 512" in src
+        src2 = gen(star(2, 1), "naive")
+        assert "#define NX 8192" in src2
+
+    def test_host_launcher_present(self):
+        src = gen(star(2, 1), "naive")
+        assert "dim3 block" in src and "dim3 grid" in src
+        assert "<<<grid, block>>>" in src
+
+    def test_oc_recorded_in_comment(self):
+        src = gen(star(2, 1), "ST_PR", stream_dim=2)
+        assert "optimization combination: ST_PR" in src
+
+    def test_coefficient_defined(self):
+        s = star(2, 1)
+        src = gen(s, "naive")
+        assert f"#define COEFF {1.0 / s.nnz!r}" in src
+
+
+class TestShmem:
+    def test_naive_has_no_shared(self):
+        assert "__shared__" not in gen(star(2, 1), "naive")
+
+    def test_smem_tile_declared(self):
+        src = gen(star(2, 1), "naive", use_smem=1)
+        assert "__shared__ double tile" in src
+        assert "__syncthreads();" in src
+
+    def test_tb_forces_shared(self):
+        src = gen(star(2, 1), "TB", temporal_steps=2, block_y=16)
+        assert "__shared__" in src
+        assert "TSTEPS" in src
+
+
+class TestStreaming:
+    def test_plane_loop_over_stream_axis(self):
+        src = gen(star(3, 2), "ST", stream_dim=3, use_smem=1)
+        assert "for (int z = z_begin" in src
+        assert "__shared__ double planes[5]" in src  # 2*2+1 planes
+
+    def test_register_queue_without_smem(self):
+        src = gen(star(3, 1), "ST", stream_dim=3)
+        assert "double q[3 * STREAM_UNROLL]" in src
+
+    def test_prefetch_double_buffer(self):
+        src = gen(star(3, 1), "ST_PR", stream_dim=3)
+        assert "next_plane" in src
+        assert "overlap next load with compute" in src
+
+    def test_retiming_partial_accumulator(self):
+        src = gen(star(3, 3), "ST_RT", stream_dim=3)
+        assert "double partial" in src
+        assert "acc += partial" in src
+
+    def test_stream_tiles_in_grid(self):
+        src = gen(star(3, 1), "ST", stream_dim=3, stream_tiles=4)
+        assert "#define STREAM_TILES 4" in src
+        assert "STREAM_TILES)" in src  # grid z dimension
+
+
+class TestMerging:
+    def test_block_merge_loop(self):
+        src = gen(star(2, 1), "BM", merge_factor=4, merge_dim=2)
+        assert "for (int mi = 0; mi < 4; ++mi)" in src
+        assert "mi * 1" in src  # adjacent outputs
+
+    def test_cyclic_merge_stride(self):
+        src = gen(star(2, 1), "CM", merge_factor=4, merge_dim=2)
+        assert "mi * BLOCK_Y" in src  # strided outputs
+
+    def test_unroll_pragma(self):
+        src = gen(star(2, 1), "BM", merge_factor=2, merge_dim=2)
+        assert "#pragma unroll" in src
+
+
+class TestTemporal:
+    def test_step_loop_and_launch_division(self):
+        src = gen(star(2, 1), "TB", temporal_steps=4, block_x=64, block_y=16)
+        assert "#define TSTEPS 4" in src
+        assert "TIME_STEPS / TSTEPS" in src
+
+    def test_streamed_tb(self):
+        src = gen(
+            star(3, 1), "ST_TB",
+            stream_dim=3, temporal_steps=2, use_smem=1, block_y=16,
+        )
+        assert "__shared__ double planes" in src
+        assert "TSTEPS" in src
+
+
+class TestPropertyStructural:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ndim=st.sampled_from([2, 3]),
+        order=st.integers(1, 3),
+        seed=st.integers(0, 5000),
+        oc_name=st.sampled_from(
+            ["naive", "ST", "BM", "CM", "ST_RT", "ST_PR", "ST_CM_RT_PR"]
+        ),
+    )
+    def test_generates_for_random_stencils(self, ndim, order, seed, oc_name):
+        rng = np.random.default_rng(seed)
+        s = generate_stencil(ndim, order, rng)
+        oc = OC.parse(oc_name)
+        setting = sample_setting(oc, ndim, rng)
+        src = generate_cuda(s, oc, setting)
+        # Invariants: kernel present, balanced braces, taps match nnz.
+        assert "__global__ void" in src
+        assert src.count("{") == src.count("}")
+        taps = src.count("acc +=")
+        if "RT" in oc_name.split("_"):
+            taps -= 1  # the retimed partial-sum accumulation line
+        assert taps >= s.nnz  # merging may replicate taps
+        assert taps % s.nnz == 0

@@ -1,0 +1,11 @@
+"""Repository-wide pytest configuration.
+
+Keeps hypothesis deadlines off globally: the simulator-backed property
+tests have heavy first calls (profile-cache warmup) that trip per-example
+deadlines on slow CI machines.
+"""
+
+from hypothesis import settings
+
+settings.register_profile("repro", deadline=None)
+settings.load_profile("repro")

@@ -1,0 +1,13 @@
+"""Shared fixture: one small fitted StencilMART instance."""
+
+import pytest
+
+from repro.core import StencilMART
+
+
+@pytest.fixture(scope="session")
+def mart():
+    """A small two-GPU 2-D instance with a profiled dataset."""
+    return StencilMART(
+        ndim=2, gpus=("V100", "A100"), n_settings=4, seed=9
+    ).build_dataset(n_stencils=24)

@@ -1,0 +1,98 @@
+"""Tests for cross-GPU instances and the rental advisor."""
+
+import pytest
+
+from repro.core import (
+    RentalAdvisor,
+    build_cross_gpu_instances,
+    ground_truth_shares,
+)
+from repro.errors import DatasetError
+from repro.stencil import star, box
+
+
+@pytest.fixture(scope="module")
+def instances(mart):
+    return build_cross_gpu_instances(
+        mart.campaign.stencils[:10], ("V100", "A100"), n_per_stencil=3, seed=4
+    )
+
+
+class TestInstances:
+    def test_measured_on_all_gpus(self, instances):
+        for inst in instances:
+            assert set(inst.times_ms) == {"V100", "A100"}
+            assert all(t > 0 for t in inst.times_ms.values())
+
+    def test_best_gpu_is_argmin(self, instances):
+        inst = instances[0]
+        assert inst.times_ms[inst.best_gpu()] == min(inst.times_ms.values())
+
+    def test_cost_excludes_unpriced(self):
+        insts = build_cross_gpu_instances(
+            [star(2, 1)], ("2080Ti", "P100"), n_per_stencil=2, seed=0
+        )
+        # 2080Ti has no rental price; cost winner must be P100.
+        assert insts[0].best_gpu_by_cost() == "P100"
+
+    def test_deterministic(self, mart):
+        a = build_cross_gpu_instances(
+            mart.campaign.stencils[:3], ("V100",), n_per_stencil=2, seed=7
+        )
+        b = build_cross_gpu_instances(
+            mart.campaign.stencils[:3], ("V100",), n_per_stencil=2, seed=7
+        )
+        assert [(i.oc, i.times_ms) for i in a] == [(i.oc, i.times_ms) for i in b]
+
+    def test_ground_truth_shares_sum_to_one(self, instances):
+        shares = ground_truth_shares(instances, ("V100", "A100"))
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_shares_empty_gpu_list_raises(self, instances):
+        with pytest.raises(DatasetError):
+            ground_truth_shares(instances, ("P100",))
+
+
+class TestRentalAdvisor:
+    @pytest.fixture(scope="class")
+    def advisor(self, mart):
+        mart.fit_predictor("gbr", max_rows=2000, n_rounds=40)
+        return RentalAdvisor(mart, method="gbr")
+
+    def test_recommend_fastest_returns_candidate(self, advisor, instances):
+        rec = advisor.recommend_fastest(instances[0], ("V100", "A100"))
+        assert rec in ("V100", "A100")
+
+    def test_recommend_cheapest_only_rentals(self, advisor, instances):
+        rec = advisor.recommend_cheapest(instances[0], ("V100", "A100"))
+        assert rec in ("V100", "A100")
+
+    def test_cheapest_rejects_unpriced_only(self, advisor, instances):
+        with pytest.raises(DatasetError):
+            advisor.recommend_cheapest(instances[0], ("2080Ti",))
+
+    def test_evaluate_structure(self, advisor, instances):
+        res = advisor.evaluate(instances, ("V100", "A100"))
+        assert set(res.shares) == {"V100", "A100"}
+        assert sum(res.shares.values()) == pytest.approx(1.0)
+        assert 0.0 <= res.overall_accuracy <= 1.0
+
+    def test_evaluate_by_cost(self, advisor, instances):
+        res = advisor.evaluate(instances, ("V100", "A100"), by_cost=True)
+        assert 0.0 <= res.overall_accuracy <= 1.0
+
+    def test_better_than_random_on_easy_pair(self, mart):
+        # 2080Ti vs A100 is an easy call (FP64 + bandwidth gulf); the
+        # advisor must beat coin flipping by a wide margin.
+        mart.fit_predictor("gbr", max_rows=2000, n_rounds=40)
+        insts = build_cross_gpu_instances(
+            [star(3, 1), box(3, 2), star(3, 3)],
+            ("2080Ti", "A100"),
+            n_per_stencil=4,
+            seed=2,
+        )
+        adv = RentalAdvisor(mart, method="gbr")
+        # Note: mart was trained on 2-D V100/A100 rows; hardware features
+        # still separate these two GPUs by an order of magnitude.
+        res = adv.evaluate(insts, ("2080Ti", "A100"))
+        assert res.shares["A100"] > 0.8

@@ -1,0 +1,39 @@
+"""Tests for the report helpers."""
+
+from repro.core.report import (
+    campaign_summary,
+    gap_report,
+    grouping_summary,
+    win_table,
+)
+from repro.profiling import merge_ocs
+
+
+class TestReports:
+    def test_campaign_summary_mentions_gpus(self, mart):
+        text = campaign_summary(mart.campaign)
+        for gpu in mart.gpus:
+            assert gpu in text
+        assert "measurements" in text
+
+    def test_grouping_summary_lists_all_classes(self, mart):
+        grouping = merge_ocs(mart.campaign, n_classes=5)
+        text = grouping_summary(grouping)
+        assert text.count("class ") == 5
+        for rep in grouping.representatives:
+            assert rep in text
+
+    def test_win_table_counts_sum(self, mart):
+        text = win_table(mart.campaign)
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()[1:]
+        ]
+        expected = sum(
+            1 for gpu in mart.gpus for _ in mart.campaign.profiles[gpu]
+        )
+        assert sum(counts) == expected
+
+    def test_gap_report_format(self, mart):
+        text = gap_report(mart.campaign, "V100")
+        assert "V100" in text and "mean" in text and "x" in text

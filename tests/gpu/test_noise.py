@@ -1,0 +1,41 @@
+"""Tests for deterministic measurement noise."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import noise_factor
+from repro.gpu.noise import standard_normal
+
+
+class TestDeterminism:
+    def test_same_key_same_factor(self):
+        assert noise_factor("V100", "a", 1) == noise_factor("V100", "a", 1)
+
+    def test_different_key_different_factor(self):
+        assert noise_factor("V100", "a") != noise_factor("A100", "a")
+
+    def test_sigma_zero_is_identity(self):
+        assert noise_factor("x", sigma=0.0) == 1.0
+
+
+class TestDistribution:
+    def test_factors_positive(self):
+        for i in range(200):
+            assert noise_factor("k", i) > 0.0
+
+    def test_mean_near_one(self):
+        vals = np.array([noise_factor("mean", i) for i in range(2000)])
+        assert abs(vals.mean() - 1.0) < 0.02
+
+    def test_spread_matches_sigma(self):
+        zs = np.array([standard_normal("spread", i) for i in range(2000)])
+        assert abs(zs.std() - 1.0) < 0.08
+        assert abs(zs.mean()) < 0.08
+
+    @settings(max_examples=50, deadline=None)
+    @given(sigma=st.floats(0.01, 0.3), i=st.integers(0, 10_000))
+    def test_bounded_by_sigma(self, sigma, i):
+        f = noise_factor("b", i, sigma=sigma)
+        # 6-sigma lognormal bound.
+        assert np.exp(-6 * sigma) < f < np.exp(6 * sigma)

@@ -1,0 +1,101 @@
+"""Tests for the CUDA-style occupancy calculator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KernelLaunchError
+from repro.gpu import compute_occupancy, get_gpu
+
+V100 = get_gpu("V100")
+TURING = get_gpu("2080Ti")
+
+
+class TestLimits:
+    def test_block_too_large(self):
+        with pytest.raises(KernelLaunchError):
+            compute_occupancy(V100, 2048, 32, 0)
+
+    def test_zero_threads(self):
+        with pytest.raises(KernelLaunchError):
+            compute_occupancy(V100, 0, 32, 0)
+
+    def test_registers_over_limit(self):
+        with pytest.raises(KernelLaunchError):
+            compute_occupancy(V100, 128, 256, 0)
+
+    def test_smem_over_limit(self):
+        with pytest.raises(KernelLaunchError):
+            compute_occupancy(V100, 128, 32, 97 * 1024)
+
+    def test_pascal_smem_block_limit_is_48k(self):
+        p100 = get_gpu("P100")
+        with pytest.raises(KernelLaunchError):
+            compute_occupancy(p100, 128, 32, 49 * 1024)
+        assert compute_occupancy(p100, 128, 32, 48 * 1024).blocks_per_sm >= 1
+
+
+class TestResidency:
+    def test_full_occupancy_light_kernel(self):
+        occ = compute_occupancy(V100, 256, 32, 0)
+        assert occ.occupancy == pytest.approx(1.0)
+        assert occ.blocks_per_sm == 8
+        assert occ.limiter == "threads"
+
+    def test_register_limited(self):
+        # 128 regs * 1024 threads = 131072 > 65536: one block cannot fit
+        # fully, but 512-thread blocks can -> registers limit residency.
+        occ = compute_occupancy(V100, 512, 128, 0)
+        assert occ.limiter == "registers"
+        assert occ.blocks_per_sm == 1
+
+    def test_smem_limited(self):
+        occ = compute_occupancy(V100, 64, 32, 40 * 1024)
+        assert occ.limiter == "smem"
+        assert occ.blocks_per_sm == 2
+
+    def test_block_slot_limited(self):
+        occ = compute_occupancy(V100, 32, 16, 0)
+        assert occ.limiter == "blocks"
+        assert occ.blocks_per_sm == 32
+        assert occ.occupancy == pytest.approx(0.5)
+
+    def test_turing_half_thread_capacity(self):
+        occ = compute_occupancy(TURING, 256, 32, 0)
+        # 1024 threads/SM -> 4 blocks of 256.
+        assert occ.blocks_per_sm == 4
+
+    def test_zero_occupancy_raises(self):
+        # A single block demanding more registers than the SM holds.
+        with pytest.raises(KernelLaunchError):
+            compute_occupancy(V100, 1024, 255, 0)
+
+
+class TestInvariants:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        tpb=st.sampled_from([32, 64, 128, 256, 512, 1024]),
+        regs=st.integers(16, 255),
+        smem=st.integers(0, 96 * 1024),
+    )
+    def test_occupancy_in_unit_interval(self, tpb, regs, smem):
+        try:
+            occ = compute_occupancy(V100, tpb, regs, smem)
+        except KernelLaunchError:
+            return
+        assert 0.0 < occ.occupancy <= 1.0
+        assert occ.warps_per_sm == occ.blocks_per_sm * ((tpb + 31) // 32)
+
+    @settings(max_examples=40, deadline=None)
+    @given(tpb=st.sampled_from([64, 128, 256]), regs=st.integers(16, 128))
+    def test_monotone_in_registers(self, tpb, regs):
+        lo = compute_occupancy(V100, tpb, regs, 0)
+        hi = compute_occupancy(V100, tpb, min(regs + 64, 255), 0)
+        assert hi.blocks_per_sm <= lo.blocks_per_sm
+
+    @settings(max_examples=40, deadline=None)
+    @given(smem=st.integers(1024, 48 * 1024))
+    def test_monotone_in_smem(self, smem):
+        lo = compute_occupancy(V100, 128, 32, smem)
+        hi = compute_occupancy(V100, 128, 32, min(smem * 2, 96 * 1024))
+        assert hi.blocks_per_sm <= lo.blocks_per_sm

@@ -1,0 +1,170 @@
+"""Tests for the analytical timing simulator.
+
+These check *model* properties -- monotonicity, phase accounting, crash
+behaviour, cross-configuration orderings -- not absolute times.
+"""
+
+import pytest
+
+from repro.errors import KernelLaunchError
+from repro.gpu import GPUSimulator, get_gpu, simulate
+from repro.optimizations import OC, ParamSetting, default_setting
+from repro.stencil import box, get, star
+
+V100 = GPUSimulator("V100", sigma=0.0)
+
+
+def t(sim, stencil, oc, **params):
+    return sim.time(stencil, OC.parse(oc), ParamSetting(**params))
+
+
+class TestBasics:
+    def test_positive_time(self):
+        assert t(V100, star(2, 1), "naive") > 0
+
+    def test_deterministic_without_noise(self):
+        a = t(V100, star(2, 1), "ST", stream_dim=2, use_smem=1)
+        b = t(V100, star(2, 1), "ST", stream_dim=2, use_smem=1)
+        assert a == b
+
+    def test_noise_reproducible(self):
+        s1 = GPUSimulator("V100", sigma=0.06)
+        s2 = GPUSimulator("V100", sigma=0.06)
+        assert t(s1, star(2, 2), "naive") == t(s2, star(2, 2), "naive")
+
+    def test_noise_perturbs(self):
+        noisy = GPUSimulator("V100", sigma=0.06)
+        assert t(noisy, star(2, 2), "naive") != t(V100, star(2, 2), "naive")
+
+    def test_simulate_convenience(self):
+        v = simulate("V100", star(2, 1), OC.parse("naive"), default_setting(), sigma=0)
+        assert v == pytest.approx(t(V100, star(2, 1), "naive"))
+
+    def test_run_phases_accounted(self):
+        r = V100.run(star(3, 2), OC.parse("ST"), ParamSetting(stream_dim=3, use_smem=1))
+        assert r.dram_ms > 0 and r.l2_ms > 0 and r.compute_ms > 0
+        assert r.stream_ms > 0  # streaming kernels pay sync stalls
+        assert 0 < r.utilization <= 1
+        assert 0 < r.occupancy.occupancy <= 1
+
+
+class TestModelOrderings:
+    def test_bigger_stencil_slower(self):
+        assert t(V100, box(3, 4), "naive") > t(V100, box(3, 1), "naive")
+
+    def test_3d_slower_than_2d_per_paper_grids(self):
+        assert t(V100, star(3, 2), "naive") > t(V100, star(2, 2), "naive")
+
+    def test_streaming_helps_high_order_3d(self):
+        base = t(V100, star(3, 4), "naive")
+        streamed = t(
+            V100, star(3, 4), "ST", stream_dim=3, use_smem=1, stream_tiles=4
+        )
+        assert streamed < base
+
+    def test_streaming_contiguous_axis_hurts(self):
+        good = t(V100, star(3, 2), "ST", stream_dim=3, use_smem=1, stream_tiles=4)
+        bad = t(V100, star(3, 2), "ST", stream_dim=1, use_smem=1, stream_tiles=4)
+        assert bad > good
+
+    def test_prefetch_reduces_stream_stalls(self):
+        base = ParamSetting(stream_dim=3, use_smem=1, stream_tiles=1)
+        no_pr = V100.run(star(3, 2), OC.parse("ST"), base)
+        pr = V100.run(star(3, 2), OC.parse("ST_PR"), base)
+        assert pr.stream_ms < no_pr.stream_ms
+
+    def test_retiming_helps_high_order_not_low(self):
+        setting = ParamSetting(stream_dim=3, use_smem=1, stream_tiles=2)
+        high_gain = t(V100, star(3, 4), "ST", **setting) - t(
+            V100, star(3, 4), "ST_RT", **setting
+        )
+        low_gain = t(V100, star(3, 1), "ST", **setting) - t(
+            V100, star(3, 1), "ST_RT", **setting
+        )
+        assert high_gain > low_gain
+
+    def test_block_merge_x_breaks_coalescing(self):
+        bm_x = t(V100, star(2, 1), "BM", merge_factor=4, merge_dim=1)
+        bm_y = t(V100, star(2, 1), "BM", merge_factor=4, merge_dim=2)
+        assert bm_x > bm_y
+
+    def test_cyclic_merge_x_keeps_coalescing(self):
+        cm_x = t(V100, star(2, 1), "CM", merge_factor=4, merge_dim=1)
+        bm_x = t(V100, star(2, 1), "BM", merge_factor=4, merge_dim=1)
+        assert cm_x < bm_x
+
+    def test_temporal_blocking_reduces_dram_time(self):
+        # Phase times are per launch; a TB launch covers temporal_steps
+        # sweeps, so compare per-step DRAM time.
+        base = ParamSetting(stream_dim=3, use_smem=1, block_y=16)
+        no_tb = V100.run(star(3, 1), OC.parse("ST"), base)
+        tb = V100.run(star(3, 1), OC.parse("ST_TB"), base.replace(temporal_steps=2))
+        assert tb.dram_ms / tb.profile.temporal_steps < no_tb.dram_ms
+
+
+class TestCrashes:
+    def test_tb_without_st_crashes_3d_order4(self):
+        # The paper's crash case: no block shape keeps all three axes wider
+        # than the temporal halo.
+        s = box(3, 4)
+        for bx in (16, 32, 64):
+            for by in (1, 2, 4, 8, 16):
+                for bz in (1, 2, 4, 8):
+                    with pytest.raises(KernelLaunchError):
+                        t(
+                            V100, s, "TB",
+                            block_x=bx, block_y=by, block_z=bz,
+                            temporal_steps=2, use_smem=1,
+                        )
+
+    def test_tb_with_st_can_run_3d_order4(self):
+        # Streaming shrinks the staged tile to a 2-D plane queue; a narrow
+        # plane fits V100's shared memory where the 3-D TB tile cannot.
+        v = t(
+            V100, box(3, 4), "ST_TB",
+            stream_dim=3, block_x=16, block_y=16,
+            temporal_steps=2, use_smem=1,
+        )
+        assert v > 0
+
+    def test_smem_overflow_crashes(self):
+        with pytest.raises(KernelLaunchError):
+            t(
+                GPUSimulator("P100", sigma=0).time.__self__,
+                box(3, 4), "ST",
+                stream_dim=3, block_x=256, block_y=16, use_smem=1,
+            )
+
+    def test_naive_always_valid_everywhere(self):
+        for gpu in ("P100", "V100", "2080Ti", "A100"):
+            sim = GPUSimulator(gpu, sigma=0)
+            for s in (star(2, 1), box(3, 4)):
+                assert t(sim, s, "naive") > 0
+
+
+class TestCrossArchitecture:
+    def test_a100_fastest_on_memory_bound_3d(self):
+        s = star(3, 1)
+        setting = dict(stream_dim=3, use_smem=1, stream_tiles=4)
+        times = {
+            g: t(GPUSimulator(g, sigma=0), s, "ST", **setting)
+            for g in ("P100", "V100", "A100")
+        }
+        assert times["A100"] < times["V100"] < times["P100"]
+
+    def test_2080ti_slowest_on_fp64_heavy(self):
+        s = box(3, 3)
+        times = {
+            g: t(GPUSimulator(g, sigma=0), s, "naive")
+            for g in ("2080Ti", "P100", "V100", "A100")
+        }
+        assert times["2080Ti"] == max(times.values())
+
+    def test_perf_not_proportional_to_sms(self):
+        # A100 has 1.35x V100's SMs but does not win compute-bound
+        # high-order boxes under the CUDA 10 stack (PTX JIT penalty).
+        s = box(3, 4)
+        setting = dict(stream_dim=3, use_smem=1, stream_tiles=4, block_y=16)
+        v100 = t(GPUSimulator("V100", sigma=0), s, "ST_RT", **setting)
+        a100 = t(GPUSimulator("A100", sigma=0), s, "ST_RT", **setting)
+        assert v100 < a100

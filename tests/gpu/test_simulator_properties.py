@@ -1,0 +1,83 @@
+"""Property-based invariants of the timing model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KernelLaunchError
+from repro.gpu import GPUSimulator, GPU_ORDER
+from repro.optimizations import ALL_OCS, OC, sample_setting
+from repro.stencil import Stencil, generate_stencil, star
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    ndim=st.sampled_from([2, 3]),
+    order=st.integers(1, 4),
+    seed=st.integers(0, 100_000),
+    oc_idx=st.integers(0, len(ALL_OCS) - 1),
+    gpu=st.sampled_from(list(GPU_ORDER)),
+)
+def test_time_finite_positive_or_clean_crash(ndim, order, seed, oc_idx, gpu):
+    rng = np.random.default_rng(seed)
+    s = generate_stencil(ndim, order, rng)
+    oc = ALL_OCS[oc_idx]
+    setting = sample_setting(oc, ndim, rng)
+    sim = GPUSimulator(gpu)
+    try:
+        t = sim.time(s, oc, setting)
+    except KernelLaunchError:
+        return
+    assert np.isfinite(t) and t > 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), order=st.integers(1, 4))
+def test_superset_stencil_never_faster(seed, order):
+    """Adding accessed points cannot speed a kernel up (same config)."""
+    rng = np.random.default_rng(seed)
+    base = generate_stencil(2, order, rng)
+    extra = star(2, order)
+    superset = Stencil(ndim=2, offsets=base.offsets | extra.offsets)
+    if superset.offsets == base.offsets:
+        return
+    sim = GPUSimulator("V100", sigma=0)
+    from repro.optimizations import default_setting
+
+    t_base = sim.time(base, OC.parse("naive"), default_setting())
+    t_super = sim.time(superset, OC.parse("naive"), default_setting())
+    assert t_super >= t_base * 0.999
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_noise_bounded_multiplicative(seed):
+    rng = np.random.default_rng(seed)
+    s = generate_stencil(2, 2, rng)
+    from repro.optimizations import default_setting
+
+    clean = GPUSimulator("V100", sigma=0).time(s, OC.parse("naive"), default_setting())
+    noisy = GPUSimulator("V100", sigma=0.03).time(
+        s, OC.parse("naive"), default_setting()
+    )
+    assert 0.8 * clean < noisy < 1.25 * clean
+
+
+def test_bandwidth_scaling_memory_bound():
+    """A pure-bandwidth change scales memory-bound kernels accordingly."""
+    from dataclasses import replace
+    from repro.gpu.specs import get_gpu
+    from repro.optimizations import default_setting
+
+    base_spec = get_gpu("V100")
+    fast_spec = replace(base_spec, mem_bw_gbs=base_spec.mem_bw_gbs * 2)
+    s = star(2, 1)  # memory-bound on V100
+    t_base = GPUSimulator(base_spec, sigma=0).time(
+        s, OC.parse("naive"), default_setting()
+    )
+    t_fast = GPUSimulator(fast_spec, sigma=0).time(
+        s, OC.parse("naive"), default_setting()
+    )
+    assert t_fast < t_base
+    assert t_fast > t_base / 2.2  # sublinear: other phases remain

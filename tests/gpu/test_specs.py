@@ -1,0 +1,92 @@
+"""Tests for the GPU/machine spec database (Tables III/IV)."""
+
+import pytest
+
+from repro.gpu import (
+    GPU_ORDER,
+    GPUS,
+    MACHINES,
+    RENTAL_GPUS,
+    get_gpu,
+    hardware_features,
+)
+
+
+class TestTableIII:
+    def test_four_gpus(self):
+        assert set(GPU_ORDER) == {"P100", "V100", "2080Ti", "A100"}
+
+    def test_headline_numbers_match_paper(self):
+        # (mem GB, BW GB/s, SMs, TFLOPS, rental $/hr)
+        expected = {
+            "P100": (16, 720, 56, 5.3, 1.46),
+            "V100": (32, 900, 80, 7.8, 2.48),
+            "2080Ti": (11, 616, 68, 0.41, None),
+            "A100": (40, 1555, 108, 9.7, 2.93),
+        }
+        for name, (mem, bw, sms, tflops, rent) in expected.items():
+            g = get_gpu(name)
+            assert g.memory_gb == mem
+            assert g.mem_bw_gbs == bw
+            assert g.sms == sms
+            assert g.fp64_tflops == tflops
+            assert g.rental_per_hour == rent
+
+    def test_generations(self):
+        assert get_gpu("P100").generation == "Pascal"
+        assert get_gpu("V100").generation == "Volta"
+        assert get_gpu("2080Ti").generation == "Turing"
+        assert get_gpu("A100").generation == "Ampere"
+
+    def test_rental_excludes_2080ti(self):
+        assert "2080Ti" not in RENTAL_GPUS
+        assert set(RENTAL_GPUS) == {"P100", "V100", "A100"}
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_gpu("H100")
+
+    def test_derived_quantities(self):
+        v = get_gpu("V100")
+        assert v.peak_fp64_flops == pytest.approx(7.8e12)
+        assert v.dram_bytes_per_s == pytest.approx(900e9)
+        assert v.max_warps_per_sm == 64
+
+    def test_turing_reduced_sm_limits(self):
+        t = get_gpu("2080Ti")
+        assert t.max_threads_per_sm == 1024
+        assert t.max_blocks_per_sm == 16
+
+    def test_describe_mentions_name(self):
+        for name in GPU_ORDER:
+            assert name in get_gpu(name).describe()
+
+    def test_efficiencies_in_range(self):
+        for g in GPUS.values():
+            assert 0.5 <= g.compute_efficiency <= 1.0
+            assert 0.5 <= g.memory_efficiency <= 1.0
+
+
+class TestTableIV:
+    def test_two_machines(self):
+        assert len(MACHINES) == 2
+
+    def test_machine_gpu_assignment(self):
+        by_cpu = {m.cpu: m for m in MACHINES}
+        assert by_cpu["Xeon Silver 4110"].gpus == ("2080Ti",)
+        assert set(by_cpu["Xeon E5-2680 v4"].gpus) == {"P100", "V100", "A100"}
+
+    def test_every_gpu_hosted(self):
+        hosted = {g for m in MACHINES for g in m.gpus}
+        assert hosted == set(GPU_ORDER)
+
+
+class TestHardwareFeatures:
+    def test_four_features(self):
+        assert len(hardware_features("V100")) == 4
+
+    def test_values(self):
+        assert hardware_features("A100") == (40.0, 1555.0, 108.0, 9.7)
+
+    def test_accepts_spec(self):
+        assert hardware_features(get_gpu("P100")) == hardware_features("P100")

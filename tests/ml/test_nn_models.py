@@ -1,0 +1,158 @@
+"""Tests for the four paper models (ConvNet, FcNet, MLP, ConvMLP)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, NotFittedError
+from repro.ml import (
+    ConvMLPRegressor,
+    ConvNetClassifier,
+    FcNetClassifier,
+    MLPRegressor,
+    accuracy,
+    mape,
+)
+
+
+def _classification_tensors(n=240, seed=0):
+    """Binary 9x9 tensors whose label depends on simple structure."""
+    rng = np.random.default_rng(seed)
+    T = np.zeros((n, 9, 9))
+    labels = rng.integers(0, 3, size=n)
+    for i, lab in enumerate(labels):
+        T[i, 4, 4] = 1.0
+        if lab == 0:  # horizontal bar
+            T[i, 4, 2:7] = 1.0
+        elif lab == 1:  # vertical bar
+            T[i, 2:7, 4] = 1.0
+        else:  # diagonal
+            for k in range(-2, 3):
+                T[i, 4 + k, 4 + k] = 1.0
+        # sparse noise
+        for _ in range(3):
+            T[i, rng.integers(9), rng.integers(9)] = 1.0
+    return T, labels
+
+
+class TestConvNetClassifier:
+    def test_learns_structured_patterns(self):
+        T, y = _classification_tensors()
+        m = ConvNetClassifier(n_classes=3, epochs=30, seed=0).fit(T[:180], y[:180])
+        assert accuracy(y[180:], m.predict(T[180:])) > 0.8
+
+    def test_proba_distribution(self):
+        T, y = _classification_tensors(60)
+        m = ConvNetClassifier(n_classes=3, epochs=5, seed=0).fit(T, y)
+        p = m.predict_proba(T)
+        assert p.shape == (60, 3)
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_3d_input_supported(self):
+        rng = np.random.default_rng(0)
+        T = rng.integers(0, 2, size=(40, 9, 9, 9)).astype(float)
+        y = (T[:, 4, 4, 4] > 0).astype(int)
+        m = ConvNetClassifier(
+            n_classes=2, channels=(4, 8), epochs=3, seed=0
+        ).fit(T, y)
+        assert m.predict(T).shape == (40,)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            ConvNetClassifier(n_classes=2).predict(np.ones((1, 9, 9)))
+
+    def test_deterministic(self):
+        T, y = _classification_tensors(60)
+        a = ConvNetClassifier(n_classes=3, epochs=3, seed=5).fit(T, y).predict(T)
+        b = ConvNetClassifier(n_classes=3, epochs=3, seed=5).fit(T, y).predict(T)
+        assert np.array_equal(a, b)
+
+    def test_training_loss_decreases(self):
+        T, y = _classification_tensors(120)
+        m = ConvNetClassifier(n_classes=3, epochs=15, seed=0).fit(T, y)
+        assert m.history_[-1] < m.history_[0]
+
+
+class TestFcNetClassifier:
+    def test_learns_structured_patterns(self):
+        T, y = _classification_tensors()
+        m = FcNetClassifier(n_classes=3, epochs=40, seed=0).fit(T[:180], y[:180])
+        assert accuracy(y[180:], m.predict(T[180:])) > 0.7
+
+    def test_requires_hidden_layers(self):
+        with pytest.raises(ModelError):
+            FcNetClassifier(n_classes=2, hidden=())
+
+    def test_layer_count_configurable(self):
+        T, y = _classification_tensors(60)
+        m = FcNetClassifier(
+            n_classes=3, hidden=(32, 32, 32, 32), epochs=2, seed=0
+        ).fit(T, y)
+        # 4 hidden Dense + 1 output Dense, each with ReLU except output.
+        assert len(m._net.layers) == 9
+
+
+class TestMLPRegressor:
+    def _data(self, n=600, seed=0):
+        rng = np.random.default_rng(seed)
+        X = rng.random((n, 8))
+        times = np.exp2(3 * X[:, 0] + X[:, 1] - 1)
+        return X, times
+
+    def test_low_mape_on_smooth_target(self):
+        X, t = self._data()
+        m = MLPRegressor(n_layers=4, layer_size=32, epochs=60, seed=0).fit(
+            X[:450], t[:450]
+        )
+        assert mape(t[450:], m.predict(X[450:])) < 12.0
+
+    def test_predictions_positive(self):
+        X, t = self._data(100)
+        m = MLPRegressor(n_layers=2, layer_size=16, epochs=5, seed=0).fit(X, t)
+        assert (m.predict(X) > 0).all()
+
+    def test_layer_count_validation(self):
+        with pytest.raises(ModelError):
+            MLPRegressor(n_layers=0)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            MLPRegressor().predict(np.ones((1, 3)))
+
+    def test_seven_layer_default(self):
+        assert MLPRegressor().n_layers == 7
+
+
+class TestConvMLPRegressor:
+    def _data(self, n=300, seed=0):
+        rng = np.random.default_rng(seed)
+        T = rng.integers(0, 2, size=(n, 9, 9)).astype(float)
+        aux = rng.random((n, 5))
+        times = np.exp2(T.mean(axis=(1, 2)) * 4 + aux[:, 0])
+        return T, aux, times
+
+    def test_learns_joint_signal(self):
+        # batch_size below the sample count: the paper's 256 would mean a
+        # single Adam step per epoch at this toy size.
+        T, aux, t = self._data()
+        m = ConvMLPRegressor(epochs=40, batch_size=32, seed=0).fit(
+            T[:220], aux[:220], t[:220]
+        )
+        assert mape(t[220:], m.predict(T[220:], aux[220:])) < 20.0
+
+    def test_batch_mismatch_raises(self):
+        T, aux, t = self._data(20)
+        m = ConvMLPRegressor(epochs=1, seed=0).fit(T, aux, t)
+        with pytest.raises(ModelError):
+            m.predict(T[:5], aux[:4])
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            ConvMLPRegressor().predict(np.ones((1, 9, 9)), np.ones((1, 5)))
+
+    def test_3d_branch(self):
+        rng = np.random.default_rng(1)
+        T = rng.integers(0, 2, size=(30, 9, 9, 9)).astype(float)
+        aux = rng.random((30, 4))
+        t = np.exp2(aux[:, 0] + 1)
+        m = ConvMLPRegressor(channels=(2, 4), epochs=2, seed=0).fit(T, aux, t)
+        assert m.predict(T, aux).shape == (30,)

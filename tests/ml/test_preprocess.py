@@ -1,0 +1,63 @@
+"""Tests for normalization and target transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotFittedError
+from repro.ml import LogTimeTransform, MaxNormalizer, one_hot
+
+
+class TestMaxNormalizer:
+    def test_scales_to_unit(self):
+        X = np.array([[2.0, 10.0], [4.0, 5.0]])
+        Xn = MaxNormalizer().fit_transform(X)
+        assert Xn.max(axis=0).tolist() == [1.0, 1.0]
+
+    def test_zero_column_passthrough(self):
+        X = np.array([[0.0, 1.0], [0.0, 2.0]])
+        Xn = MaxNormalizer().fit_transform(X)
+        assert np.array_equal(Xn[:, 0], [0.0, 0.0])
+
+    def test_transform_uses_train_scale(self):
+        norm = MaxNormalizer().fit(np.array([[2.0], [4.0]]))
+        assert norm.transform(np.array([[8.0]]))[0, 0] == 2.0
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            MaxNormalizer().transform(np.ones((2, 2)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_train_range_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.random((30, 5)) * rng.integers(1, 100)
+        Xn = MaxNormalizer().fit_transform(X)
+        assert np.abs(Xn).max() <= 1.0 + 1e-12
+
+
+class TestLogTimeTransform:
+    def test_round_trip(self):
+        t = np.array([0.5, 1.0, 123.0])
+        back = LogTimeTransform.inverse(LogTimeTransform.forward(t))
+        assert np.allclose(back, t)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            LogTimeTransform.forward(np.array([0.0]))
+
+    def test_log2_values(self):
+        assert LogTimeTransform.forward(np.array([8.0]))[0] == 3.0
+
+
+class TestOneHot:
+    def test_shape_and_values(self):
+        oh = one_hot(np.array([0, 2, 1]), 3)
+        assert oh.shape == (3, 3)
+        assert oh.sum() == 3
+        assert oh[1, 2] == 1.0
+
+    def test_rows_sum_to_one(self):
+        oh = one_hot(np.array([1, 1, 0, 3]), 4)
+        assert np.array_equal(oh.sum(axis=1), np.ones(4))

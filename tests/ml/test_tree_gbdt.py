@@ -1,0 +1,155 @@
+"""Tests for regression trees and gradient boosting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError, NotFittedError
+from repro.ml import GBDTClassifier, GBRegressor, RegressionTree, accuracy, mape
+
+
+def _make_regression(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 6))
+    y = 4 * X[:, 0] + np.sin(5 * X[:, 1]) + (X[:, 2] > 0.5) * 2.0 + 3.0
+    return X, y
+
+
+class TestRegressionTree:
+    def test_fits_step_function(self):
+        X = np.linspace(0, 1, 100)[:, None]
+        y = (X[:, 0] > 0.5).astype(float)
+        # Newton step on squared loss: grad = pred0 - y with pred0 = 0.
+        tree = RegressionTree(max_depth=2, reg_lambda=0.0).fit(X, -y, np.ones(100))
+        pred = tree.predict(X)
+        assert np.allclose(pred, y, atol=1e-9)
+
+    def test_depth_limit(self):
+        X, y = _make_regression()
+        tree = RegressionTree(max_depth=2).fit(X, -y, np.ones(len(y)))
+        assert tree.depth <= 2
+
+    def test_single_leaf_when_no_split(self):
+        X = np.ones((10, 3))  # constant features: nothing to split on
+        tree = RegressionTree().fit(X, -np.arange(10.0), np.ones(10))
+        assert tree.n_nodes == 1
+
+    def test_leaf_value_is_regularized_mean(self):
+        X = np.ones((4, 1))
+        g = np.array([-1.0, -1.0, -1.0, -1.0])
+        tree = RegressionTree(reg_lambda=0.0).fit(X, g, np.ones(4))
+        assert tree.predict(X)[0] == pytest.approx(1.0)
+
+    def test_min_child_weight_blocks_split(self):
+        X = np.array([[0.0], [1.0]])
+        tree = RegressionTree(min_child_weight=2.0).fit(
+            X, np.array([-1.0, 1.0]), np.ones(2)
+        )
+        assert tree.n_nodes == 1
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            RegressionTree().predict(np.ones((1, 1)))
+
+    def test_shape_validation(self):
+        with pytest.raises(ModelError):
+            RegressionTree().fit(np.ones((3, 2)), np.ones(4), np.ones(4))
+
+    def test_feature_importance_counts_splits(self):
+        X, y = _make_regression()
+        tree = RegressionTree(max_depth=3).fit(X, -y, np.ones(len(y)))
+        imp = tree.feature_importance(6)
+        assert imp.sum() == (tree.n_nodes - 1) / 2  # internal nodes
+        assert imp[0] > 0  # strongest signal feature used
+
+
+class TestGBRegressor:
+    def test_beats_mean_baseline(self):
+        X, y = _make_regression(400)
+        model = GBRegressor(n_rounds=60, learning_rate=0.2, seed=0).fit(
+            X[:300], y[:300]
+        )
+        pred = model.predict(X[300:])
+        mean_err = np.abs(y[300:] - y[:300].mean()).mean()
+        model_err = np.abs(y[300:] - pred).mean()
+        assert model_err < 0.3 * mean_err
+
+    def test_more_rounds_lower_train_error(self):
+        X, y = _make_regression(200)
+        few = GBRegressor(n_rounds=5, learning_rate=0.1, seed=0).fit(X, y)
+        many = GBRegressor(n_rounds=80, learning_rate=0.1, seed=0).fit(X, y)
+        assert mape(y, many.predict(X)) < mape(y, few.predict(X))
+
+    def test_staged_matches_final(self):
+        X, y = _make_regression(100)
+        m = GBRegressor(n_rounds=10, seed=0).fit(X, y)
+        staged = m.staged_predict(X)
+        assert len(staged) == 10
+        assert np.allclose(staged[-1], m.predict(X))
+
+    def test_deterministic(self):
+        X, y = _make_regression(150)
+        a = GBRegressor(n_rounds=20, subsample=0.7, seed=3).fit(X, y).predict(X)
+        b = GBRegressor(n_rounds=20, subsample=0.7, seed=3).fit(X, y).predict(X)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            GBRegressor(subsample=0.0)
+        with pytest.raises(ModelError):
+            GBRegressor(n_rounds=0)
+        with pytest.raises(ModelError):
+            GBRegressor().fit(np.ones((3, 2)), np.ones(4))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            GBRegressor().predict(np.ones((1, 2)))
+
+
+class TestGBDTClassifier:
+    def _make_classification(self, n=400, seed=1):
+        rng = np.random.default_rng(seed)
+        X = rng.random((n, 5))
+        y = (X[:, 0] + X[:, 1] > 1.0).astype(int) + 2 * (X[:, 2] > 0.6).astype(int)
+        return X, y
+
+    def test_learns_separable_classes(self):
+        X, y = self._make_classification()
+        m = GBDTClassifier(n_rounds=40, learning_rate=0.3, seed=0).fit(X[:300], y[:300])
+        assert accuracy(y[300:], m.predict(X[300:])) > 0.85
+
+    def test_proba_rows_sum_to_one(self):
+        X, y = self._make_classification(100)
+        m = GBDTClassifier(n_rounds=10, seed=0).fit(X, y)
+        p = m.predict_proba(X)
+        assert p.shape == (100, 4)
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_predict_matches_argmax_proba(self):
+        X, y = self._make_classification(100)
+        m = GBDTClassifier(n_rounds=10, seed=0).fit(X, y)
+        assert np.array_equal(m.predict(X), m.predict_proba(X).argmax(axis=1))
+
+    def test_binary_case(self):
+        rng = np.random.default_rng(2)
+        X = rng.random((200, 3))
+        y = (X[:, 0] > 0.5).astype(int)
+        m = GBDTClassifier(n_rounds=20, learning_rate=0.3, seed=0).fit(X, y)
+        assert accuracy(y, m.predict(X)) > 0.95
+
+    def test_rejects_negative_labels(self):
+        with pytest.raises(ModelError):
+            GBDTClassifier().fit(np.ones((2, 2)), np.array([-1, 0]))
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            GBDTClassifier().predict(np.ones((1, 2)))
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_proba_valid_distribution(self, seed):
+        X, y = self._make_classification(80, seed)
+        m = GBDTClassifier(n_rounds=5, seed=0).fit(X, y)
+        p = m.predict_proba(X)
+        assert (p >= 0).all() and (p <= 1).all()

@@ -1,0 +1,221 @@
+"""Tests for the kernel resource/traffic model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import numpy as np
+
+from repro.errors import KernelLaunchError, OptimizationError
+from repro.optimizations import (
+    OC,
+    ParamSetting,
+    TIME_STEPS,
+    build_profile,
+    default_grid,
+    sample_setting,
+)
+from repro.optimizations.kernelmodel import WORD
+from repro.stencil import box, generate_stencil, star
+
+
+def profile(stencil, oc, **params):
+    return build_profile(stencil, OC.parse(oc), ParamSetting(**params))
+
+
+class TestGeometry:
+    def test_default_grids(self):
+        assert default_grid(2) == (8192, 8192)
+        assert default_grid(3) == (512, 512, 512)
+
+    def test_naive_block_and_grid(self):
+        p = profile(star(2, 1), "naive", block_x=32, block_y=4)
+        assert p.threads_per_block == 128
+        assert p.n_blocks == (8192 // 32) * (8192 // 4)
+
+    def test_merging_shrinks_grid(self):
+        base = profile(star(2, 1), "naive")
+        merged = profile(star(2, 1), "BM", merge_factor=4, merge_dim=2)
+        assert merged.n_blocks == base.n_blocks // 4
+
+    def test_streaming_block_is_planar(self):
+        p = profile(star(3, 1), "ST", block_x=64, block_y=8, stream_dim=3)
+        assert p.threads_per_block == 64 * 8
+        assert p.n_blocks == (512 // 64) * (512 // 8)  # stream_tiles=1
+
+    def test_stream_tiles_multiply_blocks(self):
+        a = profile(star(3, 1), "ST", stream_dim=3, stream_tiles=1)
+        b = profile(star(3, 1), "ST", stream_dim=3, stream_tiles=4)
+        assert b.n_blocks == 4 * a.n_blocks
+
+    def test_stream_iters(self):
+        p = profile(
+            star(3, 1), "ST", stream_dim=3, stream_tiles=4, stream_unroll=2
+        )
+        assert p.stream_iters == math.ceil((512 / 4) / 2)
+
+    def test_grid_rank_mismatch_raises(self):
+        with pytest.raises(OptimizationError):
+            build_profile(star(2, 1), OC.parse("naive"), ParamSetting(), grid=(64,))
+
+    def test_custom_grid(self):
+        p = build_profile(
+            star(2, 1), OC.parse("naive"), ParamSetting(), grid=(256, 256)
+        )
+        assert p.points == 256 * 256
+
+
+class TestResources:
+    def test_merging_raises_registers(self):
+        base = profile(star(2, 2), "naive")
+        merged = profile(star(2, 2), "CM", merge_factor=8, merge_dim=2)
+        assert merged.regs_per_thread > base.regs_per_thread
+
+    def test_bm_costs_more_registers_than_cm(self):
+        bm = profile(star(2, 2), "BM", merge_factor=4, merge_dim=2)
+        cm = profile(star(2, 2), "CM", merge_factor=4, merge_dim=2)
+        assert bm.regs_per_thread > cm.regs_per_thread
+
+    def test_retiming_cuts_stream_registers_high_order(self):
+        kw = dict(stream_dim=3, stream_unroll=4)
+        no_rt = profile(star(3, 4), "ST", **kw)
+        rt = profile(star(3, 4), "ST_RT", **kw)
+        assert rt.regs_per_thread < no_rt.regs_per_thread
+
+    def test_prefetch_adds_registers(self):
+        kw = dict(stream_dim=3, use_smem=1)
+        assert (
+            profile(star(3, 2), "ST_PR", **kw).regs_per_thread
+            > profile(star(3, 2), "ST", **kw).regs_per_thread
+        )
+
+    def test_spill_recorded_beyond_255(self):
+        p = profile(box(3, 4), "CM", merge_factor=8, merge_dim=2, block_y=1)
+        assert p.regs_per_thread <= 255
+        if p.spilled_regs:
+            assert p.spilled_regs > 0
+
+    def test_smem_zero_without_flag(self):
+        assert profile(star(2, 1), "naive").smem_per_block == 0
+
+    def test_smem_tile_size_2d(self):
+        p = profile(star(2, 1), "naive", use_smem=1, block_x=32, block_y=4)
+        assert p.smem_per_block == (32 + 2) * (4 + 2) * WORD
+
+    def test_tb_forces_smem(self):
+        p = profile(star(2, 1), "TB", temporal_steps=2, block_y=16)
+        assert p.smem_per_block > 0
+
+    def test_streaming_smem_planes(self):
+        p = profile(
+            star(3, 1), "ST", stream_dim=3, use_smem=1, block_x=32, block_y=8
+        )
+        assert p.smem_per_block == (32 + 2) * (8 + 2) * 3 * WORD
+
+
+class TestTrafficAndWork:
+    def test_flops_match_stencil(self):
+        s = star(2, 1)
+        p = profile(s, "naive")
+        assert p.flops == pytest.approx(s.flops_per_point() * p.points)
+
+    def test_smem_halo_reduces_reads_vs_worstcase(self):
+        naive = profile(star(3, 2), "naive")
+        tiled = profile(star(3, 2), "naive", use_smem=1, block_y=16, block_z=8)
+        worst_naive = naive.read_bytes_base * naive.read_amplification
+        assert tiled.read_bytes_base < worst_naive
+        assert tiled.read_amplification == 1.0
+
+    def test_temporal_blocking_amortizes_launches(self):
+        p = profile(star(2, 1), "TB", temporal_steps=4, block_x=64, block_y=16)
+        assert p.launches == TIME_STEPS // 4
+        assert p.temporal_steps == 4
+
+    def test_temporal_redundancy_grows_flops(self):
+        single = profile(star(2, 1), "naive", use_smem=1)
+        fused = profile(star(2, 1), "TB", temporal_steps=2)
+        assert fused.flops > 2 * single.flops  # t sweeps + halo redundancy
+
+    def test_write_bytes_per_launch_constant(self):
+        p1 = profile(star(2, 1), "naive")
+        p2 = profile(star(2, 1), "TB", temporal_steps=2)
+        assert p1.write_bytes == p2.write_bytes
+
+    def test_reuse_window_smaller_with_streaming(self):
+        naive = profile(star(3, 2), "naive")
+        streamed = profile(star(3, 2), "ST", stream_dim=3)
+        assert streamed.reuse_window_bytes < naive.reuse_window_bytes
+
+    def test_scattered_flag(self):
+        assert profile(star(2, 1), "naive").scattered
+        assert not profile(star(2, 1), "naive", use_smem=1).scattered
+
+
+class TestCoalescing:
+    def test_full_for_wide_blocks(self):
+        assert profile(star(2, 1), "naive", block_x=32).coalescing == 1.0
+
+    def test_narrow_block_penalty(self):
+        assert profile(star(2, 1), "naive", block_x=16).coalescing == 0.5
+
+    def test_bm_x_merge_penalty(self):
+        p = profile(star(2, 1), "BM", merge_factor=4, merge_dim=1)
+        assert p.coalescing == pytest.approx(0.25)
+
+    def test_cm_x_merge_no_penalty(self):
+        p = profile(star(2, 1), "CM", merge_factor=4, merge_dim=1)
+        assert p.coalescing == 1.0
+
+    def test_stream_x_penalty(self):
+        p = profile(star(3, 1), "ST", stream_dim=1)
+        assert p.coalescing == pytest.approx(0.25)
+
+    def test_floor(self):
+        p = profile(star(3, 1), "ST_BM", stream_dim=1, merge_factor=8, merge_dim=1)
+        assert p.coalescing >= 0.15
+
+
+class TestValidity:
+    def test_temporal_halo_consumes_tile(self):
+        with pytest.raises(KernelLaunchError):
+            profile(star(3, 3), "TB", temporal_steps=2, block_z=2)
+
+    def test_merge_dim_beyond_ndim(self):
+        with pytest.raises(OptimizationError):
+            profile(star(2, 1), "BM", merge_factor=2, merge_dim=3)
+
+    def test_stream_dim_beyond_ndim(self):
+        with pytest.raises(OptimizationError):
+            profile(star(2, 1), "ST", stream_dim=3)
+
+
+class TestPropertyInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        ndim=st.sampled_from([2, 3]),
+        order=st.integers(1, 4),
+        seed=st.integers(0, 50_000),
+        oc_name=st.sampled_from(
+            ["naive", "ST", "BM", "CM", "ST_RT", "ST_PR", "ST_CM_RT_PR_TB"]
+        ),
+    )
+    def test_profile_physical_sanity(self, ndim, order, seed, oc_name):
+        rng = np.random.default_rng(seed)
+        s = generate_stencil(ndim, order, rng)
+        oc = OC.parse(oc_name)
+        setting = sample_setting(oc, ndim, rng)
+        try:
+            p = build_profile(s, oc, setting)
+        except KernelLaunchError:
+            return
+        assert p.threads_per_block >= 1
+        assert p.n_blocks >= 1
+        assert p.regs_per_thread >= 18
+        assert p.smem_per_block >= 0
+        assert p.flops >= s.flops_per_point() * p.points
+        assert p.read_bytes_base >= WORD * p.points * 0.99
+        assert p.read_amplification >= 1.0
+        assert 0.15 <= p.coalescing <= 1.0
+        assert p.launches * p.temporal_steps == TIME_STEPS

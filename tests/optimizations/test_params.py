@@ -1,0 +1,152 @@
+"""Tests for parameter spaces, settings and encodings."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OptimizationError
+from repro.optimizations import (
+    N_PARAM_FEATURES,
+    OC,
+    PARAM_NAMES,
+    PARAM_SPECS,
+    ParamKind,
+    ParamSetting,
+    default_setting,
+    param_space_size,
+    relevant_params,
+    sample_setting,
+    sample_settings,
+)
+
+
+class TestSpecs:
+    def test_three_kinds_present(self):
+        kinds = {s.kind for s in PARAM_SPECS}
+        assert kinds == {ParamKind.POW2, ParamKind.BOOL, ParamKind.ENUM}
+
+    def test_pow2_choices_are_powers(self):
+        for s in PARAM_SPECS:
+            if s.kind is ParamKind.POW2:
+                for c in s.choices:
+                    assert c & (c - 1) == 0
+
+    def test_enum_starts_at_one(self):
+        for s in PARAM_SPECS:
+            if s.kind is ParamKind.ENUM:
+                assert min(s.choices) == 1
+
+    def test_encode_log2(self):
+        spec = next(s for s in PARAM_SPECS if s.name == "block_x")
+        assert spec.encode(32) == 5.0
+
+    def test_encode_bool_identity(self):
+        spec = next(s for s in PARAM_SPECS if s.name == "use_smem")
+        assert spec.encode(1) == 1.0
+
+
+class TestParamSetting:
+    def test_defaults(self):
+        s = default_setting()
+        assert s["block_x"] == 32 and s["merge_factor"] == 1
+
+    def test_rejects_unknown(self):
+        with pytest.raises(OptimizationError):
+            ParamSetting(warp_size=32)
+
+    def test_rejects_off_menu_value(self):
+        with pytest.raises(OptimizationError):
+            ParamSetting(block_x=48)
+
+    def test_accepts_default_even_if_not_choice(self):
+        # merge_factor's default (1) is not in its choices (2, 4, 8).
+        assert ParamSetting(merge_factor=1)["merge_factor"] == 1
+
+    def test_replace(self):
+        a = default_setting()
+        b = a.replace(block_y=8)
+        assert b["block_y"] == 8 and a["block_y"] == 4
+
+    def test_hash_eq(self):
+        assert ParamSetting(block_x=64) == ParamSetting(block_x=64)
+        assert len({ParamSetting(block_x=64), ParamSetting(block_x=64)}) == 1
+
+    def test_as_tuple_order(self):
+        s = default_setting()
+        assert len(s.as_tuple()) == len(PARAM_NAMES)
+
+    def test_encode_width_and_log2(self):
+        v = ParamSetting(block_x=128, use_smem=1, stream_dim=2).encode()
+        assert v.shape == (N_PARAM_FEATURES,)
+        assert v[PARAM_NAMES.index("block_x")] == 7.0
+        assert v[PARAM_NAMES.index("use_smem")] == 1.0
+        assert v[PARAM_NAMES.index("stream_dim")] == 2.0
+
+    def test_mapping_protocol(self):
+        s = default_setting()
+        assert set(s) == set(PARAM_NAMES)
+        assert len(s) == len(PARAM_NAMES)
+
+
+class TestRelevance:
+    def test_naive_2d(self):
+        names = relevant_params(OC.parse("naive"), 2)
+        assert "merge_factor" not in names
+        assert "stream_dim" not in names
+        assert "use_smem" in names
+
+    def test_streaming_drops_block_z(self):
+        names = relevant_params(OC.parse("ST"), 3)
+        assert "block_z" not in names
+        assert {"stream_dim", "stream_unroll", "stream_tiles"} <= set(names)
+
+    def test_merging_adds_merge_params(self):
+        names = relevant_params(OC.parse("BM"), 2)
+        assert {"merge_factor", "merge_dim"} <= set(names)
+
+    def test_tb_adds_temporal(self):
+        assert "temporal_steps" in relevant_params(OC.parse("TB"), 2)
+
+    def test_space_size_positive(self):
+        for name in ("naive", "ST", "ST_BM_RT_PR_TB"):
+            assert param_space_size(OC.parse(name), 3) >= 2
+
+
+class TestSampling:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), ndim=st.sampled_from([2, 3]))
+    def test_samples_respect_relevance(self, seed, ndim):
+        oc = OC.parse("ST_CM")
+        rng = np.random.default_rng(seed)
+        s = sample_setting(oc, ndim, rng)
+        # Irrelevant parameters stay at defaults.
+        assert s["temporal_steps"] == 1
+        if ndim == 2:
+            assert s["merge_dim"] in (1, 2)
+            assert s["stream_dim"] in (1, 2)
+
+    def test_enum_capped_by_ndim(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            s = sample_setting(OC.parse("ST"), 2, rng)
+            assert s["stream_dim"] <= 2
+
+    def test_sample_settings_distinct(self):
+        rng = np.random.default_rng(1)
+        got = sample_settings(OC.parse("ST_BM_TB"), 3, 10, rng)
+        assert len({g.as_tuple() for g in got}) == len(got)
+
+    def test_sample_settings_bounded_by_space(self):
+        rng = np.random.default_rng(2)
+        oc = OC.parse("naive")
+        size = param_space_size(oc, 2)
+        got = sample_settings(oc, 2, size + 50, rng)
+        assert len(got) <= size
+
+    def test_deterministic_for_seed(self):
+        a = sample_settings(OC.parse("ST"), 3, 5, np.random.default_rng(7))
+        b = sample_settings(OC.parse("ST"), 3, 5, np.random.default_rng(7))
+        assert [x.as_tuple() for x in a] == [x.as_tuple() for x in b]

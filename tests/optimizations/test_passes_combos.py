@@ -1,0 +1,104 @@
+"""Tests for Table I optimizations, constraints and OC enumeration."""
+
+import pytest
+
+from repro.errors import ConstraintViolation
+from repro.optimizations import (
+    ALL_OCS,
+    NAIVE,
+    OC,
+    OC_BY_NAME,
+    TABLE_I,
+    Opt,
+    constraint_violations,
+    enumerate_ocs,
+)
+
+
+class TestTableI:
+    def test_six_optimizations(self):
+        assert len(TABLE_I) == 6
+        assert [row.opt.value for row in TABLE_I] == ["ST", "BM", "CM", "RT", "PR", "TB"]
+
+    def test_numbers_sequential(self):
+        assert [row.number for row in TABLE_I] == [1, 2, 3, 4, 5, 6]
+
+
+class TestConstraints:
+    def test_bm_cm_exclusive(self):
+        assert constraint_violations(frozenset({Opt.BM, Opt.CM}))
+
+    def test_rt_requires_st(self):
+        assert constraint_violations(frozenset({Opt.RT}))
+        assert not constraint_violations(frozenset({Opt.ST, Opt.RT}))
+
+    def test_pr_requires_st(self):
+        assert constraint_violations(frozenset({Opt.PR}))
+        assert not constraint_violations(frozenset({Opt.ST, Opt.PR}))
+
+    def test_tb_standalone_ok(self):
+        assert not constraint_violations(frozenset({Opt.TB}))
+
+    def test_empty_ok(self):
+        assert not constraint_violations(frozenset())
+
+    def test_multiple_violations_reported(self):
+        problems = constraint_violations(frozenset({Opt.BM, Opt.CM, Opt.RT}))
+        assert len(problems) == 2
+
+
+class TestOC:
+    def test_of_strings(self):
+        oc = OC.of("ST", "RT")
+        assert Opt.ST in oc.opts and Opt.RT in oc.opts
+
+    def test_invalid_raises(self):
+        with pytest.raises(ConstraintViolation):
+            OC.of("RT")
+        with pytest.raises(ConstraintViolation):
+            OC.of("BM", "CM")
+
+    def test_canonical_name_order(self):
+        assert OC.of("TB", "RT", "ST").name == "ST_RT_TB"
+
+    def test_naive_name(self):
+        assert NAIVE.name == "naive"
+        assert len(NAIVE) == 0
+
+    def test_parse_round_trip(self):
+        for oc in ALL_OCS:
+            assert OC.parse(oc.name) == oc
+
+    def test_contains(self):
+        oc = OC.of("ST", "PR")
+        assert "ST" in oc and Opt.PR in oc and "TB" not in oc
+
+    def test_sortable_size_major(self):
+        assert sorted(ALL_OCS)[0] == NAIVE
+
+
+class TestEnumeration:
+    def test_thirty_valid_ocs(self):
+        assert len(ALL_OCS) == 30
+
+    def test_enumeration_deterministic(self):
+        assert tuple(enumerate_ocs()) == ALL_OCS
+
+    def test_no_duplicates(self):
+        assert len({oc.name for oc in ALL_OCS}) == 30
+
+    def test_by_name_lookup(self):
+        assert OC_BY_NAME["ST_BM_RT_PR_TB"] in ALL_OCS
+
+    def test_all_satisfy_constraints(self):
+        for oc in ALL_OCS:
+            assert not constraint_violations(oc.opts)
+
+    def test_expected_members(self):
+        names = {oc.name for oc in ALL_OCS}
+        # Spot-check combinations mentioned in the paper's figures.
+        for expected in ("naive", "TB", "ST", "ST_BM", "ST_CM", "ST_RT_PR_TB"):
+            assert expected in names
+        # And impossible ones are absent.
+        for absent in ("RT", "PR", "BM_CM", "RT_TB"):
+            assert absent not in names

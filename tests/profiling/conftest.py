@@ -1,0 +1,27 @@
+"""Shared fixtures: a small deterministic profiling campaign.
+
+Campaigns are expensive enough that module-scoped fixtures matter; all
+profiling tests share one small population and one two-GPU campaign.
+"""
+
+import pytest
+
+from repro.stencil import generate_population
+from repro.profiling import run_campaign
+
+
+@pytest.fixture(scope="session")
+def small_population():
+    return generate_population(2, 12, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_campaign(small_population):
+    return run_campaign(
+        small_population, gpus=("V100", "A100"), n_settings=4, seed=3
+    )
+
+
+@pytest.fixture(scope="session")
+def full_gpu_campaign(small_population):
+    return run_campaign(small_population[:8], n_settings=4, seed=5)

@@ -1,0 +1,77 @@
+"""Tests for k-fold and stratified cross-validation splitters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DatasetError
+from repro.profiling import kfold_indices, stratified_kfold_indices
+
+
+class TestKFold:
+    def test_partition(self):
+        folds = list(kfold_indices(20, 5, seed=0))
+        assert len(folds) == 5
+        all_test = np.concatenate([t for _, t in folds])
+        assert sorted(all_test) == list(range(20))
+
+    def test_disjoint_train_test(self):
+        for train, test in kfold_indices(23, 5, seed=1):
+            assert not set(train) & set(test)
+            assert len(train) + len(test) == 23
+
+    def test_balanced_sizes(self):
+        sizes = [len(t) for _, t in kfold_indices(22, 5, seed=2)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_deterministic(self):
+        a = [(tr.tolist(), te.tolist()) for tr, te in kfold_indices(10, 3, seed=4)]
+        b = [(tr.tolist(), te.tolist()) for tr, te in kfold_indices(10, 3, seed=4)]
+        assert a == b
+
+    def test_errors(self):
+        with pytest.raises(DatasetError):
+            list(kfold_indices(10, 1, seed=0))
+        with pytest.raises(DatasetError):
+            list(kfold_indices(3, 5, seed=0))
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(10, 200), k=st.integers(2, 8), seed=st.integers(0, 100))
+    def test_property_each_index_tested_once(self, n, k, seed):
+        if n < k:
+            return
+        seen = np.zeros(n, dtype=int)
+        for _, test in kfold_indices(n, k, seed):
+            seen[test] += 1
+        assert (seen == 1).all()
+
+
+class TestStratifiedKFold:
+    def test_class_balance_preserved(self):
+        labels = np.array([0] * 40 + [1] * 10)
+        for train, test in stratified_kfold_indices(labels, 5, seed=0):
+            # Each test fold should carry ~8 of class 0 and ~2 of class 1.
+            assert 1 <= (labels[test] == 1).sum() <= 3
+
+    def test_partition(self):
+        labels = np.array([0, 1, 2] * 10)
+        all_test = np.concatenate(
+            [t for _, t in stratified_kfold_indices(labels, 3, seed=1)]
+        )
+        assert sorted(all_test.tolist()) == list(range(30))
+
+    def test_rare_class_spread(self):
+        # A class with exactly n_folds members lands one per fold.
+        labels = np.array([0] * 20 + [1] * 4)
+        counts = [
+            (labels[test] == 1).sum()
+            for _, test in stratified_kfold_indices(labels, 4, seed=2)
+        ]
+        assert counts == [1, 1, 1, 1]
+
+    def test_deterministic(self):
+        labels = np.array([0, 0, 1, 1, 0, 1] * 5)
+        a = [t.tolist() for _, t in stratified_kfold_indices(labels, 3, seed=7)]
+        b = [t.tolist() for _, t in stratified_kfold_indices(labels, 3, seed=7)]
+        assert a == b

@@ -1,0 +1,89 @@
+"""Tests for classification/regression dataset assembly."""
+
+import numpy as np
+import pytest
+
+from repro.optimizations import N_PARAM_FEATURES
+from repro.profiling import (
+    build_classification_dataset,
+    build_regression_dataset,
+    merge_ocs,
+    oc_flags,
+    regression_feature_size,
+)
+from repro.profiling.dataset import N_HW_FEATURES, N_OC_FEATURES
+from repro.stencil import n_features
+
+
+@pytest.fixture(scope="module")
+def grouping(small_campaign):
+    return merge_ocs(small_campaign, n_classes=5)
+
+
+class TestOCFlags:
+    def test_width(self):
+        assert oc_flags("naive").shape == (N_OC_FEATURES,)
+
+    def test_naive_all_zero(self):
+        assert oc_flags("naive").sum() == 0
+
+    def test_flags_set(self):
+        f = oc_flags("ST_RT_TB")
+        # Order: ST BM CM RT PR TB
+        assert f.tolist() == [1, 0, 0, 1, 0, 1]
+
+
+class TestClassificationDataset:
+    def test_shapes(self, small_campaign, grouping):
+        ds = build_classification_dataset(small_campaign, grouping, "V100")
+        n = len(small_campaign.stencils)
+        assert ds.features.shape == (n, n_features())
+        assert ds.tensors.shape == (n, 9, 9)
+        assert ds.labels.shape == (n,)
+        assert ds.n_samples == n
+
+    def test_labels_in_range(self, small_campaign, grouping):
+        ds = build_classification_dataset(small_campaign, grouping, "A100")
+        assert ds.labels.min() >= 0
+        assert ds.labels.max() < ds.n_classes == 5
+
+    def test_labels_consistent_with_best(self, small_campaign, grouping):
+        ds = build_classification_dataset(small_campaign, grouping, "V100")
+        for label, best in zip(ds.labels, ds.best_ocs):
+            assert grouping.label(best) == label
+
+
+class TestRegressionDataset:
+    def test_shapes(self, small_campaign):
+        ds = build_regression_dataset(small_campaign, gpus=("V100",))
+        f = regression_feature_size()
+        assert ds.features.shape[1] == f
+        assert ds.aux.shape[1] == N_OC_FEATURES + N_PARAM_FEATURES + N_HW_FEATURES
+        assert ds.tensors.shape[0] == ds.n_samples
+        assert ds.times_ms.shape == (ds.n_samples,)
+
+    def test_row_count_matches_measurements(self, small_campaign):
+        ds = build_regression_dataset(small_campaign, gpus=("V100",))
+        assert ds.n_samples == len(small_campaign.measurements("V100"))
+
+    def test_multi_gpu_concatenation(self, small_campaign):
+        one = build_regression_dataset(small_campaign, gpus=("V100",))
+        both = build_regression_dataset(small_campaign)
+        assert both.n_samples == one.n_samples + len(
+            small_campaign.measurements("A100")
+        )
+        assert set(both.gpus) == {"V100", "A100"}
+
+    def test_hw_features_embedded(self, small_campaign):
+        ds = build_regression_dataset(small_campaign, gpus=("A100",))
+        # Last four flat features are the A100 hardware vector.
+        assert np.allclose(ds.features[0, -4:], [40.0, 1555.0, 108.0, 9.7])
+
+    def test_times_positive(self, small_campaign):
+        ds = build_regression_dataset(small_campaign)
+        assert (ds.times_ms > 0).all()
+
+    def test_feature_split_consistency(self, small_campaign):
+        ds = build_regression_dataset(small_campaign, gpus=("V100",))
+        # features == [stencil features | aux]
+        assert np.allclose(ds.features[:, n_features():], ds.aux)

@@ -1,0 +1,108 @@
+"""Tests for PCC computation and OC merging."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.profiling import (
+    merge_ocs,
+    oc_time_matrix,
+    pairwise_pcc,
+    pcc_intersection,
+    top_pairs,
+)
+
+
+class TestPairwisePCC:
+    def test_perfect_correlation(self):
+        m = np.array([[1.0, 2.0, 3.0, 4.0], [2.0, 4.0, 6.0, 8.0]])
+        pcc = pairwise_pcc(m)
+        assert pcc[0, 1] == pytest.approx(1.0)
+
+    def test_anticorrelation(self):
+        m = np.array([[1.0, 2.0, 3.0, 4.0], [4.0, 3.0, 2.0, 1.0]])
+        assert pairwise_pcc(m)[0, 1] == pytest.approx(-1.0)
+
+    def test_symmetric_nan_diagonal(self):
+        rng = np.random.default_rng(0)
+        m = rng.random((4, 10))
+        pcc = pairwise_pcc(m)
+        assert np.isnan(pcc).trace() == 4  # diagonal all NaN
+        assert np.allclose(pcc, pcc.T, equal_nan=True)
+
+    def test_nan_columns_skipped(self):
+        m = np.array(
+            [[1.0, np.nan, 3.0, 4.0, 5.0], [2.0, 9.0, 6.0, 8.0, 10.0]]
+        )
+        # Common columns 0,2,3,4 are perfectly proportional.
+        assert pairwise_pcc(m)[0, 1] == pytest.approx(1.0)
+
+    def test_min_common_enforced(self):
+        m = np.array([[1.0, 2.0, np.nan, np.nan], [1.0, 2.0, np.nan, np.nan]])
+        assert np.isnan(pairwise_pcc(m, min_common=4)[0, 1])
+
+    def test_constant_rows(self):
+        m = np.array([[1.0, 1.0, 1.0, 1.0], [2.0, 2.0, 2.0, 2.0]])
+        # Zero variance on both sides with identical centered values.
+        assert pairwise_pcc(m)[0, 1] == 1.0
+
+
+class TestTopPairs:
+    def test_ordering_by_abs(self):
+        pcc = np.full((3, 3), np.nan)
+        pcc[0, 1] = pcc[1, 0] = 0.5
+        pcc[0, 2] = pcc[2, 0] = -0.9
+        pcc[1, 2] = pcc[2, 1] = 0.7
+        pairs = top_pairs(pcc, 2)
+        assert pairs[0][:2] == (0, 2)
+        assert pairs[1][:2] == (1, 2)
+
+    def test_intersection(self):
+        per_gpu = {
+            "a": [(0, 1, 0.9), (1, 2, 0.8)],
+            "b": [(0, 1, 0.95), (2, 3, 0.7)],
+        }
+        assert pcc_intersection(per_gpu) == {(0, 1)}
+
+
+class TestMergeOCs:
+    def test_time_matrix_shape(self, small_campaign):
+        names, m = oc_time_matrix(small_campaign, "V100")
+        assert m.shape == (len(names), len(small_campaign.stencils))
+
+    def test_merge_to_five(self, small_campaign):
+        grouping = merge_ocs(small_campaign, n_classes=5)
+        assert grouping.n_classes == 5
+        assert len(grouping.representatives) == 5
+
+    def test_every_oc_assigned(self, small_campaign):
+        grouping = merge_ocs(small_campaign, n_classes=5)
+        names = {oc.name for oc in small_campaign.ocs}
+        assert set(grouping.class_of) == names
+
+    def test_representative_in_own_group(self, small_campaign):
+        grouping = merge_ocs(small_campaign, n_classes=5)
+        for c, rep in enumerate(grouping.representatives):
+            assert rep in grouping.groups[c]
+            assert grouping.label(rep) == c
+
+    def test_groups_partition(self, small_campaign):
+        grouping = merge_ocs(small_campaign, n_classes=4)
+        flat = [oc for g in grouping.groups for oc in g]
+        assert len(flat) == len(set(flat)) == len(small_campaign.ocs)
+
+    def test_label_unknown_raises(self, small_campaign):
+        grouping = merge_ocs(small_campaign, n_classes=5)
+        with pytest.raises(DatasetError):
+            grouping.label("HEX")
+
+    def test_n_classes_bounds(self, small_campaign):
+        with pytest.raises(DatasetError):
+            merge_ocs(small_campaign, n_classes=0)
+        with pytest.raises(DatasetError):
+            merge_ocs(small_campaign, n_classes=999)
+
+    def test_deterministic(self, small_campaign):
+        a = merge_ocs(small_campaign, n_classes=5)
+        b = merge_ocs(small_campaign, n_classes=5)
+        assert a.groups == b.groups and a.representatives == b.representatives

@@ -1,0 +1,76 @@
+"""Round-trip tests for campaign persistence."""
+
+import json
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.profiling import load_campaign, save_campaign
+from repro.profiling.storage import (
+    campaign_from_dict,
+    campaign_to_dict,
+    stencil_from_dict,
+    stencil_to_dict,
+)
+from repro.stencil import box, star
+
+
+class TestStencilRoundTrip:
+    def test_round_trip(self):
+        s = box(3, 2)
+        assert stencil_from_dict(stencil_to_dict(s)) == s
+
+    def test_name_preserved(self):
+        s = star(2, 1)
+        assert stencil_from_dict(stencil_to_dict(s)).name == "star2d1r"
+
+    def test_malformed_raises(self):
+        with pytest.raises(DatasetError):
+            stencil_from_dict({"ndim": 2})
+
+
+class TestCampaignRoundTrip:
+    def test_full_round_trip(self, small_campaign, tmp_path):
+        path = tmp_path / "campaign.json"
+        save_campaign(small_campaign, path)
+        loaded = load_campaign(path)
+
+        assert loaded.gpus == small_campaign.gpus
+        assert loaded.n_settings == small_campaign.n_settings
+        assert len(loaded.stencils) == len(small_campaign.stencils)
+        for gpu in small_campaign.gpus:
+            for a, b in zip(loaded.profiles[gpu], small_campaign.profiles[gpu]):
+                assert a.best_oc == b.best_oc
+                assert a.best_time_ms == b.best_time_ms
+                assert len(a.measurements) == len(b.measurements)
+                assert a.measurements[0].setting == b.measurements[0].setting
+
+    def test_document_is_json(self, small_campaign, tmp_path):
+        path = tmp_path / "c.json"
+        save_campaign(small_campaign, path)
+        doc = json.loads(path.read_text())
+        assert doc["format"] == 1
+        assert set(doc["profiles"]) == set(small_campaign.gpus)
+
+    def test_downstream_merge_identical(self, small_campaign, tmp_path):
+        from repro.profiling import merge_ocs
+
+        path = tmp_path / "c.json"
+        save_campaign(small_campaign, path)
+        loaded = load_campaign(path)
+        a = merge_ocs(small_campaign, n_classes=5)
+        b = merge_ocs(loaded, n_classes=5)
+        assert a.groups == b.groups
+        assert a.representatives == b.representatives
+
+    def test_bad_format_rejected(self, small_campaign):
+        doc = campaign_to_dict(small_campaign)
+        doc["format"] = 99
+        with pytest.raises(DatasetError):
+            campaign_from_dict(doc)
+
+    def test_unknown_oc_rejected(self, small_campaign):
+        doc = campaign_to_dict(small_campaign)
+        doc["ocs"][0] = "WARP_SPEED"
+        with pytest.raises(DatasetError):
+            campaign_from_dict(doc)

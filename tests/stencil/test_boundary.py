@@ -1,0 +1,115 @@
+"""Tests for the boundary-condition extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StencilError
+from repro.stencil import (
+    Boundary,
+    apply_with_boundary,
+    boundary_feature,
+    boundary_fraction,
+    boundary_overhead_factor,
+    generate_stencil,
+    star,
+)
+
+
+class TestApplyWithBoundary:
+    def test_none_matches_plain_apply(self):
+        g = np.random.default_rng(0).random((12, 12))
+        s = star(2, 1)
+        assert np.array_equal(
+            apply_with_boundary(s, g, Boundary.NONE), s.apply(g)
+        )
+
+    def test_periodic_constant_field_fixed_point(self):
+        g = np.full((10, 10), 2.5)
+        out = apply_with_boundary(star(2, 2), g, Boundary.PERIODIC)
+        assert np.allclose(out, 2.5)
+
+    def test_periodic_wraps(self):
+        g = np.zeros((8, 8))
+        g[0, 0] = 8.0
+        s = star(2, 1)
+        out = apply_with_boundary(s, g, Boundary.PERIODIC, coefficient=1.0)
+        # The west neighbor of (0,0) is (0,7); its update sums g[0,0].
+        assert out[0, 7] == 8.0
+        assert out[7, 0] == 8.0
+
+    def test_dirichlet_uses_ghost_value(self):
+        g = np.ones((6, 6))
+        s = star(2, 1)
+        out = apply_with_boundary(
+            s, g, Boundary.DIRICHLET, coefficient=1.0, dirichlet_value=0.0
+        )
+        # Corner point: two in-grid neighbors missing -> sum = 3 not 5.
+        assert out[0, 0] == 3.0
+        assert out[3, 3] == 5.0
+
+    def test_reflect_constant_field(self):
+        g = np.full((9, 9), 1.5)
+        out = apply_with_boundary(star(2, 1), g, Boundary.REFLECT)
+        assert np.allclose(out, 1.5)
+
+    def test_reflect_too_small_raises(self):
+        with pytest.raises(StencilError):
+            apply_with_boundary(star(2, 4), np.ones((3, 3)), Boundary.REFLECT)
+
+    def test_3d_supported(self):
+        g = np.ones((6, 6, 6))
+        out = apply_with_boundary(star(3, 1), g, Boundary.PERIODIC)
+        assert np.allclose(out, 1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_interior_matches_plain_apply(self, seed):
+        rng = np.random.default_rng(seed)
+        s = generate_stencil(2, 2, rng)
+        g = rng.random((14, 14))
+        r = s.order
+        plain = s.apply(g)
+        for bc in (Boundary.PERIODIC, Boundary.DIRICHLET, Boundary.REFLECT):
+            out = apply_with_boundary(s, g, bc)
+            assert np.allclose(out[r:-r, r:-r], plain[r:-r, r:-r])
+
+
+class TestOverheadModel:
+    def test_none_is_free(self):
+        assert boundary_overhead_factor(star(2, 1), (8192, 8192), Boundary.NONE) == 1.0
+
+    def test_fraction_small_for_big_grid(self):
+        frac = boundary_fraction(star(2, 1), (8192, 8192))
+        assert 0.0 < frac < 0.001
+
+    def test_fraction_one_for_tiny_grid(self):
+        assert boundary_fraction(star(2, 4), (8, 8)) == 1.0
+
+    def test_periodic_costs_most(self):
+        s = star(3, 4)
+        dims = (64, 64, 64)  # large boundary share
+        d = boundary_overhead_factor(s, dims, Boundary.DIRICHLET)
+        r = boundary_overhead_factor(s, dims, Boundary.REFLECT)
+        p = boundary_overhead_factor(s, dims, Boundary.PERIODIC)
+        assert 1.0 < d < p
+        assert d < r < p
+
+    def test_simulator_integration(self):
+        from repro.gpu import GPUSimulator
+        from repro.optimizations import OC, default_setting
+
+        sim = GPUSimulator("V100", sigma=0)
+        s = star(3, 2)
+        base = sim.run(s, OC.parse("naive"), default_setting(), grid=(64, 64, 64))
+        bc = sim.run(
+            s, OC.parse("naive"), default_setting(), grid=(64, 64, 64),
+            boundary=Boundary.PERIODIC,
+        )
+        assert bc.time_ms > base.time_ms
+
+    def test_feature_encoding(self):
+        assert boundary_feature(Boundary.NONE) == 0.0
+        codes = {boundary_feature(b) for b in Boundary}
+        assert len(codes) == 4

@@ -1,0 +1,110 @@
+"""Tests for Table II feature extraction."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stencil import (
+    batch_features,
+    box,
+    describe,
+    extract_features,
+    feature_names,
+    generate_stencil,
+    n_features,
+    star,
+)
+from repro.stencil.offsets import shell_size
+
+
+class TestVectorLayout:
+    def test_length(self):
+        assert n_features(4) == 11
+        assert len(feature_names(4)) == 11
+
+    def test_names_order(self):
+        names = feature_names(2)
+        assert names == [
+            "order",
+            "nnz",
+            "sparsity",
+            "nnz_order_1",
+            "nnz_order_2",
+            "nnzRatio_order_1",
+            "nnzRatio_order_2",
+        ]
+
+    def test_vector_matches_names(self):
+        v = extract_features(star(2, 1))
+        assert v.shape == (n_features(),)
+
+
+class TestValues:
+    def test_star2d1r(self):
+        d = describe(star(2, 1))
+        assert d["order"] == 1
+        assert d["nnz"] == 5
+        assert np.isclose(d["sparsity"], 5 / 81)
+        assert d["nnz_order_1"] == 4
+        assert np.isclose(d["nnzRatio_order_1"], 4 / 8)
+        assert d["nnz_order_2"] == 0
+
+    def test_full_box_ratios_are_one(self):
+        d = describe(box(2, 4))
+        for n in range(1, 5):
+            assert np.isclose(d[f"nnzRatio_order_{n}"], 1.0)
+
+    def test_3d_sparsity_denominator(self):
+        d = describe(star(3, 1))
+        assert np.isclose(d["sparsity"], 7 / 9**3)
+
+
+class TestInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ndim=st.sampled_from([2, 3]),
+        order=st.integers(1, 4),
+        seed=st.integers(0, 10_000),
+    )
+    def test_shell_counts_sum_to_nnz(self, ndim, order, seed):
+        rng = np.random.default_rng(seed)
+        s = generate_stencil(ndim, order, rng)
+        d = describe(s)
+        shells = sum(d[f"nnz_order_{n}"] for n in range(1, 5))
+        assert shells + 1 == d["nnz"]  # +1 for the central point
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ndim=st.sampled_from([2, 3]),
+        order=st.integers(1, 4),
+        seed=st.integers(0, 10_000),
+    )
+    def test_ratios_in_unit_interval(self, ndim, order, seed):
+        rng = np.random.default_rng(seed)
+        s = generate_stencil(ndim, order, rng)
+        v = extract_features(s)
+        ratios = v[3 + 4 :]
+        assert np.all(ratios >= 0.0) and np.all(ratios <= 1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(order=st.integers(1, 4))
+    def test_ratio_consistent_with_count(self, order):
+        s = star(2, order)
+        d = describe(s)
+        for n in range(1, order + 1):
+            assert np.isclose(
+                d[f"nnzRatio_order_{n}"],
+                d[f"nnz_order_{n}"] / shell_size(2, n),
+            )
+
+
+class TestBatch:
+    def test_batch_shape(self):
+        m = batch_features([star(2, 1), box(2, 2), star(2, 3)])
+        assert m.shape == (3, n_features())
+
+    def test_batch_rows_match_single(self):
+        ss = [star(2, 1), box(2, 2)]
+        m = batch_features(ss)
+        assert np.array_equal(m[0], extract_features(ss[0]))
+        assert np.array_equal(m[1], extract_features(ss[1]))

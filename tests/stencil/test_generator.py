@@ -1,0 +1,99 @@
+"""Tests for the Algorithm 1 random stencil generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StencilError
+from repro.stencil import (
+    generate_population,
+    generate_stencil,
+    verify_neighbor_property,
+)
+from repro.stencil import box, star
+from repro.stencil.stencil import Stencil
+
+
+class TestGenerateStencil:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        ndim=st.sampled_from([2, 3]),
+        order=st.integers(1, 4),
+        seed=st.integers(0, 100_000),
+    )
+    def test_exact_order(self, ndim, order, seed):
+        rng = np.random.default_rng(seed)
+        s = generate_stencil(ndim, order, rng)
+        assert s.order == order
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        ndim=st.sampled_from([2, 3]),
+        order=st.integers(1, 4),
+        seed=st.integers(0, 100_000),
+    )
+    def test_neighbor_property_holds(self, ndim, order, seed):
+        rng = np.random.default_rng(seed)
+        s = generate_stencil(ndim, order, rng)
+        assert verify_neighbor_property(s)
+
+    def test_deterministic_for_seed(self):
+        a = generate_stencil(2, 3, np.random.default_rng(7))
+        b = generate_stencil(2, 3, np.random.default_rng(7))
+        assert a.offsets == b.offsets
+
+    def test_keep_prob_one_gives_connected_cone(self):
+        # With keep_prob=1 every reachable candidate is taken each shell.
+        s = generate_stencil(2, 2, np.random.default_rng(0), keep_prob=1.0)
+        assert s.order == 2
+        assert s.nnz > star(2, 2).nnz
+
+    def test_rejects_bad_order(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(StencilError):
+            generate_stencil(2, 0, rng)
+        with pytest.raises(StencilError):
+            generate_stencil(2, 5, rng)
+
+    def test_rejects_bad_keep_prob(self):
+        with pytest.raises(StencilError):
+            generate_stencil(2, 1, np.random.default_rng(0), keep_prob=0.0)
+
+
+class TestVerifyNeighborProperty:
+    def test_star_satisfies(self):
+        assert verify_neighbor_property(star(3, 4))
+
+    def test_box_satisfies(self):
+        assert verify_neighbor_property(box(2, 3))
+
+    def test_detached_shell_fails(self):
+        # Order-2 point with no order-1 support nearby.
+        s = Stencil.from_points([(1, 0), (-2, -2)])
+        assert not verify_neighbor_property(s)
+
+
+class TestPopulation:
+    def test_count_and_names(self):
+        pop = generate_population(2, 30, seed=1)
+        assert len(pop) == 30
+        assert pop[0].name == "rand2d-0"
+
+    def test_unique_patterns(self):
+        pop = generate_population(3, 50, seed=2)
+        keys = {s.cache_key() for s in pop}
+        assert len(keys) == 50
+
+    def test_deterministic(self):
+        a = generate_population(2, 20, seed=3)
+        b = generate_population(2, 20, seed=3)
+        assert [s.offsets for s in a] == [s.offsets for s in b]
+
+    def test_orders_cover_range(self):
+        pop = generate_population(2, 80, seed=4)
+        assert {s.order for s in pop} == {1, 2, 3, 4}
+
+    def test_all_satisfy_neighbor_property(self):
+        for s in generate_population(3, 40, seed=5):
+            assert verify_neighbor_property(s)

@@ -1,0 +1,93 @@
+"""Unit tests for offset arithmetic."""
+
+import pytest
+
+from repro.stencil import offsets as off
+
+
+class TestDistances:
+    def test_chebyshev_axis(self):
+        assert off.chebyshev((3, 0)) == 3
+
+    def test_chebyshev_diagonal(self):
+        assert off.chebyshev((2, -2, 1)) == 2
+
+    def test_manhattan(self):
+        assert off.manhattan((2, -2, 1)) == 5
+
+    def test_euclidean_sq(self):
+        assert off.euclidean_sq((3, -4)) == 25
+
+    def test_order_is_chebyshev(self):
+        assert off.order_of((1, -4)) == 4
+
+
+class TestMooreNeighbors:
+    def test_count_2d(self):
+        assert len(off.moore_neighbors((0, 0))) == 8
+
+    def test_count_3d(self):
+        assert len(off.moore_neighbors((0, 0, 0))) == 26
+
+    def test_excludes_self(self):
+        assert (5, 5) not in off.moore_neighbors((5, 5))
+
+    def test_offset_center(self):
+        nb = off.moore_neighbors((2, 3))
+        assert (1, 2) in nb and (3, 4) in nb
+
+    def test_neighbors_of_set_excludes_members(self):
+        pts = {(0, 0), (1, 0)}
+        nb = off.neighbors_of_set(pts)
+        assert not nb & pts
+        assert (2, 0) in nb
+
+
+class TestShells:
+    def test_shell_zero(self):
+        assert off.shell(2, 0) == [(0, 0)]
+
+    def test_shell_one_2d(self):
+        assert len(off.shell(2, 1)) == 8
+
+    def test_shell_size_formula_matches_enumeration(self):
+        for ndim in (2, 3):
+            for order in range(0, 5):
+                assert off.shell_size(ndim, order) == len(off.shell(ndim, order))
+
+    def test_shell_negative_order_raises(self):
+        with pytest.raises(ValueError):
+            off.shell(2, -1)
+        with pytest.raises(ValueError):
+            off.shell_size(2, -1)
+
+    def test_ball_union_of_shells(self):
+        b = set(off.ball(2, 2))
+        shells = set()
+        for k in range(3):
+            shells.update(off.shell(2, k))
+        assert b == shells
+
+    def test_shell_sorted_deterministic(self):
+        assert off.shell(2, 1) == sorted(off.shell(2, 1))
+
+
+class TestAxisDiagonal:
+    def test_on_axis(self):
+        assert off.on_axis((0, 3))
+        assert off.on_axis((0, 0))
+        assert not off.on_axis((1, 1))
+
+    def test_full_diagonal(self):
+        assert off.is_full_diagonal((2, -2))
+        assert not off.is_full_diagonal((2, 0))
+        assert not off.is_full_diagonal((2, 1))
+
+
+class TestValidate:
+    def test_validate_casts(self):
+        assert off.validate_offset([1.0, -2.0], 2) == (1, -2)
+
+    def test_validate_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            off.validate_offset((1, 2, 3), 2)

@@ -1,0 +1,81 @@
+"""Tests for shape constructors and classification."""
+
+import pytest
+
+from repro.stencil import Shape, box, classify, cross, star
+from repro.stencil.offsets import chebyshev, on_axis
+from repro.stencil.stencil import Stencil
+
+
+class TestStar:
+    def test_all_points_on_axes(self):
+        s = star(3, 4)
+        assert all(on_axis(p) for p in s.offsets)
+
+    def test_nnz_formula(self):
+        # center + 2 * ndim * order
+        for ndim in (2, 3):
+            for order in range(1, 5):
+                assert star(ndim, order).nnz == 1 + 2 * ndim * order
+
+    def test_order(self):
+        assert star(2, 3).order == 3
+
+
+class TestBox:
+    def test_is_full_ball(self):
+        s = box(2, 2)
+        assert s.nnz == 25
+        assert all(chebyshev(p) <= 2 for p in s.offsets)
+
+    def test_order(self):
+        assert box(3, 4).order == 4
+
+
+class TestCross:
+    def test_contains_star(self):
+        assert star(2, 2).offsets <= cross(2, 2).offsets
+
+    def test_contains_diagonals(self):
+        s = cross(3, 2)
+        assert (2, 2, 2) in s.offsets
+        assert (-1, 1, -1) in s.offsets
+
+    def test_nnz_formula_3d(self):
+        # center + 2*3*order (star arms) + 8*order (diagonals)
+        for order in range(1, 5):
+            assert cross(3, order).nnz == 1 + 6 * order + 8 * order
+
+
+class TestValidation:
+    def test_rejects_order_zero(self):
+        with pytest.raises(ValueError):
+            star(2, 0)
+
+    def test_rejects_bad_ndim(self):
+        with pytest.raises(ValueError):
+            box(1, 1)
+
+
+class TestClassify:
+    def test_star_classified(self):
+        assert classify(star(2, 3)) == Shape.STAR
+
+    def test_box_classified(self):
+        assert classify(box(3, 1)) == Shape.BOX
+
+    def test_cross_classified(self):
+        assert classify(cross(2, 2)) == Shape.CROSS
+
+    def test_order1_2d_box_equals_cross_resolved_consistently(self):
+        # In 2-D at order 1 the box and cross patterns coincide (9 points);
+        # classification must be deterministic.
+        assert classify(box(2, 1)) == classify(cross(2, 1))
+
+    def test_partial_star_still_star(self):
+        s = Stencil.from_points([(1, 0), (-1, 0), (0, 1)])
+        assert classify(s) == Shape.STAR
+
+    def test_irregular(self):
+        s = Stencil.from_points([(1, 0), (2, 1), (1, 1)])
+        assert classify(s) == Shape.IRREGULAR

@@ -1,0 +1,97 @@
+"""Tests for binary tensor assignment (Fig. 6) including round trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StencilError
+from repro.stencil import (
+    assign_tensor,
+    batch_tensors,
+    box,
+    from_tensor,
+    generate_stencil,
+    star,
+    tensor_shape,
+)
+
+
+class TestShapes:
+    def test_2d_default(self):
+        assert tensor_shape(2) == (9, 9)
+
+    def test_3d_default(self):
+        assert tensor_shape(3) == (9, 9, 9)
+
+    def test_custom_order(self):
+        assert tensor_shape(2, 2) == (5, 5)
+
+
+class TestAssign:
+    def test_center_always_one(self):
+        t = assign_tensor(star(2, 1))
+        assert t[4, 4] == 1.0
+
+    def test_paper_example_star(self):
+        t = assign_tensor(star(2, 1))
+        assert t.sum() == 5
+        assert t[3, 4] == t[5, 4] == t[4, 3] == t[4, 5] == 1.0
+
+    def test_binary_values(self):
+        t = assign_tensor(box(3, 2))
+        assert set(np.unique(t)) <= {0.0, 1.0}
+
+    def test_nnz_matches(self):
+        s = box(2, 3)
+        assert assign_tensor(s).sum() == s.nnz
+
+    def test_order_too_large_raises(self):
+        with pytest.raises(StencilError):
+            assign_tensor(star(2, 3), max_order=2)
+
+    def test_dtype(self):
+        assert assign_tensor(star(2, 1)).dtype == np.float64
+
+
+class TestRoundTrip:
+    def test_star_round_trip(self):
+        s = star(2, 4)
+        assert from_tensor(assign_tensor(s)).offsets == s.offsets
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ndim=st.sampled_from([2, 3]),
+        order=st.integers(1, 4),
+        seed=st.integers(0, 10_000),
+    )
+    def test_random_round_trip(self, ndim, order, seed):
+        rng = np.random.default_rng(seed)
+        s = generate_stencil(ndim, order, rng)
+        assert from_tensor(assign_tensor(s)).offsets == s.offsets
+
+    def test_rejects_even_edge(self):
+        with pytest.raises(StencilError):
+            from_tensor(np.ones((8, 8)))
+
+    def test_rejects_non_cube(self):
+        with pytest.raises(StencilError):
+            from_tensor(np.ones((9, 7)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(StencilError):
+            from_tensor(np.zeros((9, 9)))
+
+
+class TestBatch:
+    def test_stack_shape(self):
+        b = batch_tensors([star(2, 1), box(2, 2)])
+        assert b.shape == (2, 9, 9)
+
+    def test_mixed_ndim_rejected(self):
+        with pytest.raises(StencilError):
+            batch_tensors([star(2, 1), star(3, 1)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(StencilError):
+            batch_tensors([])

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(["generate", "--ndim", "2", "--count", "3"])
+        assert args.command == "generate" and args.ndim == 2
+
+    def test_unknown_gpu_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["select", "--campaign", "x", "--stencil", "s", "--gpu", "H100"]
+            )
+
+
+class TestCommands:
+    def test_generate(self, capsys):
+        assert main(["generate", "--ndim", "2", "--count", "4", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("rand2d-") == 4
+        assert "order=" in out
+
+    def test_profile_select_predict_round_trip(self, tmp_path, capsys):
+        campaign = tmp_path / "c.json"
+        rc = main(
+            [
+                "profile", "--ndim", "2", "--count", "6", "--gpus", "V100",
+                "--n-settings", "3", "-o", str(campaign), "--seed", "2",
+            ]
+        )
+        assert rc == 0
+        assert campaign.exists()
+
+        rc = main(
+            [
+                "select", "--campaign", str(campaign), "--stencil", "star2d1r",
+                "--gpu", "V100", "--seed", "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "predicted best OC" in out and "ms/step" in out
+
+        rc = main(
+            [
+                "predict", "--campaign", str(campaign), "--stencil", "star2d1r",
+                "--oc", "ST_RT", "--gpu", "V100", "--seed", "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "predicted" in out and "simulated" in out
+
+    def test_predict_unknown_oc(self, tmp_path, capsys):
+        campaign = tmp_path / "c.json"
+        main(
+            [
+                "profile", "--ndim", "2", "--count", "4", "--gpus", "V100",
+                "--n-settings", "3", "-o", str(campaign), "--seed", "3",
+            ]
+        )
+        capsys.readouterr()
+        rc = main(
+            [
+                "predict", "--campaign", str(campaign), "--stencil", "star2d1r",
+                "--oc", "WARP", "--gpu", "V100",
+            ]
+        )
+        assert rc == 2

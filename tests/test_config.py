@@ -1,0 +1,57 @@
+"""Tests for scale presets and global constants."""
+
+import pytest
+
+from repro.config import (
+    DEFAULT_SEED,
+    GRID_2D,
+    GRID_3D,
+    MAX_ORDER,
+    N_MERGED_CLASSES,
+    SCALES,
+    get_scale,
+)
+
+
+class TestConstants:
+    def test_paper_values(self):
+        assert MAX_ORDER == 4
+        assert GRID_2D == 8192
+        assert GRID_3D == 512
+        assert N_MERGED_CLASSES == 5
+
+    def test_seed_is_stable(self):
+        assert isinstance(DEFAULT_SEED, int)
+
+
+class TestScales:
+    def test_presets_exist(self):
+        assert {"smoke", "small", "paper"} <= set(SCALES)
+
+    def test_paper_scale_matches_section_va2(self):
+        paper = SCALES["paper"]
+        assert paper.n_stencils_2d == 500
+        assert paper.n_stencils_3d == 500
+        assert paper.nn_epochs == 100
+        assert paper.n_folds == 5
+
+    def test_scales_monotone(self):
+        order = ["smoke", "small", "medium", "paper"]
+        for a, b in zip(order, order[1:]):
+            assert SCALES[a].n_stencils_2d <= SCALES[b].n_stencils_2d
+            assert SCALES[a].n_settings <= SCALES[b].n_settings
+
+    def test_get_scale_by_name(self):
+        assert get_scale("smoke").name == "smoke"
+
+    def test_get_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "medium")
+        assert get_scale().name == "medium"
+
+    def test_get_scale_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert get_scale().name == "small"
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            get_scale("galactic")

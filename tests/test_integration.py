@@ -1,0 +1,100 @@
+"""Cross-module integration tests: the full pipeline end to end."""
+
+import numpy as np
+import pytest
+
+from repro import StencilMART
+from repro.baselines import AN5DBaseline, ArtemisBaseline, OracleBaseline
+from repro.codegen import generate_cuda
+from repro.gpu import GPUSimulator
+from repro.optimizations import ALL_OCS, OC
+from repro.profiling import RandomSearch
+from repro.stencil import generate_population, get
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    mart = StencilMART(ndim=2, gpus=("V100",), n_settings=4, seed=42)
+    mart.build_dataset(n_stencils=16)
+    return mart
+
+
+class TestFullPipeline:
+    def test_dataset_to_selector_to_tuning(self, pipeline):
+        pipeline.fit_selector("gbdt", "V100")
+        s = get("cross2d2r")
+        oc, setting, t = pipeline.tune(s, "V100")
+        # The tuned configuration must actually run on the simulator.
+        direct = GPUSimulator("V100", sigma=pipeline.sigma).time(s, oc, setting)
+        assert direct == pytest.approx(t)
+
+    def test_predicted_config_generates_cuda(self, pipeline):
+        pipeline.fit_selector("gbdt", "V100")
+        s = get("box2d1r")
+        oc, setting, _ = pipeline.tune(s, "V100")
+        src = generate_cuda(s, oc, setting)
+        assert "__global__" in src
+        assert src.count("{") == src.count("}")
+
+    def test_regressor_prediction_in_range(self, pipeline):
+        pipeline.fit_predictor("gbr", max_rows=2000, n_rounds=40)
+        s = pipeline.campaign.stencils[0]
+        profile = pipeline.campaign.profile("V100", 0)
+        oc_name = profile.best_oc
+        r = profile.oc_results[oc_name]
+        pred = pipeline.predict_time(s, oc_name, r.best_setting, "V100", method="gbr")
+        # Within a small multiplicative band of the measurement it was
+        # trained on (this config is in the training set).
+        assert r.best_time_ms / 4 < pred < r.best_time_ms * 4
+
+    def test_selector_consistent_with_grouping(self, pipeline):
+        pipeline.fit_selector("gbdt", "V100")
+        for s in generate_population(2, 5, seed=77):
+            oc = pipeline.predict_best_oc(s, "V100")
+            assert oc.name in pipeline.grouping.representatives
+
+
+class TestTunerHierarchy:
+    """The oracle bounds every tuner from below at equal budget."""
+
+    @pytest.mark.parametrize("name", ["star2d1r", "box2d2r", "cross2d3r"])
+    def test_oracle_is_lower_bound(self, name):
+        s = get(name)
+        oracle_t = OracleBaseline("V100", 4, 11).tune(s)[2]
+        artemis_t = ArtemisBaseline("V100", 4, 11).tune(s)[2]
+        an5d_t = AN5DBaseline("V100", 4, 11).tune(s)[2]
+        assert oracle_t <= artemis_t + 1e-12
+        assert oracle_t <= an5d_t + 1e-12
+
+
+class TestDeterminismEndToEnd:
+    def test_identical_runs_identical_results(self):
+        def run():
+            m = StencilMART(ndim=2, gpus=("V100",), n_settings=3, seed=4)
+            m.build_dataset(n_stencils=6)
+            r = m.evaluate_selector("gbdt", "V100", n_folds=2)
+            return (
+                tuple(m.grouping.representatives),
+                tuple(m.campaign.best_oc_labels("V100")),
+                r.accuracy,
+            )
+
+        assert run() == run()
+
+
+class TestEveryOCEitherRunsOrCrashesCleanly:
+    def test_all_ocs_well_behaved_on_all_gpus(self):
+        from repro.errors import KernelLaunchError
+        from repro.optimizations import sample_setting
+
+        rng = np.random.default_rng(0)
+        s = get("star3d2r")
+        for gpu in ("2080Ti", "P100", "V100", "A100"):
+            sim = GPUSimulator(gpu)
+            for oc in ALL_OCS:
+                setting = sample_setting(oc, 3, rng)
+                try:
+                    t = sim.time(s, oc, setting)
+                except KernelLaunchError:
+                    continue
+                assert np.isfinite(t) and t > 0

@@ -1,0 +1,64 @@
+"""Public-API surface tests: imports, lazy loading, __all__ hygiene."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+SUBPACKAGES = (
+    "stencil",
+    "gpu",
+    "optimizations",
+    "profiling",
+    "ml",
+    "core",
+    "baselines",
+    "codegen",
+)
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_lazy_subpackages(self):
+        for name in SUBPACKAGES:
+            assert getattr(repro, name) is importlib.import_module(f"repro.{name}")
+
+    def test_stencilmart_shortcut(self):
+        from repro.core import StencilMART
+
+        assert repro.StencilMART is StencilMART
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+
+class TestAllExportsResolve:
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_every_all_entry_exists(self, name):
+        mod = importlib.import_module(f"repro.{name}")
+        exported = getattr(mod, "__all__", [])
+        assert exported, f"repro.{name} should declare __all__"
+        for symbol in exported:
+            assert hasattr(mod, symbol), f"repro.{name}.{symbol} missing"
+
+    def test_no_duplicate_exports(self):
+        for name in SUBPACKAGES:
+            mod = importlib.import_module(f"repro.{name}")
+            exported = list(getattr(mod, "__all__", []))
+            assert len(exported) == len(set(exported))
+
+
+class TestErrorsHierarchy:
+    def test_all_derive_from_repro_error(self):
+        from repro import errors
+
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not errors.ReproError:
+                    assert issubclass(obj, errors.ReproError) or obj is Exception

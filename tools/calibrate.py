@@ -1,0 +1,64 @@
+"""Calibration dashboard for the simulator (developer tool).
+
+Prints the four shape targets the motivation figures need:
+  1. best-vs-worst OC gap averages (paper Fig. 1: ~9.95x, higher for 3-D)
+  2. best-OC label distribution + cross-seed stability (learnability)
+  3. anchor/representative diversity after PCC merging
+  4. cross-architecture inversions (paper Fig. 4)
+
+Run: python tools/calibrate.py [n_stencils]
+"""
+
+import sys
+import time
+import collections
+
+import numpy as np
+
+from repro.stencil import benchmark_stencils, generate_population
+from repro.profiling import merge_ocs, run_campaign
+
+N = int(sys.argv[1]) if len(sys.argv) > 1 else 60
+
+
+def main() -> None:
+    t0 = time.time()
+
+    print("=== OC gaps (V100, named stencils) ===")
+    for ndim in (2, 3):
+        camp = run_campaign(benchmark_stencils(ndim), gpus=("V100",), n_settings=8)
+        gaps = [
+            max(r.best_time_ms for r in p.oc_results.values()) / p.best_time_ms
+            for p in camp.profiles["V100"]
+        ]
+        print(f"  {ndim}D avg gap {np.mean(gaps):6.2f}  max {max(gaps):6.1f}")
+
+    print("=== label structure (random 2-D population) ===")
+    pop = generate_population(2, N, seed=1)
+    a = run_campaign(pop, n_settings=8, seed=2, sigma=0.03, gpus=("V100", "A100"))
+    b = run_campaign(pop, n_settings=8, seed=77, sigma=0.03, gpus=("V100", "A100"))
+    g = merge_ocs(a, n_classes=5)
+    print("  reps:", g.representatives, "sizes:", [len(x) for x in g.groups])
+    for gpu in ("V100", "A100"):
+        ga = [g.label(x) for x in a.best_oc_labels(gpu)]
+        gb = [g.label(x) for x in b.best_oc_labels(gpu)]
+        agree = np.mean([x == y for x, y in zip(ga, gb)])
+        print(f"  {gpu}: agree {agree:.2f}  dist {collections.Counter(ga)}")
+
+    print("=== cross-arch (named stencils) ===")
+    for ndim in (2, 3):
+        camp = run_campaign(benchmark_stencils(ndim), n_settings=8)
+        wins = collections.Counter()
+        inversions = []
+        for i, s in enumerate(camp.stencils):
+            times = {gpu: camp.profiles[gpu][i].best_time_ms for gpu in camp.gpus}
+            wins[min(times, key=times.get)] += 1
+            if times["V100"] < times["A100"]:
+                inversions.append(s.name)
+        print(f"  {ndim}D wins {dict(wins)}  V100>A100 on: {inversions}")
+
+    print(f"total {time.time() - t0:.1f}s")
+
+
+if __name__ == "__main__":
+    main()
