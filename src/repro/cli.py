@@ -43,6 +43,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gpus", nargs="+", default=list(GPU_ORDER))
     p.add_argument("--n-settings", type=int, default=6)
     p.add_argument("-o", "--output", required=True, help="campaign JSON path")
+    p.add_argument(
+        "--checkpoint",
+        help="checkpoint JSON path; progress is saved here atomically",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from an existing --checkpoint file (fresh start "
+        "if the file does not exist yet)",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=16,
+        help="completed (gpu, stencil) units between checkpoints",
+    )
+    p.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="base transient-fault injection rate per measurement "
+        "(timeouts, sporadic errors, corrupted timings at this rate; "
+        "device losses at a hundredth of it); 0 disables injection",
+    )
+    p.add_argument(
+        "--timeout-rate", type=float, default=None,
+        help="override the kernel-hang rate (default: --fault-rate)",
+    )
+    p.add_argument(
+        "--transient-rate", type=float, default=None,
+        help="override the sporadic-failure rate (default: --fault-rate)",
+    )
+    p.add_argument(
+        "--device-lost-rate", type=float, default=None,
+        help="override the device-loss rate (default: --fault-rate / 100)",
+    )
+    p.add_argument(
+        "--corrupt-rate", type=float, default=None,
+        help="override the corrupted-timing rate (default: --fault-rate)",
+    )
     _add_common(p)
 
     s = sub.add_parser("select", help="predict the best OC for a stencil")
@@ -94,19 +134,47 @@ def cmd_generate(args) -> int:
 
 
 def cmd_profile(args) -> int:
-    from .profiling import run_campaign, save_campaign
+    from .errors import CampaignInterrupted
+    from .gpu.faults import FaultConfig
+    from .profiling import CampaignRunner, save_campaign
     from .stencil import generate_population
 
-    pop = generate_population(args.ndim, args.count, seed=args.seed)
-    campaign = run_campaign(
-        pop, gpus=tuple(args.gpus), n_settings=args.n_settings, seed=args.seed
+    base = args.fault_rate
+    faults = FaultConfig(
+        timeout_rate=base if args.timeout_rate is None else args.timeout_rate,
+        transient_rate=(
+            base if args.transient_rate is None else args.transient_rate
+        ),
+        device_lost_rate=(
+            base / 100.0
+            if args.device_lost_rate is None
+            else args.device_lost_rate
+        ),
+        corrupt_rate=base if args.corrupt_rate is None else args.corrupt_rate,
     )
+    pop = generate_population(args.ndim, args.count, seed=args.seed)
+    runner = CampaignRunner(
+        pop,
+        gpus=tuple(args.gpus),
+        n_settings=args.n_settings,
+        seed=args.seed,
+        faults=faults,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+    )
+    try:
+        campaign = runner.run(resume=args.resume)
+    except CampaignInterrupted as e:
+        print(f"campaign interrupted: {e}", file=sys.stderr)
+        print(runner.health.summary(), file=sys.stderr)
+        return 3
     save_campaign(campaign, args.output)
     n_meas = sum(len(campaign.measurements(g)) for g in campaign.gpus)
     print(
         f"profiled {len(pop)} stencils x {len(campaign.ocs)} OCs on "
         f"{len(campaign.gpus)} GPUs ({n_meas} measurements) -> {args.output}"
     )
+    print(runner.health.summary())
     return 0
 
 

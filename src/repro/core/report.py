@@ -23,13 +23,22 @@ def campaign_summary(campaign: ProfileCampaign) -> str:
     ]
     for gpu in campaign.gpus:
         n_meas = len(campaign.measurements(gpu))
-        best = Counter(campaign.best_oc_labels(gpu))
+        # Quarantined / all-crashing stencils have no best OC; count them
+        # explicitly rather than letting best_oc raise mid-report.
+        valid = [p for p in campaign.gpu_profiles(gpu) if p.oc_results]
+        n_crashed = len(campaign.gpu_profiles(gpu)) - len(valid)
+        if not valid:
+            lines.append(f"  {gpu}: {n_meas} measurements; all "
+                         f"{n_crashed} stencils crashed")
+            continue
+        best = Counter(p.best_oc for p in valid)
         top, top_n = best.most_common(1)[0]
-        times = [p.best_time_ms for p in campaign.profiles[gpu]]
+        times = [p.best_time_ms for p in valid]
+        crashed_note = f"; {n_crashed} crashed" if n_crashed else ""
         lines.append(
             f"  {gpu}: {n_meas} measurements; best-OC mode {top} "
             f"({top_n}/{len(times)}); median best time "
-            f"{float(np.median(times)):.3f} ms"
+            f"{float(np.median(times)):.3f} ms{crashed_note}"
         )
     return "\n".join(lines)
 

@@ -41,6 +41,46 @@ class KernelLaunchError(ReproError):
     """
 
 
+class TransientError(ReproError):
+    """A measurement failure that may succeed on retry.
+
+    Real profiling harnesses distinguish *deterministic* infeasibility
+    (:class:`KernelLaunchError`: the configuration can never run) from
+    *transient* trouble -- hung kernels, driver hiccups, device resets --
+    that a campaign must absorb by retrying rather than crash on.  The
+    fault injector (:mod:`repro.gpu.faults`) raises the subclasses below;
+    the campaign runner retries them with bounded exponential backoff.
+    """
+
+
+class MeasurementTimeout(TransientError):
+    """The simulated kernel hung past the measurement watchdog."""
+
+
+class TransientMeasurementError(TransientError):
+    """A sporadic measurement failure (driver hiccup, ECC retry, ...)."""
+
+
+class DeviceLostError(TransientError):
+    """The simulated device was lost mid-measurement (reset required).
+
+    Unlike the other transient errors this is not retried call-by-call:
+    every measurement in flight when the device resets is void, so the
+    campaign runner discards the current (stencil, OC) tuning point and
+    re-runs it from scratch after a reset backoff.
+    """
+
+
+class CampaignInterrupted(ReproError):
+    """A profiling campaign stopped before completing all work units.
+
+    Raised by :class:`repro.profiling.runner.CampaignRunner` when a run
+    hits its unit cap (used to exercise kill--resume paths).  The
+    checkpoint on disk holds every completed unit; re-running with
+    ``resume=True`` continues from it.
+    """
+
+
 class DatasetError(ReproError):
     """Malformed or inconsistent profiling dataset."""
 

@@ -1,6 +1,7 @@
 """Simulated GPU substrate (Tables III/IV plus the timing model)."""
 
-from .noise import noise_factor
+from .faults import FaultConfig, FaultInjector, is_valid_time
+from .noise import noise_factor, uniform01
 from .occupancy import Occupancy, compute_occupancy
 from .simulator import GPUSimulator, SimResult, simulate
 from .specs import (
@@ -16,6 +17,8 @@ from .specs import (
 )
 
 __all__ = [
+    "FaultConfig",
+    "FaultInjector",
     "GPU_ORDER",
     "GPUS",
     "GPUSimulator",
@@ -29,6 +32,8 @@ __all__ = [
     "compute_occupancy",
     "get_gpu",
     "hardware_features",
+    "is_valid_time",
     "noise_factor",
     "simulate",
+    "uniform01",
 ]

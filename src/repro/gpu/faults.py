@@ -1,0 +1,205 @@
+"""Deterministic fault injection over the GPU simulator.
+
+Real profiling campaigns on GPUs do not only see *deterministic* launch
+failures (the simulator's :class:`KernelLaunchError`); they also see
+*transient* trouble: kernels that hang past a watchdog, sporadic driver
+errors, whole-device resets, and occasionally timings that are simply
+garbage.  Both "Opening the Black Box" (Ernst et al.) and the AMD/Nvidia
+tuning study (Lappi et al.) treat such events as first-class occurrences a
+measurement campaign must absorb.
+
+:class:`FaultInjector` wraps a :class:`~repro.gpu.simulator.GPUSimulator`
+and injects those events **deterministically**: every fault decision is a
+pure function of ``(seed, unit, oc, setting, attempt)`` hashed through the
+same blake2b scheme the measurement noise uses.  Determinism buys two
+properties the campaign runner's tests rely on:
+
+- **Reproducibility** -- the same seed yields the same fault sequence,
+  on any machine, in any execution order.
+- **Retry convergence** -- the per-identity ``attempt`` counter advances
+  on every call, so a retried measurement draws fresh fault decisions and
+  (at sub-certainty rates) eventually returns the *true* timing.  A
+  campaign that retries transient faults therefore reproduces the
+  fault-free campaign exactly.
+
+Corrupted timings are modeled as *detectable* garbage (``NaN``, ``inf``,
+zero, negative), standing in for the plausibility checks every real
+harness applies before accepting a sample; the campaign runner rejects
+and re-measures them.  With every rate at zero the injector is a
+transparent pass-through: it never draws, never perturbs, and adds no
+behavioral difference over the bare simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+
+from ..errors import (
+    DeviceLostError,
+    MeasurementTimeout,
+    TransientMeasurementError,
+)
+from .noise import uniform01
+from .simulator import GPUSimulator
+
+#: Detectable corruption values cycled through deterministically.
+_CORRUPT_VALUES = (math.nan, math.inf, 0.0, -1.0)
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Per-fault-class injection rates (probability per simulator call).
+
+    All rates must lie in ``[0, 1]``.  ``FaultConfig()`` (all zeros)
+    disables injection entirely.
+    """
+
+    timeout_rate: float = 0.0
+    transient_rate: float = 0.0
+    device_lost_rate: float = 0.0
+    corrupt_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            v = getattr(self, f.name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{f.name}={v} outside [0, 1]")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault class has a nonzero rate."""
+        return any(getattr(self, f.name) > 0.0 for f in fields(self))
+
+    @classmethod
+    def uniform(cls, rate: float) -> "FaultConfig":
+        """One rate for the per-call classes; device loss at a hundredth.
+
+        Device resets void every measurement in flight and force a whole
+        tuning point to re-run, and on real machines they are orders of
+        magnitude rarer than per-measurement hiccups -- hence the heavy
+        derating.
+        """
+        return cls(
+            timeout_rate=rate,
+            transient_rate=rate,
+            device_lost_rate=rate / 100.0,
+            corrupt_rate=rate,
+        )
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FaultConfig":
+        return cls(**{f.name: float(doc.get(f.name, 0.0)) for f in fields(cls)})
+
+
+class FaultInjector:
+    """A :class:`GPUSimulator` facade that injects deterministic faults.
+
+    Parameters
+    ----------
+    sim:
+        The wrapped simulator; faults apply on top of its (already
+        deterministic) timings.
+    config:
+        Per-class injection rates.
+    seed:
+        Fault-stream seed, independent of the measurement-noise seed so
+        fault schedules can vary without moving the underlying timings.
+
+    The injector exposes the simulator surface the profiling search uses
+    (``spec``, ``sigma``, ``time``); ``run`` passes through un-faulted for
+    ad-hoc inspection since campaigns only ever call ``time``.
+    """
+
+    def __init__(
+        self, sim: GPUSimulator, config: FaultConfig, seed: int = 0
+    ):
+        self.sim = sim
+        self.config = config
+        self.seed = int(seed)
+        self._unit_key: object = None
+        self._attempts: dict[tuple, int] = {}
+
+    @property
+    def spec(self):
+        return self.sim.spec
+
+    @property
+    def sigma(self) -> float:
+        return self.sim.sigma
+
+    # ------------------------------------------------------------------
+    def begin_unit(self, unit_key: object) -> None:
+        """Scope subsequent fault draws to one work unit.
+
+        Called by the campaign runner at the *start* of each (gpu,
+        stencil) unit -- but not on unit retries, so a retried unit keeps
+        advancing its attempt counters instead of replaying the same
+        faults forever.  Scoping draws to the unit makes each unit's
+        fault schedule independent of whatever ran before it, which is
+        what makes checkpoint/resume provably equivalent to an
+        uninterrupted run.
+        """
+        self._unit_key = unit_key
+        self._attempts.clear()
+
+    # ------------------------------------------------------------------
+    def run(self, stencil, oc, setting, grid=None, boundary=None):
+        return self.sim.run(stencil, oc, setting, grid=grid, boundary=boundary)
+
+    def time(self, stencil, oc, setting, grid=None) -> float:
+        """Simulated time with fault injection.
+
+        Raises
+        ------
+        MeasurementTimeout, TransientMeasurementError, DeviceLostError
+            According to the configured rates.
+        KernelLaunchError
+            Propagated unchanged from the wrapped simulator.
+        """
+        cfg = self.config
+        if not cfg.enabled:
+            return self.sim.time(stencil, oc, setting, grid=grid)
+        identity = (
+            self._unit_key,
+            self.sim.spec.name,
+            stencil.cache_key(),
+            oc.name,
+            setting.as_tuple(),
+        )
+        attempt = self._attempts.get(identity, 0)
+        self._attempts[identity] = attempt + 1
+
+        def draw(kind: str) -> float:
+            return uniform01(self.seed, kind, *identity, attempt)
+
+        # Device loss first: it voids everything in flight, so it must
+        # preempt the milder failure classes.
+        if cfg.device_lost_rate > 0 and draw("lost") < cfg.device_lost_rate:
+            raise DeviceLostError(
+                f"device {self.sim.spec.name} lost (unit {self._unit_key!r}, "
+                f"attempt {attempt})"
+            )
+        if cfg.timeout_rate > 0 and draw("timeout") < cfg.timeout_rate:
+            raise MeasurementTimeout(
+                f"kernel hung on {self.sim.spec.name} ({oc.name}, attempt {attempt})"
+            )
+        if cfg.transient_rate > 0 and draw("transient") < cfg.transient_rate:
+            raise TransientMeasurementError(
+                f"sporadic failure on {self.sim.spec.name} "
+                f"({oc.name}, attempt {attempt})"
+            )
+        t = self.sim.time(stencil, oc, setting, grid=grid)
+        if cfg.corrupt_rate > 0 and draw("corrupt") < cfg.corrupt_rate:
+            idx = int(uniform01(self.seed, "corrupt-kind", *identity, attempt)
+                      * len(_CORRUPT_VALUES))
+            return _CORRUPT_VALUES[min(idx, len(_CORRUPT_VALUES) - 1)]
+        return t
+
+
+def is_valid_time(t: float) -> bool:
+    """Plausibility check a harness applies before accepting a sample."""
+    return math.isfinite(t) and t > 0.0

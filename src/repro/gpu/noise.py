@@ -44,6 +44,17 @@ def standard_normal(*key: object) -> float:
     return math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
 
 
+def uniform01(*key: object) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` keyed by *key*.
+
+    Shares the blake2b keying scheme of :func:`standard_normal` so fault
+    injection (:mod:`repro.gpu.faults`) is reproducible across processes
+    and independent of call order.
+    """
+    a, _ = _digest(*key)
+    return a / 2**64
+
+
 def noise_factor(*key: object, sigma: float = DEFAULT_SIGMA) -> float:
     """Deterministic multiplicative jitter for the run identified by *key*.
 

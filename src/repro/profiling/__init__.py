@@ -19,10 +19,13 @@ from .merge import (
 )
 from .profiler import ProfileCampaign, run_campaign
 from .records import Measurement, OCResult, StencilProfile
+from .runner import CampaignHealth, CampaignRunner, RetryPolicy, SimClock
 from .search import RandomSearch
-from .storage import load_campaign, save_campaign
+from .storage import atomic_write_text, load_campaign, save_campaign
 
 __all__ = [
+    "CampaignHealth",
+    "CampaignRunner",
     "ClassificationDataset",
     "Measurement",
     "OCGrouping",
@@ -30,7 +33,10 @@ __all__ = [
     "ProfileCampaign",
     "RandomSearch",
     "RegressionDataset",
+    "RetryPolicy",
+    "SimClock",
     "StencilProfile",
+    "atomic_write_text",
     "build_classification_dataset",
     "build_regression_dataset",
     "kfold_indices",

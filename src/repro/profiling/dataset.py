@@ -14,7 +14,7 @@ Two tasks, two datasets (Section IV-A):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -60,6 +60,8 @@ class ClassificationDataset:
     labels: np.ndarray
     best_ocs: list[str]
     grouping: OCGrouping
+    stencil_ids: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    skipped_stencils: list[int] = field(default_factory=list)
 
     @property
     def n_samples(self) -> int:
@@ -76,9 +78,23 @@ def build_classification_dataset(
     gpu: str,
     max_order: int = MAX_ORDER,
 ) -> ClassificationDataset:
-    """Assemble the OC-selection dataset for one GPU."""
-    stencils = campaign.stencils
-    best = campaign.best_oc_labels(gpu)
+    """Assemble the OC-selection dataset for one GPU.
+
+    Stencils with no valid OC result on *gpu* -- every sampled setting
+    crashed, or the unit was quarantined by the fault-tolerant runner --
+    carry no best-OC label, so they are excluded *explicitly*: their ids
+    are recorded in ``skipped_stencils`` and ``stencil_ids`` maps each
+    dataset row back to its campaign stencil.  A campaign with no
+    labelable stencil at all is an error.
+    """
+    usable: list[int] = []
+    skipped: list[int] = []
+    for p in campaign.gpu_profiles(gpu):
+        (usable if p.oc_results else skipped).append(p.stencil_id)
+    if not usable:
+        raise DatasetError(f"no stencil has a valid OC result on {gpu}")
+    stencils = [campaign.stencils[i] for i in usable]
+    best = [campaign.profile(gpu, i).best_oc for i in usable]
     labels = np.array([grouping.label(b) for b in best], dtype=np.int64)
     return ClassificationDataset(
         gpu=gpu,
@@ -87,6 +103,8 @@ def build_classification_dataset(
         labels=labels,
         best_ocs=best,
         grouping=grouping,
+        stencil_ids=np.array(usable, dtype=np.int64),
+        skipped_stencils=skipped,
     )
 
 

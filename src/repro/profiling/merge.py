@@ -159,8 +159,14 @@ def merge_ocs(
         _, m = oc_time_matrix(campaign, gpu)
         # Center each stencil's column so the PCC measures how OC pairs
         # deviate from the stencil's average, not the shared stencil-size
-        # driver (which would make every pair look correlated).
-        centered = m - np.nanmean(m, axis=0, keepdims=True)
+        # driver (which would make every pair look correlated).  Columns
+        # where every OC crashed (quarantined stencils) stay all-NaN
+        # without tripping nanmean's empty-slice warning.
+        col_n = (~np.isnan(m)).sum(axis=0, keepdims=True)
+        col_mean = np.where(
+            col_n > 0, np.nansum(m, axis=0, keepdims=True) / np.maximum(col_n, 1), 0.0
+        )
+        centered = m - col_mean
         pcc = pairwise_pcc(centered)
         per_gpu_pcc[gpu] = pcc
         per_gpu_top[gpu] = top_pairs(pcc, top_k)

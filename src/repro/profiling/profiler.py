@@ -12,12 +12,10 @@ from dataclasses import dataclass, field
 
 from ..config import DEFAULT_SEED
 from ..errors import DatasetError
-from ..gpu.simulator import GPUSimulator
 from ..gpu.specs import GPU_ORDER
 from ..optimizations.combos import ALL_OCS, OC
 from ..stencil.stencil import Stencil
 from .records import Measurement, StencilProfile
-from .search import RandomSearch
 
 
 @dataclass
@@ -39,20 +37,30 @@ class ProfileCampaign:
     def ndim(self) -> int:
         return self.stencils[0].ndim
 
+    def gpu_profiles(self, gpu: str) -> list[StencilProfile]:
+        """All profiles on *gpu*; :class:`DatasetError` on an unknown key."""
+        try:
+            return self.profiles[gpu]
+        except KeyError:
+            available = ", ".join(sorted(self.profiles)) or "none"
+            raise DatasetError(
+                f"no profiles for GPU {gpu!r}; campaign has: {available}"
+            ) from None
+
     def profile(self, gpu: str, stencil_id: int) -> StencilProfile:
         """The profile of one stencil on one GPU."""
-        return self.profiles[gpu][stencil_id]
+        return self.gpu_profiles(gpu)[stencil_id]
 
     def measurements(self, gpu: str) -> list[Measurement]:
         """All raw measurements collected on *gpu*, in stencil order."""
         out: list[Measurement] = []
-        for p in self.profiles[gpu]:
+        for p in self.gpu_profiles(gpu):
             out.extend(p.measurements)
         return out
 
     def best_oc_labels(self, gpu: str) -> list[str]:
         """Best OC name per stencil on *gpu* (classification raw labels)."""
-        return [p.best_oc for p in self.profiles[gpu]]
+        return [p.best_oc for p in self.gpu_profiles(gpu)]
 
 
 def run_campaign(
@@ -62,28 +70,29 @@ def run_campaign(
     n_settings: int = 8,
     seed: int = DEFAULT_SEED,
     sigma: float = 0.03,
+    **runner_kwargs,
 ) -> ProfileCampaign:
     """Profile *stencils* under *ocs* on every GPU in *gpus*.
 
     Deterministic for a given seed: the per-(stencil, OC) sampling streams
     are derived from ``seed`` independently of iteration order.
+
+    This is a thin wrapper over
+    :class:`~repro.profiling.runner.CampaignRunner`; extra keyword
+    arguments (``faults``, ``policy``, ``checkpoint_path``, ...) pass
+    through to it, and ``resume=True`` continues from an existing
+    checkpoint.
     """
-    if not stencils:
-        raise DatasetError("empty stencil population")
-    ndims = {s.ndim for s in stencils}
-    if len(ndims) != 1:
-        raise DatasetError(f"mixed dimensionalities in campaign: {sorted(ndims)}")
-    campaign = ProfileCampaign(
-        stencils=list(stencils),
-        gpus=tuple(gpus),
-        ocs=tuple(ocs),
+    from .runner import CampaignRunner  # local import: runner imports us
+
+    resume = bool(runner_kwargs.pop("resume", False))
+    runner = CampaignRunner(
+        stencils,
+        gpus=gpus,
+        ocs=ocs,
         n_settings=n_settings,
         seed=seed,
+        sigma=sigma,
+        **runner_kwargs,
     )
-    for gpu in campaign.gpus:
-        search = RandomSearch(GPUSimulator(gpu, sigma=sigma), n_settings, seed)
-        campaign.profiles[gpu] = [
-            search.profile_stencil(s, i, campaign.ocs)
-            for i, s in enumerate(campaign.stencils)
-        ]
-    return campaign
+    return runner.run(resume=resume)

@@ -1,0 +1,468 @@
+"""Fault-tolerant, resumable campaign execution.
+
+The profiling campaign is the pipeline's expensive artifact (the paper
+collects ~65k/76k instances per GPU), so it must behave like a harness,
+not a script: transient measurement failures are retried with bounded
+exponential backoff, persistently failing points are quarantined and
+recorded as crashed (the paper's "OC crashes under certain stencils")
+rather than aborting the run, progress is checkpointed atomically, and an
+interrupted campaign resumes from its checkpoint to the bit-identical
+result an uninterrupted run would have produced.
+
+Execution is organised as **work units** of one stencil on one GPU, each
+unit tuned OC by OC.  The per-(stencil, OC) sampling streams are derived
+from the seed independent of order (see
+:class:`~repro.profiling.search.RandomSearch`), and fault draws are
+scoped per unit (see :meth:`~repro.gpu.faults.FaultInjector.begin_unit`),
+so units are self-contained: a tuning point re-run from scratch -- after
+a device loss, or in a resumed process -- converges to exactly the
+timings the fault-free campaign records.  That is what makes the
+determinism and kill--resume equivalence properties testable instead of
+hopeful.
+
+Time never comes from the wall clock: backoff waits advance a
+:class:`SimClock`, keeping every retry schedule deterministic and tests
+instant.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..config import DEFAULT_SEED
+from ..errors import (
+    CampaignInterrupted,
+    DatasetError,
+    DeviceLostError,
+    MeasurementTimeout,
+    TransientError,
+    TransientMeasurementError,
+)
+from ..gpu.faults import FaultConfig, FaultInjector, is_valid_time
+from ..gpu.simulator import GPUSimulator
+from ..gpu.specs import GPU_ORDER
+from ..optimizations.combos import ALL_OCS, OC
+from ..stencil.stencil import Stencil
+from .profiler import ProfileCampaign
+from .records import StencilProfile
+from .search import RandomSearch
+from .storage import (
+    FORMAT_VERSION,
+    atomic_write_text,
+    check_format_version,
+    profile_from_row,
+    profile_to_row,
+    stencil_to_dict,
+)
+
+
+class SimClock:
+    """A monotonically advancing simulated clock for backoff waits."""
+
+    def __init__(self) -> None:
+        self.now_s = 0.0
+
+    def sleep(self, seconds: float) -> None:
+        self.now_s += float(seconds)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry and exponential-backoff parameters.
+
+    Per-call retries absorb :class:`MeasurementTimeout`,
+    :class:`TransientMeasurementError` and corrupted-sample rejections;
+    point retries re-run a whole (stencil, OC) tuning point after a
+    :class:`DeviceLostError` (which voids all in-flight measurements) or
+    after a call exhausted its per-call budget.  Backoff doubles from
+    ``backoff_base_s`` up to ``backoff_max_s`` on the simulated clock.
+    """
+
+    max_call_retries: int = 8
+    max_point_retries: int = 5
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 5.0
+
+
+@dataclass
+class CampaignHealth:
+    """Counters describing how rough a campaign run was.
+
+    ``quarantined`` lists ``{"gpu", "stencil_id", "oc", "reason"}``
+    records for (gpu, stencil, OC) tuning points that exhausted their
+    retry budget and were recorded as crashed.
+    """
+
+    call_retries: int = 0
+    timeouts: int = 0
+    transients: int = 0
+    device_lost: int = 0
+    corrupt_rejected: int = 0
+    point_retries: int = 0
+    units_completed: int = 0
+    units_resumed: int = 0
+    backoff_s: float = 0.0
+    quarantined: list[dict] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "call_retries": self.call_retries,
+            "timeouts": self.timeouts,
+            "transients": self.transients,
+            "device_lost": self.device_lost,
+            "corrupt_rejected": self.corrupt_rejected,
+            "point_retries": self.point_retries,
+            "units_completed": self.units_completed,
+            "units_resumed": self.units_resumed,
+            "backoff_s": self.backoff_s,
+            "quarantined": list(self.quarantined),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "CampaignHealth":
+        out = cls()
+        for name in (
+            "call_retries", "timeouts", "transients", "device_lost",
+            "corrupt_rejected", "point_retries", "units_completed",
+            "units_resumed",
+        ):
+            setattr(out, name, int(doc.get(name, 0)))
+        out.backoff_s = float(doc.get("backoff_s", 0.0))
+        out.quarantined = list(doc.get("quarantined", []))
+        return out
+
+    def summary(self) -> str:
+        """Multi-line health report for CLI output."""
+        lines = [
+            "campaign health:",
+            f"  units completed: {self.units_completed} "
+            f"(recovered from checkpoint: {self.units_resumed})",
+            f"  transient faults absorbed: {self.timeouts} timeouts, "
+            f"{self.transients} sporadic, {self.device_lost} device losses",
+            f"  corrupted samples rejected: {self.corrupt_rejected}",
+            f"  retries: {self.call_retries} call-level, "
+            f"{self.point_retries} point-level "
+            f"({self.backoff_s:.2f} s simulated backoff)",
+            f"  quarantined points: {len(self.quarantined)}",
+        ]
+        for q in self.quarantined:
+            lines.append(
+                f"    {q['gpu']} stencil {q['stencil_id']} "
+                f"{q['oc']}: {q['reason']}"
+            )
+        return "\n".join(lines)
+
+
+class _GuardedSimulator:
+    """Per-call retry, backoff and plausibility filtering around a simulator.
+
+    Sits between :class:`RandomSearch` and the (possibly fault-injecting)
+    simulator.  Timeouts, sporadic failures and implausible timings are
+    retried up to ``policy.max_call_retries`` times with exponential
+    backoff on the simulated clock; :class:`DeviceLostError` escalates
+    immediately to the unit level; :class:`KernelLaunchError` passes
+    through untouched -- it is a deterministic property of the
+    configuration, not a fault.
+    """
+
+    def __init__(self, inner, policy: RetryPolicy, clock: SimClock,
+                 health: CampaignHealth):
+        self.inner = inner
+        self.policy = policy
+        self.clock = clock
+        self.health = health
+
+    @property
+    def spec(self):
+        return self.inner.spec
+
+    @property
+    def sigma(self) -> float:
+        return self.inner.sigma
+
+    def begin_unit(self, unit_key: object) -> None:
+        if isinstance(self.inner, FaultInjector):
+            self.inner.begin_unit(unit_key)
+
+    def _backoff(self, delay_s: float) -> float:
+        self.clock.sleep(delay_s)
+        self.health.backoff_s += delay_s
+        return min(delay_s * self.policy.backoff_factor,
+                   self.policy.backoff_max_s)
+
+    def time(self, stencil, oc, setting, grid=None) -> float:
+        delay = self.policy.backoff_base_s
+        error: TransientError
+        for attempt in range(self.policy.max_call_retries + 1):
+            try:
+                t = self.inner.time(stencil, oc, setting, grid=grid)
+            except MeasurementTimeout as e:
+                self.health.timeouts += 1
+                error = e
+            except DeviceLostError:
+                self.health.device_lost += 1
+                raise
+            except TransientMeasurementError as e:
+                self.health.transients += 1
+                error = e
+            else:
+                if is_valid_time(t):
+                    return t
+                self.health.corrupt_rejected += 1
+                error = TransientMeasurementError(
+                    f"implausible timing {t!r} rejected "
+                    f"({self.spec.name}, {oc.name})"
+                )
+            if attempt == self.policy.max_call_retries:
+                raise error
+            self.health.call_retries += 1
+            delay = self._backoff(delay)
+        raise error  # pragma: no cover - loop always returns or raises
+
+
+class CampaignRunner:
+    """Executes a profiling campaign as retryable (gpu, stencil) units.
+
+    Parameters
+    ----------
+    stencils, gpus, ocs, n_settings, seed, sigma:
+        Campaign definition, identical in meaning to
+        :func:`~repro.profiling.profiler.run_campaign`.
+    faults:
+        Optional :class:`FaultConfig`; ``None`` or an all-zero config
+        runs the bare simulator with no injection layer at all.
+    policy:
+        Retry/backoff parameters (:class:`RetryPolicy`).
+    checkpoint_path:
+        When set, completed units are checkpointed to this JSON file
+        atomically every ``checkpoint_every`` units (and at interruption
+        and completion), and ``run(resume=True)`` continues from it.
+    max_units:
+        Process at most this many units *in this run*, then checkpoint
+        and raise :class:`CampaignInterrupted`.  Exists to exercise the
+        kill--resume path deterministically.
+    """
+
+    def __init__(
+        self,
+        stencils: list[Stencil],
+        gpus: "tuple[str, ...] | list[str]" = GPU_ORDER,
+        ocs: "tuple[OC, ...] | list[OC]" = ALL_OCS,
+        n_settings: int = 8,
+        seed: int = DEFAULT_SEED,
+        sigma: float = 0.03,
+        faults: "FaultConfig | None" = None,
+        policy: "RetryPolicy | None" = None,
+        checkpoint_path: "str | Path | None" = None,
+        checkpoint_every: int = 16,
+        max_units: "int | None" = None,
+    ):
+        if not stencils:
+            raise DatasetError("empty stencil population")
+        ndims = {s.ndim for s in stencils}
+        if len(ndims) != 1:
+            raise DatasetError(
+                f"mixed dimensionalities in campaign: {sorted(ndims)}"
+            )
+        self.stencils = list(stencils)
+        self.gpus = tuple(gpus)
+        self.ocs = tuple(ocs)
+        self.n_settings = int(n_settings)
+        self.seed = int(seed)
+        self.sigma = float(sigma)
+        self.faults = faults if faults is not None else FaultConfig()
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.checkpoint_path = (
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        )
+        self.checkpoint_every = int(checkpoint_every)
+        self.max_units = max_units
+        self.clock = SimClock()
+        self.health = CampaignHealth()
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def _config_doc(self) -> dict:
+        return {
+            "gpus": list(self.gpus),
+            "ocs": [oc.name for oc in self.ocs],
+            "n_settings": self.n_settings,
+            "seed": self.seed,
+            "sigma": self.sigma,
+            "faults": self.faults.to_dict(),
+            "stencils": [stencil_to_dict(s) for s in self.stencils],
+        }
+
+    def _write_checkpoint(
+        self, completed: dict[str, dict[int, StencilProfile]]
+    ) -> None:
+        if self.checkpoint_path is None:
+            return
+        doc = {
+            "format": FORMAT_VERSION,
+            "kind": "campaign-checkpoint",
+            "config": self._config_doc(),
+            "completed": {
+                gpu: [profile_to_row(units[sid]) for sid in sorted(units)]
+                for gpu, units in completed.items()
+                if units
+            },
+            "health": self.health.to_dict(),
+        }
+        atomic_write_text(self.checkpoint_path, json.dumps(doc))
+
+    def _load_checkpoint(self) -> dict[str, dict[int, StencilProfile]]:
+        """Load completed units from the checkpoint, validating identity.
+
+        A checkpoint written under a different campaign definition (other
+        seed, GPUs, OCs, fault schedule or population) must never be
+        silently merged -- the result would be an untraceable chimera.
+        """
+        assert self.checkpoint_path is not None
+        doc = json.loads(self.checkpoint_path.read_text())
+        check_format_version(doc, "checkpoint")
+        if doc.get("kind") != "campaign-checkpoint":
+            raise DatasetError(
+                f"not a campaign checkpoint: kind={doc.get('kind')!r}"
+            )
+        mine, theirs = self._config_doc(), doc.get("config", {})
+        if theirs != mine:
+            diff = [k for k in mine if theirs.get(k) != mine[k]]
+            raise DatasetError(
+                "checkpoint belongs to a different campaign "
+                f"(mismatched: {', '.join(diff) or 'unknown fields'})"
+            )
+        self.health = CampaignHealth.from_dict(doc.get("health", {}))
+        completed: dict[str, dict[int, StencilProfile]] = {
+            gpu: {} for gpu in self.gpus
+        }
+        for gpu, rows in doc.get("completed", {}).items():
+            for row in rows:
+                sid = int(row["stencil_id"])
+                completed[gpu][sid] = profile_from_row(
+                    row, self.stencils[sid], gpu
+                )
+        n = sum(len(units) for units in completed.values())
+        self.health.units_resumed += n
+        return completed
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _make_search(self) -> "dict[str, RandomSearch]":
+        searches = {}
+        for gpu in self.gpus:
+            sim: object = GPUSimulator(gpu, sigma=self.sigma)
+            if self.faults.enabled:
+                sim = _GuardedSimulator(
+                    FaultInjector(sim, self.faults, seed=self.seed),
+                    self.policy, self.clock, self.health,
+                )
+            searches[gpu] = RandomSearch(sim, self.n_settings, self.seed)
+        return searches
+
+    def _run_unit(
+        self, search: RandomSearch, gpu: str, stencil: Stencil, sid: int
+    ) -> StencilProfile:
+        """One (gpu, stencil) work unit, tuned OC by OC with retries.
+
+        A :class:`DeviceLostError` (or a call that exhausted its per-call
+        budget) voids the in-flight (stencil, OC) tuning point; the point
+        re-runs from scratch after a backoff -- its sampling stream is
+        re-derived from the seed, and the fault injector's advanced
+        attempt counters make the retry draw fresh fault decisions, so a
+        recovered point yields exactly the fault-free measurements.  A
+        point that keeps failing is quarantined and recorded as crashed
+        (no :class:`OCResult`, the same shape an all-crashing OC already
+        produces), never aborting the campaign.
+        """
+        sim = search.sim
+        if isinstance(sim, _GuardedSimulator):
+            sim.begin_unit((gpu, sid))
+        profile = StencilProfile(stencil=stencil, stencil_id=sid, gpu=gpu)
+        for oc in self.ocs:
+            delay = self.policy.backoff_base_s
+            for attempt in range(self.policy.max_point_retries + 1):
+                try:
+                    result, ms = search.tune_oc(stencil, sid, oc)
+                except TransientError as e:
+                    if attempt == self.policy.max_point_retries:
+                        self.health.quarantined.append(
+                            {
+                                "gpu": gpu,
+                                "stencil_id": sid,
+                                "oc": oc.name,
+                                "reason": str(e),
+                            }
+                        )
+                        break
+                    self.health.point_retries += 1
+                    self.clock.sleep(delay)
+                    self.health.backoff_s += delay
+                    delay = min(delay * self.policy.backoff_factor,
+                                self.policy.backoff_max_s)
+                else:
+                    if result is not None:
+                        profile.oc_results[oc.name] = result
+                        profile.measurements.extend(ms)
+                    break
+        return profile
+
+    def run(self, resume: bool = False) -> ProfileCampaign:
+        """Execute the campaign, optionally resuming from the checkpoint.
+
+        With ``resume=True`` and an existing checkpoint file, completed
+        units are loaded and skipped; a missing checkpoint simply starts
+        fresh.  Raises :class:`CampaignInterrupted` when ``max_units``
+        is exhausted before the campaign completes.
+        """
+        completed: dict[str, dict[int, StencilProfile]]
+        if resume and self.checkpoint_path is not None \
+                and self.checkpoint_path.exists():
+            completed = self._load_checkpoint()
+        else:
+            completed = {gpu: {} for gpu in self.gpus}
+
+        searches = self._make_search()
+        processed = 0
+        since_checkpoint = 0
+        for gpu in self.gpus:
+            for sid, stencil in enumerate(self.stencils):
+                if sid in completed[gpu]:
+                    continue
+                if self.max_units is not None and processed >= self.max_units:
+                    self._write_checkpoint(completed)
+                    done = sum(len(u) for u in completed.values())
+                    total = len(self.gpus) * len(self.stencils)
+                    raise CampaignInterrupted(
+                        f"stopped after {processed} units this run "
+                        f"({done}/{total} total); resume from "
+                        f"{self.checkpoint_path}"
+                    )
+                completed[gpu][sid] = self._run_unit(
+                    searches[gpu], gpu, stencil, sid
+                )
+                self.health.units_completed += 1
+                processed += 1
+                since_checkpoint += 1
+                if since_checkpoint >= self.checkpoint_every:
+                    self._write_checkpoint(completed)
+                    since_checkpoint = 0
+
+        campaign = ProfileCampaign(
+            stencils=self.stencils,
+            gpus=self.gpus,
+            ocs=self.ocs,
+            n_settings=self.n_settings,
+            seed=self.seed,
+        )
+        for gpu in self.gpus:
+            campaign.profiles[gpu] = [
+                completed[gpu][sid] for sid in range(len(self.stencils))
+            ]
+        self._write_checkpoint(completed)
+        return campaign

@@ -11,6 +11,8 @@ what the text codec handles comfortably.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 
 from ..errors import DatasetError
@@ -22,6 +24,54 @@ from .records import Measurement, OCResult, StencilProfile
 
 #: Format version written into every document.
 FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# crash-safe writes
+# ----------------------------------------------------------------------
+def atomic_write_text(path: "str | Path", text: str) -> None:
+    """Write *text* to *path* without ever exposing a partial file.
+
+    The content goes to a temporary file in the same directory (so the
+    final rename never crosses a filesystem boundary) and is moved into
+    place with :func:`os.replace`, which is atomic on POSIX and Windows.
+    An interrupt mid-write leaves either the previous document or nothing
+    -- never a truncated JSON body.
+    """
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def check_format_version(doc: dict, kind: str = "campaign") -> None:
+    """Validate a document's ``format`` field against :data:`FORMAT_VERSION`.
+
+    Documents written by a *newer* library version get a distinct,
+    actionable message instead of best-effort parsing that would fail in
+    some arbitrary field deeper down.
+    """
+    fmt = doc.get("format")
+    if isinstance(fmt, int) and fmt > FORMAT_VERSION:
+        raise DatasetError(
+            f"{kind} document has format_version {fmt}, newer than the "
+            f"supported FORMAT_VERSION {FORMAT_VERSION}; upgrade the "
+            f"library to read it"
+        )
+    if fmt != FORMAT_VERSION:
+        raise DatasetError(f"unsupported {kind} format: {fmt!r}")
 
 
 # ----------------------------------------------------------------------
@@ -64,48 +114,75 @@ def _setting_from_list(values: list[int]) -> ParamSetting:
 
 
 # ----------------------------------------------------------------------
+# profile-row (de)serialization -- shared by campaigns and checkpoints
+# ----------------------------------------------------------------------
+def profile_to_row(profile: StencilProfile) -> dict:
+    """JSON-ready description of one stencil's results on one GPU."""
+    return {
+        "stencil_id": profile.stencil_id,
+        "oc_results": {
+            name: {
+                "setting": _setting_to_list(r.best_setting),
+                "time_ms": r.best_time_ms,
+                "n_settings": r.n_settings,
+                "crashed": r.crashed,
+            }
+            for name, r in profile.oc_results.items()
+        },
+        "measurements": [
+            [m.oc, _setting_to_list(m.setting), m.time_ms]
+            for m in profile.measurements
+        ],
+    }
+
+
+def profile_from_row(row: dict, stencil: Stencil, gpu: str) -> StencilProfile:
+    """Inverse of :func:`profile_to_row`."""
+    sid = int(row["stencil_id"])
+    profile = StencilProfile(stencil=stencil, stencil_id=sid, gpu=gpu)
+    for name, r in row["oc_results"].items():
+        profile.oc_results[name] = OCResult(
+            oc=name,
+            best_setting=_setting_from_list(r["setting"]),
+            best_time_ms=float(r["time_ms"]),
+            n_settings=int(r["n_settings"]),
+            crashed=int(r["crashed"]),
+        )
+    for oc_name, values, t in row["measurements"]:
+        profile.measurements.append(
+            Measurement(
+                stencil_id=sid,
+                oc=oc_name,
+                setting=_setting_from_list(values),
+                gpu=gpu,
+                time_ms=float(t),
+            )
+        )
+    return profile
+
+
+# ----------------------------------------------------------------------
 # campaign (de)serialization
 # ----------------------------------------------------------------------
 def campaign_to_dict(campaign: ProfileCampaign) -> dict:
     """JSON-ready description of a full profiling campaign."""
-    doc = {
+    return {
         "format": FORMAT_VERSION,
         "gpus": list(campaign.gpus),
         "ocs": [oc.name for oc in campaign.ocs],
         "n_settings": campaign.n_settings,
         "seed": campaign.seed,
         "stencils": [stencil_to_dict(s) for s in campaign.stencils],
-        "profiles": {},
+        "profiles": {
+            gpu: [profile_to_row(p) for p in profiles]
+            for gpu, profiles in campaign.profiles.items()
+        },
     }
-    for gpu, profiles in campaign.profiles.items():
-        rows = []
-        for p in profiles:
-            rows.append(
-                {
-                    "stencil_id": p.stencil_id,
-                    "oc_results": {
-                        name: {
-                            "setting": _setting_to_list(r.best_setting),
-                            "time_ms": r.best_time_ms,
-                            "n_settings": r.n_settings,
-                            "crashed": r.crashed,
-                        }
-                        for name, r in p.oc_results.items()
-                    },
-                    "measurements": [
-                        [m.oc, _setting_to_list(m.setting), m.time_ms]
-                        for m in p.measurements
-                    ],
-                }
-            )
-        doc["profiles"][gpu] = rows
-    return doc
 
 
 def campaign_from_dict(doc: dict) -> ProfileCampaign:
     """Inverse of :func:`campaign_to_dict`."""
-    if doc.get("format") != FORMAT_VERSION:
-        raise DatasetError(f"unsupported campaign format: {doc.get('format')!r}")
+    check_format_version(doc, "campaign")
     stencils = [stencil_from_dict(d) for d in doc["stencils"]]
     try:
         ocs = tuple(OC_BY_NAME[name] for name in doc["ocs"])
@@ -119,38 +196,17 @@ def campaign_from_dict(doc: dict) -> ProfileCampaign:
         seed=int(doc["seed"]),
     )
     for gpu, rows in doc["profiles"].items():
-        profiles = []
-        for row in rows:
-            sid = int(row["stencil_id"])
-            profile = StencilProfile(
-                stencil=stencils[sid], stencil_id=sid, gpu=gpu
-            )
-            for name, r in row["oc_results"].items():
-                profile.oc_results[name] = OCResult(
-                    oc=name,
-                    best_setting=_setting_from_list(r["setting"]),
-                    best_time_ms=float(r["time_ms"]),
-                    n_settings=int(r["n_settings"]),
-                    crashed=int(r["crashed"]),
-                )
-            for oc_name, values, t in row["measurements"]:
-                profile.measurements.append(
-                    Measurement(
-                        stencil_id=sid,
-                        oc=oc_name,
-                        setting=_setting_from_list(values),
-                        gpu=gpu,
-                        time_ms=float(t),
-                    )
-                )
-            profiles.append(profile)
-        campaign.profiles[gpu] = profiles
+        campaign.profiles[gpu] = [
+            profile_from_row(row, stencils[int(row["stencil_id"])], gpu)
+            for row in rows
+        ]
     return campaign
 
 
 def save_campaign(campaign: ProfileCampaign, path: "str | Path") -> None:
-    """Write a campaign to *path* as JSON."""
-    Path(path).write_text(json.dumps(campaign_to_dict(campaign)))
+    """Write a campaign to *path* as JSON (atomically; see
+    :func:`atomic_write_text`)."""
+    atomic_write_text(path, json.dumps(campaign_to_dict(campaign)))
 
 
 def load_campaign(path: "str | Path") -> ProfileCampaign:

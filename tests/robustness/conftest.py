@@ -1,0 +1,41 @@
+"""Shared fixtures for the robustness suite.
+
+Campaigns here deliberately use a *subset* of OCs: the fault-tolerance
+machinery is orthogonal to OC coverage, and 8 OCs keep the suite fast
+while still exercising crash-prone combinations.
+"""
+
+import pytest
+
+from repro.optimizations.combos import ALL_OCS
+from repro.stencil import generate_population
+
+#: OC subset used throughout this package.
+OCS = ALL_OCS[:8]
+
+
+def copy_campaign(campaign):
+    """Deep-copy a campaign via its serialized form.
+
+    ``copy.deepcopy`` chokes on the mappingproxy inside settings, and the
+    storage round trip is the representation robustness tests care about
+    anyway.
+    """
+    from repro.profiling.storage import campaign_from_dict, campaign_to_dict
+
+    return campaign_from_dict(campaign_to_dict(campaign))
+
+
+@pytest.fixture(scope="session")
+def population():
+    return generate_population(2, 4, seed=11)
+
+
+@pytest.fixture(scope="session")
+def baseline_campaign(population):
+    """The fault-free reference campaign every equality test compares to."""
+    from repro.profiling import run_campaign
+
+    return run_campaign(
+        population, gpus=("V100", "P100"), ocs=OCS, n_settings=3, seed=7
+    )

@@ -1,0 +1,174 @@
+"""Unit tests for the deterministic fault injector."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    DeviceLostError,
+    MeasurementTimeout,
+    ReproError,
+    TransientError,
+    TransientMeasurementError,
+)
+from repro.gpu import GPUSimulator
+from repro.gpu.faults import FaultConfig, FaultInjector, is_valid_time
+from repro.optimizations.combos import ALL_OCS
+from repro.optimizations.params import sample_setting
+from repro.stencil import star
+
+
+def _sample_calls(n=40, seed=0):
+    """(stencil, oc, setting) triples covering several OCs."""
+    rng = np.random.default_rng(seed)
+    stencil = star(2, 1)
+    out = []
+    for i in range(n):
+        oc = ALL_OCS[i % len(ALL_OCS)]
+        out.append((stencil, oc, sample_setting(oc, 2, rng)))
+    return out
+
+
+def _valid_call(seed=0):
+    """One (stencil, oc, setting) that launches cleanly on V100."""
+    sim = GPUSimulator("V100")
+    rng = np.random.default_rng(seed)
+    stencil = star(2, 1)
+    oc = ALL_OCS[0]
+    for _ in range(64):
+        setting = sample_setting(oc, 2, rng)
+        try:
+            sim.time(stencil, oc, setting)
+        except ReproError:
+            continue
+        return stencil, oc, setting
+    raise AssertionError("no launchable setting found")
+
+
+class TestFaultConfig:
+    def test_defaults_disabled(self):
+        assert not FaultConfig().enabled
+
+    def test_uniform_enabled(self):
+        cfg = FaultConfig.uniform(0.1)
+        assert cfg.enabled
+        assert cfg.timeout_rate == cfg.transient_rate == cfg.corrupt_rate == 0.1
+        assert cfg.device_lost_rate == pytest.approx(0.001)
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultConfig(timeout_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultConfig(corrupt_rate=-0.1)
+
+    def test_dict_round_trip(self):
+        cfg = FaultConfig(0.1, 0.2, 0.05, 0.3)
+        assert FaultConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_error_hierarchy(self):
+        for exc in (MeasurementTimeout, TransientMeasurementError,
+                    DeviceLostError):
+            assert issubclass(exc, TransientError)
+            assert issubclass(exc, ReproError)
+
+
+class TestZeroRatePassThrough:
+    def test_identical_times(self):
+        sim = GPUSimulator("V100")
+        inj = FaultInjector(sim, FaultConfig(), seed=1)
+        for stencil, oc, setting in _sample_calls(20):
+            try:
+                expected = sim.time(stencil, oc, setting)
+            except ReproError:
+                continue
+            assert inj.time(stencil, oc, setting) == expected
+
+
+class TestDeterminism:
+    def test_same_seed_same_fault_sequence(self):
+        cfg = FaultConfig.uniform(0.2)
+
+        def outcomes(seed):
+            inj = FaultInjector(GPUSimulator("V100"), cfg, seed=seed)
+            inj.begin_unit("u")
+            out = []
+            for stencil, oc, setting in _sample_calls(30):
+                try:
+                    out.append(("ok", inj.time(stencil, oc, setting)))
+                except ReproError as e:
+                    out.append((type(e).__name__, None))
+            return out
+
+        assert outcomes(5) == outcomes(5)
+
+    def test_different_seeds_differ(self):
+        cfg = FaultConfig.uniform(0.2)
+
+        def kinds(seed):
+            inj = FaultInjector(GPUSimulator("V100"), cfg, seed=seed)
+            inj.begin_unit("u")
+            out = []
+            for stencil, oc, setting in _sample_calls(40):
+                try:
+                    inj.time(stencil, oc, setting)
+                    out.append("ok")
+                except ReproError as e:
+                    out.append(type(e).__name__)
+            return out
+
+        assert kinds(1) != kinds(2)
+
+    def test_attempt_counter_advances(self):
+        """Retrying the same call eventually yields the true timing."""
+        sim = GPUSimulator("V100")
+        cfg = FaultConfig(timeout_rate=0.5)
+        inj = FaultInjector(sim, cfg, seed=3)
+        inj.begin_unit("u")
+        stencil, oc, setting = _valid_call()
+        expected = sim.time(stencil, oc, setting)
+        for _ in range(64):
+            try:
+                assert inj.time(stencil, oc, setting) == expected
+                return
+            except MeasurementTimeout:
+                continue
+        pytest.fail("fault never cleared over 64 attempts")
+
+    def test_begin_unit_rescopes_draws(self):
+        """The same call faults independently in different units."""
+        cfg = FaultConfig(transient_rate=0.5)
+        stencil, oc, setting = _valid_call()
+
+        def first_outcome(unit):
+            inj = FaultInjector(GPUSimulator("V100"), cfg, seed=9)
+            inj.begin_unit(unit)
+            try:
+                inj.time(stencil, oc, setting)
+                return "ok"
+            except TransientMeasurementError:
+                return "fault"
+
+        outcomes = {first_outcome(u) for u in range(16)}
+        assert outcomes == {"ok", "fault"}
+
+
+class TestCorruption:
+    def test_corrupted_timings_are_detectable(self):
+        cfg = FaultConfig(corrupt_rate=1.0)
+        inj = FaultInjector(GPUSimulator("V100"), cfg, seed=0)
+        inj.begin_unit("u")
+        seen = 0
+        for stencil, oc, setting in _sample_calls(30):
+            try:
+                t = inj.time(stencil, oc, setting)
+            except ReproError:
+                continue
+            assert not is_valid_time(t)
+            seen += 1
+        assert seen > 0
+
+    def test_is_valid_time(self):
+        assert is_valid_time(1.5)
+        for bad in (0.0, -1.0, math.nan, math.inf):
+            assert not is_valid_time(bad)
