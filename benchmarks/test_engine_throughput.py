@@ -1,0 +1,56 @@
+"""Engine throughput: batched evaluation vs the scalar reference.
+
+The batched evaluation engine exists to make profiling campaigns cheap:
+``repro profile`` spends essentially all of its time evaluating (stencil,
+OC, setting) points, so points/second through a backend *is* campaign
+throughput.  This bench times every backend kind over a representative
+campaign slice -- random stencils x all 30 OCs x sampled frontiers,
+crashes included, cold model caches -- and asserts the engine's headline
+guarantee: the vectorized backend clears >=5x the scalar path, and a
+warm cache replays the slice one to two orders of magnitude faster
+still.
+"""
+
+from repro.engine import make_backend
+from repro.engine.bench import make_workload, run_throughput_bench
+
+from conftest import print_table
+
+
+def test_engine_throughput(benchmark):
+    doc = run_throughput_bench()
+
+    rows = [
+        [kind, row["seconds"], row["points_per_sec"], row["speedup_vs_scalar"]]
+        for kind, row in doc["backends"].items()
+    ]
+    replay = doc["cached_replay"]
+    rows.append(
+        [
+            "cached (replay)",
+            replay["seconds"],
+            replay["points_per_sec"],
+            replay["speedup_vs_scalar"],
+        ]
+    )
+    print_table(
+        f"Engine throughput ({doc['gpu']}, {doc['n_points']} points)",
+        ["backend", "seconds", "points/sec", "speedup"],
+        rows,
+    )
+
+    # The engine's acceptance bar: >=5x points/sec over the scalar path
+    # on a representative campaign slice (ISSUE 2), and cache replay far
+    # beyond that.
+    assert doc["backends"]["vector"]["speedup_vs_scalar"] >= 5.0
+    assert (
+        replay["speedup_vs_scalar"]
+        > doc["backends"]["vector"]["speedup_vs_scalar"]
+    )
+    # Sanity: all backends saw the same number of points.
+    assert doc["n_points"] == len(make_workload(settings_per_oc=32))
+
+    # Representative timing unit: one vectorized batch over a quick slice.
+    workload = make_workload(n_stencils=1, settings_per_oc=4)
+    be = make_backend("vector", "V100")
+    benchmark(be.evaluate_batch, workload)

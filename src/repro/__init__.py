@@ -29,6 +29,7 @@ def __getattr__(name: str):
     # the heavier subsystems (simulator, ML) are pulled in on demand.
     if name in {
         "gpu",
+        "engine",
         "optimizations",
         "profiling",
         "ml",

@@ -11,8 +11,8 @@ combination cannot run for the stencil/GPU at hand.
 
 from __future__ import annotations
 
+from ..engine import make_backend
 from ..errors import DatasetError
-from ..gpu.simulator import GPUSimulator
 from ..optimizations.combos import OC
 from ..optimizations.params import ParamSetting
 from ..profiling.search import RandomSearch
@@ -27,8 +27,11 @@ class AN5DBaseline:
 
     name = "AN5D"
 
-    def __init__(self, gpu: str, n_settings: int, seed: int, sigma: float = 0.03):
-        self.search = RandomSearch(GPUSimulator(gpu, sigma=sigma), n_settings, seed)
+    def __init__(self, gpu: str, n_settings: int, seed: int,
+                 sigma: float = 0.03, backend: str = "scalar"):
+        self.search = RandomSearch(
+            make_backend(backend, gpu, sigma=sigma), n_settings, seed
+        )
 
     def tune(self, stencil: Stencil, stencil_id: int = -1) -> tuple[OC, ParamSetting, float]:
         """Best configuration of the AN5D strategy for *stencil*."""

@@ -20,8 +20,8 @@ settings remains the same".
 
 from __future__ import annotations
 
+from ..engine import make_backend
 from ..errors import ConstraintViolation, DatasetError
-from ..gpu.simulator import GPUSimulator
 from ..optimizations.combos import OC
 from ..optimizations.params import ParamSetting
 from ..optimizations.passes import Opt
@@ -47,8 +47,11 @@ class ArtemisBaseline:
         seed: int,
         sigma: float = 0.03,
         n_candidates: int = 2,
+        backend: str = "scalar",
     ):
-        self.search = RandomSearch(GPUSimulator(gpu, sigma=sigma), n_settings, seed)
+        self.search = RandomSearch(
+            make_backend(backend, gpu, sigma=sigma), n_settings, seed
+        )
         self.n_candidates = int(n_candidates)
 
     def tune(self, stencil: Stencil, stencil_id: int = -1) -> tuple[OC, ParamSetting, float]:

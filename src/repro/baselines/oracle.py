@@ -6,8 +6,8 @@ used by ablation benches and the speedup figures' sanity checks.
 
 from __future__ import annotations
 
+from ..engine import make_backend
 from ..errors import DatasetError
-from ..gpu.simulator import GPUSimulator
 from ..optimizations.combos import ALL_OCS, OC
 from ..optimizations.params import ParamSetting
 from ..profiling.search import RandomSearch
@@ -15,12 +15,20 @@ from ..stencil.stencil import Stencil
 
 
 class OracleBaseline:
-    """Profiles every OC with the standard budget and keeps the best."""
+    """Profiles every OC with the standard budget and keeps the best.
+
+    Exhausting the whole OC space makes the oracle the most
+    measurement-hungry tuner in the repo; ``backend="cached"`` (or
+    ``"vector"``) runs it on the batched engine.
+    """
 
     name = "Oracle"
 
-    def __init__(self, gpu: str, n_settings: int, seed: int, sigma: float = 0.03):
-        self.search = RandomSearch(GPUSimulator(gpu, sigma=sigma), n_settings, seed)
+    def __init__(self, gpu: str, n_settings: int, seed: int,
+                 sigma: float = 0.03, backend: str = "scalar"):
+        self.search = RandomSearch(
+            make_backend(backend, gpu, sigma=sigma), n_settings, seed
+        )
 
     def tune(self, stencil: Stencil, stencil_id: int = -1) -> tuple[OC, ParamSetting, float]:
         """Best configuration over the full OC space."""

@@ -42,6 +42,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--count", type=int, default=20)
     p.add_argument("--gpus", nargs="+", default=list(GPU_ORDER))
     p.add_argument("--n-settings", type=int, default=6)
+    p.add_argument(
+        "--backend",
+        default="scalar",
+        choices=("scalar", "vector", "cached"),
+        help="measurement backend: per-point reference, NumPy-vectorized "
+        "batches, or vectorized with content-keyed memoization "
+        "(equivalent results; vector/cached are much faster)",
+    )
     p.add_argument("-o", "--output", required=True, help="campaign JSON path")
     p.add_argument(
         "--checkpoint",
@@ -158,6 +166,7 @@ def cmd_profile(args) -> int:
         gpus=tuple(args.gpus),
         n_settings=args.n_settings,
         seed=args.seed,
+        backend=args.backend,
         faults=faults,
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,

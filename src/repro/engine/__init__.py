@@ -1,0 +1,75 @@
+"""Batched evaluation engine: the measurement substrate behind tuning.
+
+Every tuner, campaign and baseline in this repo measures stencil
+configurations through a :class:`Backend` -- an object that evaluates
+*batches* of (stencil, OC, setting) requests and advertises its
+capabilities.  Concrete backends:
+
+- :class:`ScalarBackend` -- the per-point reference path (wraps a
+  :class:`~repro.gpu.simulator.GPUSimulator` or any ``time``-shaped
+  object); defines the engine's semantics.
+- :class:`VectorBackend` -- NumPy-vectorized evaluation of whole
+  frontiers, observationally equivalent to the scalar path (identical
+  crashes, bit-identical noise, times within 1e-9 relative).
+- :class:`CachingBackend` -- content-keyed memoization decorator.
+- :class:`FaultBackend` / :class:`RetryBackend` -- deterministic fault
+  injection and retry-with-backoff decorators used by the campaign
+  runner.
+
+See ``docs/engine.md`` for the protocol contract and composition rules.
+"""
+
+from __future__ import annotations
+
+from .cache import CachingBackend
+from .core import (
+    Backend,
+    BackendBase,
+    BackendInfo,
+    EvalRequest,
+    EvalResult,
+    as_backend,
+    iter_chunks,
+)
+from .fault import FaultBackend
+from .retry import RetryBackend
+from .scalar import ScalarBackend
+from .vector import VectorBackend
+
+#: Backend kinds selectable from the CLI / campaign runner.
+BACKEND_KINDS = ("scalar", "vector", "cached")
+
+
+def make_backend(kind: str, gpu, sigma: float = 0.03) -> Backend:
+    """Construct a measurement backend by name.
+
+    ``scalar`` is the reference per-point path; ``vector`` evaluates
+    batches with array math; ``cached`` memoizes on top of ``vector``.
+    *gpu* may be a GPU name, a :class:`~repro.gpu.specs.GPUSpec` or an
+    existing simulator.
+    """
+    if kind == "scalar":
+        return ScalarBackend(gpu, sigma=sigma)
+    if kind == "vector":
+        return VectorBackend(gpu, sigma=sigma)
+    if kind == "cached":
+        return CachingBackend(VectorBackend(gpu, sigma=sigma))
+    raise ValueError(f"unknown backend kind {kind!r} (choose from {BACKEND_KINDS})")
+
+
+__all__ = [
+    "Backend",
+    "BackendBase",
+    "BackendInfo",
+    "BACKEND_KINDS",
+    "CachingBackend",
+    "EvalRequest",
+    "EvalResult",
+    "FaultBackend",
+    "RetryBackend",
+    "ScalarBackend",
+    "VectorBackend",
+    "as_backend",
+    "iter_chunks",
+    "make_backend",
+]

@@ -1,0 +1,125 @@
+"""Engine throughput measurement: points/second per backend.
+
+The workload is a representative campaign slice -- random stencils x
+every OC x sampled settings, crashes included -- evaluated through each
+backend with cold per-process model caches, the state a fresh profiling
+campaign actually starts from.  ``repro profile`` spends essentially all
+of its time in exactly this loop, so points/second here is campaign
+throughput.
+
+Used by ``benchmarks/test_engine_throughput.py`` (asserts the vectorized
+speedup) and ``tools/bench_engine.py`` (writes ``BENCH_engine.json``).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from ..optimizations.combos import ALL_OCS
+from ..optimizations.kernelmodel import (
+    _bm_overlap_factor,
+    _row_accesses,
+    build_profile,
+)
+from ..optimizations.params import default_setting, sample_setting
+from ..stencil.generator import generate_population
+from . import make_backend
+from .core import EvalRequest
+
+
+def make_workload(
+    ndim: int = 2,
+    n_stencils: int = 3,
+    settings_per_oc: int = 8,
+    seed: int = 123,
+) -> "list[EvalRequest]":
+    """A campaign-shaped request list (stencils x OCs x settings)."""
+    rng = np.random.default_rng(seed)
+    requests: list[EvalRequest] = []
+    for stencil in generate_population(ndim, n_stencils, seed=seed):
+        for oc in ALL_OCS:
+            settings = [default_setting()] + [
+                sample_setting(oc, stencil.ndim, rng)
+                for _ in range(settings_per_oc - 1)
+            ]
+            requests.extend(EvalRequest(stencil, oc, s) for s in settings)
+    return requests
+
+
+def _clear_model_caches() -> None:
+    """Reset per-process memoization so every backend starts cold."""
+    build_profile.cache_clear()
+    _bm_overlap_factor.cache_clear()
+    _row_accesses.cache_clear()
+
+
+def run_throughput_bench(quick: bool = False, gpu: str = "V100") -> dict:
+    """Measure evaluation throughput of every backend kind.
+
+    Returns a JSON-ready document::
+
+        {"gpu", "n_points", "quick",
+         "backends": {kind: {"seconds", "points_per_sec",
+                             "speedup_vs_scalar"}},
+         "cached_replay": {...}}   # second pass over a warm cache
+
+    ``quick`` shrinks the workload for CI smoke runs.
+    """
+    workload = make_workload(
+        n_stencils=1 if quick else 3,
+        settings_per_oc=4 if quick else 32,
+    )
+    reps = 1 if quick else 3
+    doc: dict = {
+        "gpu": gpu,
+        "n_points": len(workload),
+        "quick": bool(quick),
+        "backends": {},
+    }
+
+    def measure(backend, prepare) -> float:
+        """Best-of-``reps`` wall time; ``prepare`` runs before every rep
+        (cold runs reset the caches so each rep measures a fresh
+        campaign start; the replay run keeps them warm)."""
+        best = math.inf
+        for _ in range(reps):
+            prepare()
+            start = time.perf_counter()
+            results = backend.evaluate_batch(workload)
+            elapsed = time.perf_counter() - start
+            assert len(results) == len(workload)
+            best = min(best, elapsed)
+        return best
+
+    for kind in ("scalar", "vector", "cached"):
+        backend = make_backend(kind, gpu)
+
+        def cold():
+            _clear_model_caches()
+            if kind == "cached":
+                backend.clear()
+
+        seconds = measure(backend, cold)
+        doc["backends"][kind] = {
+            "seconds": seconds,
+            "points_per_sec": len(workload) / seconds,
+        }
+        if kind == "cached":
+            backend.clear()
+            backend.evaluate_batch(workload)  # warm the memo cache
+            replay = measure(backend, lambda: None)
+            doc["cached_replay"] = {
+                "seconds": replay,
+                "points_per_sec": len(workload) / replay,
+            }
+
+    scalar_s = doc["backends"]["scalar"]["seconds"]
+    for kind, row in doc["backends"].items():
+        row["speedup_vs_scalar"] = scalar_s / row["seconds"]
+    doc["cached_replay"]["speedup_vs_scalar"] = (
+        scalar_s / doc["cached_replay"]["seconds"]
+    )
+    return doc

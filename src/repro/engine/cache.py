@@ -1,0 +1,90 @@
+"""Content-keyed memoization of evaluation results.
+
+``CachingBackend`` wraps any backend and serves repeated requests from
+memory: search restarts, cross-validation folds and genetic generations
+re-visit the same (stencil, OC, setting, grid) points constantly, and
+results are pure functions of that identity (noise included), so replays
+are free.
+
+Only settled outcomes are cached -- times and deterministic
+:class:`~repro.errors.KernelLaunchError` crashes.  Transient errors a
+fault-injecting backend may record are *not* cached (a retry must re-hit
+the device), which is also why fault decorators wrap *around* the cache,
+never inside it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .core import BackendBase, BackendInfo, EvalRequest, EvalResult, as_backend
+
+
+class CachingBackend(BackendBase):
+    """Memoizing decorator around another backend.
+
+    The cache key is :meth:`EvalRequest.key` -- GPU identity is implicit
+    because a backend instance measures exactly one GPU.  Duplicate
+    requests inside one batch are deduplicated before reaching the inner
+    backend (the first occurrence is the miss; the rest are hits).
+    """
+
+    def __init__(self, inner):
+        self.inner = as_backend(inner)
+        self._cache: dict[tuple, EvalResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def spec(self):
+        return self.inner.spec
+
+    @property
+    def sigma(self) -> float:
+        return self.inner.sigma
+
+    @property
+    def info(self) -> BackendInfo:
+        inner = self.inner.info
+        return BackendInfo(
+            name=f"cached({inner.name})",
+            vectorized=inner.vectorized,
+            caching=True,
+            batch_limit=inner.batch_limit,
+        )
+
+    def cache_info(self) -> dict:
+        """Hit/miss accounting: ``{"hits", "misses", "size"}``."""
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._cache)}
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def evaluate_batch(self, requests: Sequence[EvalRequest]) -> list[EvalResult]:
+        out: list[EvalResult | None] = [None] * len(requests)
+        keys = [r.key() for r in requests]
+        miss_pos: dict[tuple, int] = {}
+        miss_requests: list[EvalRequest] = []
+        for i, key in enumerate(keys):
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.hits += 1
+                out[i] = cached
+            elif key in miss_pos:
+                self.hits += 1  # intra-batch duplicate of a pending miss
+            else:
+                self.misses += 1
+                miss_pos[key] = len(miss_requests)
+                miss_requests.append(requests[i])
+        if miss_requests:
+            results = self.inner.evaluate_batch(miss_requests)
+            for key, pos in miss_pos.items():
+                res = results[pos]
+                if res.ok or res.crashed:
+                    self._cache[key] = res
+            for i, key in enumerate(keys):
+                if out[i] is None:
+                    out[i] = results[miss_pos[key]]
+        return out  # type: ignore[return-value]

@@ -1,0 +1,108 @@
+"""Fault injection as a backend decorator.
+
+``FaultBackend`` lifts :class:`~repro.gpu.faults.FaultInjector` onto the
+batched protocol: it draws the *same* deterministic fault decisions from
+the *same* blake2b-keyed streams -- ``(seed, kind, unit, gpu, stencil,
+oc, setting, attempt)`` -- but lets the clean subset of a batch flow to
+a vectorized inner backend in one call.
+
+Semantics relative to the sequential injector:
+
+- A device loss raises :class:`~repro.errors.DeviceLostError` at the
+  first affected request (in batch order) and voids the whole batch,
+  just as it voided everything in flight before.
+- Timeouts and transient failures are recorded as retryable errors on
+  their result (the retry layer absorbs them); the affected request is
+  withheld from the inner backend for that attempt.
+- Corruption applies only to successfully measured times -- a
+  deterministic :class:`~repro.errors.KernelLaunchError` crash never
+  drew a corruption decision before and still does not.
+
+Per-identity attempt counters advance exactly once per requested
+evaluation, so retry convergence (the property the robustness suite
+leans on: at sub-certainty rates a retried campaign reproduces the
+fault-free one bit for bit) carries over unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..gpu.faults import FaultConfig, FaultInjector
+from .core import BackendBase, BackendInfo, EvalRequest, EvalResult, as_backend
+
+
+class FaultBackend(BackendBase):
+    """Deterministic fault injection around another backend.
+
+    Parameters
+    ----------
+    inner:
+        The backend (or simulator-like object) that produces true
+        timings.  Wrap the cache *inside* this decorator, never outside:
+        transient faults must not be memoized.
+    config:
+        Per-class injection rates; with all rates zero the decorator is
+        a transparent pass-through.
+    seed:
+        Fault-stream seed, independent of the measurement-noise seed.
+    """
+
+    def __init__(self, inner, config: FaultConfig, seed: int = 0):
+        self.inner = as_backend(inner)
+        self.injector = FaultInjector(self.inner, config, seed=seed)
+
+    @property
+    def spec(self):
+        return self.inner.spec
+
+    @property
+    def sigma(self) -> float:
+        return self.inner.sigma
+
+    @property
+    def config(self) -> FaultConfig:
+        return self.injector.config
+
+    @property
+    def info(self) -> BackendInfo:
+        inner = self.inner.info
+        return BackendInfo(
+            name=f"faulted({inner.name})",
+            vectorized=inner.vectorized,
+            caching=inner.caching,
+            batch_limit=inner.batch_limit,
+        )
+
+    def begin_unit(self, unit_key: object) -> None:
+        """Scope fault draws to one work unit (see FaultInjector)."""
+        self.injector.begin_unit(unit_key)
+        begin = getattr(self.inner, "begin_unit", None)
+        if begin is not None:
+            begin(unit_key)
+
+    def evaluate_batch(self, requests: Sequence[EvalRequest]) -> list[EvalResult]:
+        inj = self.injector
+        if not inj.config.enabled:
+            return self.inner.evaluate_batch(requests)
+        out: list[EvalResult | None] = [None] * len(requests)
+        clean: list[int] = []
+        meta: list[tuple[tuple, int]] = []
+        for i, req in enumerate(requests):
+            identity = inj.identity(req.stencil, req.oc, req.setting)
+            attempt = inj.next_attempt(identity)
+            err = inj.pre_fault(identity, attempt, req.oc)  # may raise DeviceLostError
+            if err is not None:
+                out[i] = EvalResult(error=err)
+            else:
+                clean.append(i)
+                meta.append((identity, attempt))
+        if clean:
+            results = self.inner.evaluate_batch([requests[i] for i in clean])
+            for (identity, attempt), i, res in zip(meta, clean, results):
+                if res.ok:
+                    t = inj.maybe_corrupt(identity, attempt, res.time_ms)
+                    out[i] = EvalResult(time_ms=t)
+                else:
+                    out[i] = res
+        return out  # type: ignore[return-value]

@@ -1,0 +1,68 @@
+"""Reference backend: the per-point simulator path, one request at a time.
+
+``ScalarBackend`` defines the engine's semantics.  Every other backend --
+vectorized, caching, fault-injecting -- must be observationally
+equivalent to it (see ``tests/engine/test_backend_equivalence.py``); it
+is also the adapter that lets any simulator-shaped object (a
+:class:`~repro.gpu.simulator.GPUSimulator`, a
+:class:`~repro.gpu.faults.FaultInjector`, a test stub with a ``time``
+method) serve a batched caller.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import KernelLaunchError
+from .core import BackendBase, BackendInfo, EvalRequest, EvalResult
+
+
+class ScalarBackend(BackendBase):
+    """Wraps a per-point simulator behind the batched protocol.
+
+    Parameters
+    ----------
+    sim:
+        GPU name, :class:`~repro.gpu.specs.GPUSpec` or any object with a
+        simulator-compatible ``time(stencil, oc, setting, grid=None)``.
+    sigma:
+        Noise level, used only when *sim* is a name/spec and a simulator
+        must be constructed.
+    """
+
+    def __init__(self, sim, sigma: float = 0.03):
+        if isinstance(sim, str) or not hasattr(sim, "time"):
+            from ..gpu.simulator import GPUSimulator
+
+            sim = GPUSimulator(sim, sigma=sigma)
+        self.sim = sim
+
+    @property
+    def spec(self):
+        return self.sim.spec
+
+    @property
+    def sigma(self) -> float:
+        return self.sim.sigma
+
+    @property
+    def info(self) -> BackendInfo:
+        return BackendInfo(name="scalar")
+
+    def evaluate_batch(self, requests: Sequence[EvalRequest]) -> list[EvalResult]:
+        """Evaluate requests sequentially through the wrapped simulator.
+
+        Deterministic launch failures become crash results; anything else
+        the simulator raises (transient faults, geometry errors)
+        propagates and voids the batch, exactly as the pre-engine
+        sequential code path behaved.
+        """
+        out: list[EvalResult] = []
+        for req in requests:
+            try:
+                t = self.sim.time(req.stencil, req.oc, req.setting, grid=req.grid)
+            except KernelLaunchError as e:
+                out.append(EvalResult(error=e))
+            else:
+                out.append(EvalResult(time_ms=t))
+        return out

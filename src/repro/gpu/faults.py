@@ -150,6 +150,70 @@ class FaultInjector:
     def run(self, stencil, oc, setting, grid=None, boundary=None):
         return self.sim.run(stencil, oc, setting, grid=grid, boundary=boundary)
 
+    # -- draw primitives ------------------------------------------------
+    # These are shared with the engine's FaultBackend decorator, which
+    # batches the underlying evaluation but must draw the exact same
+    # fault decisions from the exact same keys.
+
+    def identity(self, stencil, oc, setting) -> tuple:
+        """The per-point fault-stream key (unit-scoped)."""
+        return (
+            self._unit_key,
+            self.sim.spec.name,
+            stencil.cache_key(),
+            oc.name,
+            setting.as_tuple(),
+        )
+
+    def next_attempt(self, identity: tuple) -> int:
+        """Advance and return the per-identity attempt counter."""
+        attempt = self._attempts.get(identity, 0)
+        self._attempts[identity] = attempt + 1
+        return attempt
+
+    def pre_fault(self, identity: tuple, attempt: int, oc) -> Exception | None:
+        """Draw the fault classes that preempt the measurement itself.
+
+        Raises :class:`DeviceLostError` (it voids everything in flight,
+        so it must preempt the milder failure classes), returns a timeout
+        or transient error to be recorded/raised by the caller, or
+        ``None`` when the measurement may proceed.
+        """
+        cfg = self.config
+
+        def draw(kind: str) -> float:
+            return uniform01(self.seed, kind, *identity, attempt)
+
+        if cfg.device_lost_rate > 0 and draw("lost") < cfg.device_lost_rate:
+            raise DeviceLostError(
+                f"device {self.sim.spec.name} lost (unit {self._unit_key!r}, "
+                f"attempt {attempt})"
+            )
+        if cfg.timeout_rate > 0 and draw("timeout") < cfg.timeout_rate:
+            return MeasurementTimeout(
+                f"kernel hung on {self.sim.spec.name} ({oc.name}, attempt {attempt})"
+            )
+        if cfg.transient_rate > 0 and draw("transient") < cfg.transient_rate:
+            return TransientMeasurementError(
+                f"sporadic failure on {self.sim.spec.name} "
+                f"({oc.name}, attempt {attempt})"
+            )
+        return None
+
+    def maybe_corrupt(self, identity: tuple, attempt: int, t: float) -> float:
+        """Replace a measured time with detectable garbage, or keep it."""
+        cfg = self.config
+        if (
+            cfg.corrupt_rate > 0
+            and uniform01(self.seed, "corrupt", *identity, attempt)
+            < cfg.corrupt_rate
+        ):
+            idx = int(uniform01(self.seed, "corrupt-kind", *identity, attempt)
+                      * len(_CORRUPT_VALUES))
+            return _CORRUPT_VALUES[min(idx, len(_CORRUPT_VALUES) - 1)]
+        return t
+
+    # ------------------------------------------------------------------
     def time(self, stencil, oc, setting, grid=None) -> float:
         """Simulated time with fault injection.
 
@@ -160,44 +224,15 @@ class FaultInjector:
         KernelLaunchError
             Propagated unchanged from the wrapped simulator.
         """
-        cfg = self.config
-        if not cfg.enabled:
+        if not self.config.enabled:
             return self.sim.time(stencil, oc, setting, grid=grid)
-        identity = (
-            self._unit_key,
-            self.sim.spec.name,
-            stencil.cache_key(),
-            oc.name,
-            setting.as_tuple(),
-        )
-        attempt = self._attempts.get(identity, 0)
-        self._attempts[identity] = attempt + 1
-
-        def draw(kind: str) -> float:
-            return uniform01(self.seed, kind, *identity, attempt)
-
-        # Device loss first: it voids everything in flight, so it must
-        # preempt the milder failure classes.
-        if cfg.device_lost_rate > 0 and draw("lost") < cfg.device_lost_rate:
-            raise DeviceLostError(
-                f"device {self.sim.spec.name} lost (unit {self._unit_key!r}, "
-                f"attempt {attempt})"
-            )
-        if cfg.timeout_rate > 0 and draw("timeout") < cfg.timeout_rate:
-            raise MeasurementTimeout(
-                f"kernel hung on {self.sim.spec.name} ({oc.name}, attempt {attempt})"
-            )
-        if cfg.transient_rate > 0 and draw("transient") < cfg.transient_rate:
-            raise TransientMeasurementError(
-                f"sporadic failure on {self.sim.spec.name} "
-                f"({oc.name}, attempt {attempt})"
-            )
+        identity = self.identity(stencil, oc, setting)
+        attempt = self.next_attempt(identity)
+        err = self.pre_fault(identity, attempt, oc)
+        if err is not None:
+            raise err
         t = self.sim.time(stencil, oc, setting, grid=grid)
-        if cfg.corrupt_rate > 0 and draw("corrupt") < cfg.corrupt_rate:
-            idx = int(uniform01(self.seed, "corrupt-kind", *identity, attempt)
-                      * len(_CORRUPT_VALUES))
-            return _CORRUPT_VALUES[min(idx, len(_CORRUPT_VALUES) - 1)]
-        return t
+        return self.maybe_corrupt(identity, attempt, t)
 
 
 def is_valid_time(t: float) -> bool:

@@ -29,7 +29,7 @@ in milliseconds.  The model composes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..errors import KernelLaunchError
 from ..optimizations.combos import OC
@@ -124,17 +124,7 @@ class GPUSimulator:
 
             dims = default_grid(stencil.ndim) if grid is None else tuple(grid)
             factor = boundary_overhead_factor(stencil, dims, boundary)
-            result = SimResult(
-                time_ms=result.time_ms * factor,
-                dram_ms=result.dram_ms,
-                l2_ms=result.l2_ms,
-                compute_ms=result.compute_ms,
-                stream_ms=result.stream_ms,
-                launch_ms=result.launch_ms,
-                occupancy=result.occupancy,
-                utilization=result.utilization,
-                profile=result.profile,
-            )
+            result = replace(result, time_ms=result.time_ms * factor)
         if self.sigma > 0:
             jitter = noise_factor(
                 self.spec.name,
@@ -143,21 +133,18 @@ class GPUSimulator:
                 setting.as_tuple(),
                 sigma=self.sigma,
             )
-            result = SimResult(
-                time_ms=result.time_ms * jitter,
-                dram_ms=result.dram_ms,
-                l2_ms=result.l2_ms,
-                compute_ms=result.compute_ms,
-                stream_ms=result.stream_ms,
-                launch_ms=result.launch_ms,
-                occupancy=result.occupancy,
-                utilization=result.utilization,
-                profile=result.profile,
-            )
+            result = replace(result, time_ms=result.time_ms * jitter)
         return result
 
     def time(self, stencil, oc, setting, grid=None) -> float:
-        """Convenience wrapper returning only ``time_ms``."""
+        """Per-step time in ms for a configuration: the one scalar path.
+
+        This is the *single* per-point timing implementation in the repo:
+        :func:`simulate`, the engine's
+        :class:`~repro.engine.ScalarBackend` (and through it every
+        backend's scalar fallback) and the fault injector all funnel into
+        this method, so model changes land in one place.
+        """
         return self.run(stencil, oc, setting, grid=grid).time_ms
 
     # ------------------------------------------------------------------

@@ -90,7 +90,7 @@ class ParamSetting(Mapping[str, int]):
     from each parameter's choice list (or be the default).
     """
 
-    __slots__ = ("_values",)
+    __slots__ = ("_values", "_tuple")
 
     def __init__(self, **values: int):
         assigned: dict[str, int] = {}
@@ -107,6 +107,10 @@ class ParamSetting(Mapping[str, int]):
             assigned[name] = v
         full = {s.name: assigned.get(s.name, s.default) for s in PARAM_SPECS}
         object.__setattr__(self, "_values", MappingProxyType(full))
+        # as_tuple is on the hot path of every backend (noise keying,
+        # dedup sets, batch assembly), so the layout-order tuple is built
+        # once up front.
+        object.__setattr__(self, "_tuple", tuple(full[n] for n in PARAM_NAMES))
 
     def __getitem__(self, key: str) -> int:
         return self._values[key]
@@ -131,7 +135,7 @@ class ParamSetting(Mapping[str, int]):
 
     def as_tuple(self) -> tuple[int, ...]:
         """Values in global layout order (hashable identity)."""
-        return tuple(self._values[n] for n in PARAM_NAMES)
+        return self._tuple
 
     def replace(self, **changes: int) -> "ParamSetting":
         """A copy with some parameters changed."""

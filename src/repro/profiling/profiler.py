@@ -79,9 +79,11 @@ def run_campaign(
 
     This is a thin wrapper over
     :class:`~repro.profiling.runner.CampaignRunner`; extra keyword
-    arguments (``faults``, ``policy``, ``checkpoint_path``, ...) pass
-    through to it, and ``resume=True`` continues from an existing
-    checkpoint.
+    arguments (``backend``, ``faults``, ``policy``, ``checkpoint_path``,
+    ...) pass through to it, and ``resume=True`` continues from an
+    existing checkpoint.  ``backend="vector"`` (or ``"cached"``) runs the
+    campaign on the batched evaluation engine's vectorized substrate (see
+    :mod:`repro.engine`).
     """
     from .runner import CampaignRunner  # local import: runner imports us
 

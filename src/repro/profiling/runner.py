@@ -32,16 +32,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..config import DEFAULT_SEED
+from ..engine import FaultBackend, RetryBackend, make_backend
 from ..errors import (
     CampaignInterrupted,
     DatasetError,
-    DeviceLostError,
-    MeasurementTimeout,
     TransientError,
-    TransientMeasurementError,
 )
-from ..gpu.faults import FaultConfig, FaultInjector, is_valid_time
-from ..gpu.simulator import GPUSimulator
+from ..gpu.faults import FaultConfig
 from ..gpu.specs import GPU_ORDER
 from ..optimizations.combos import ALL_OCS, OC
 from ..stencil.stencil import Stencil
@@ -156,73 +153,6 @@ class CampaignHealth:
         return "\n".join(lines)
 
 
-class _GuardedSimulator:
-    """Per-call retry, backoff and plausibility filtering around a simulator.
-
-    Sits between :class:`RandomSearch` and the (possibly fault-injecting)
-    simulator.  Timeouts, sporadic failures and implausible timings are
-    retried up to ``policy.max_call_retries`` times with exponential
-    backoff on the simulated clock; :class:`DeviceLostError` escalates
-    immediately to the unit level; :class:`KernelLaunchError` passes
-    through untouched -- it is a deterministic property of the
-    configuration, not a fault.
-    """
-
-    def __init__(self, inner, policy: RetryPolicy, clock: SimClock,
-                 health: CampaignHealth):
-        self.inner = inner
-        self.policy = policy
-        self.clock = clock
-        self.health = health
-
-    @property
-    def spec(self):
-        return self.inner.spec
-
-    @property
-    def sigma(self) -> float:
-        return self.inner.sigma
-
-    def begin_unit(self, unit_key: object) -> None:
-        if isinstance(self.inner, FaultInjector):
-            self.inner.begin_unit(unit_key)
-
-    def _backoff(self, delay_s: float) -> float:
-        self.clock.sleep(delay_s)
-        self.health.backoff_s += delay_s
-        return min(delay_s * self.policy.backoff_factor,
-                   self.policy.backoff_max_s)
-
-    def time(self, stencil, oc, setting, grid=None) -> float:
-        delay = self.policy.backoff_base_s
-        error: TransientError
-        for attempt in range(self.policy.max_call_retries + 1):
-            try:
-                t = self.inner.time(stencil, oc, setting, grid=grid)
-            except MeasurementTimeout as e:
-                self.health.timeouts += 1
-                error = e
-            except DeviceLostError:
-                self.health.device_lost += 1
-                raise
-            except TransientMeasurementError as e:
-                self.health.transients += 1
-                error = e
-            else:
-                if is_valid_time(t):
-                    return t
-                self.health.corrupt_rejected += 1
-                error = TransientMeasurementError(
-                    f"implausible timing {t!r} rejected "
-                    f"({self.spec.name}, {oc.name})"
-                )
-            if attempt == self.policy.max_call_retries:
-                raise error
-            self.health.call_retries += 1
-            delay = self._backoff(delay)
-        raise error  # pragma: no cover - loop always returns or raises
-
-
 class CampaignRunner:
     """Executes a profiling campaign as retryable (gpu, stencil) units.
 
@@ -231,6 +161,13 @@ class CampaignRunner:
     stencils, gpus, ocs, n_settings, seed, sigma:
         Campaign definition, identical in meaning to
         :func:`~repro.profiling.profiler.run_campaign`.
+    backend:
+        Measurement backend kind (``"scalar"``, ``"vector"`` or
+        ``"cached"``, see :func:`repro.engine.make_backend`).  All kinds
+        produce equivalent campaigns (times within 1e-9 relative,
+        identical crashes and noise); ``scalar`` is the reference,
+        ``vector``/``cached`` trade memory for throughput.  Part of the
+        checkpoint identity.
     faults:
         Optional :class:`FaultConfig`; ``None`` or an all-zero config
         runs the bare simulator with no injection layer at all.
@@ -254,6 +191,7 @@ class CampaignRunner:
         n_settings: int = 8,
         seed: int = DEFAULT_SEED,
         sigma: float = 0.03,
+        backend: str = "scalar",
         faults: "FaultConfig | None" = None,
         policy: "RetryPolicy | None" = None,
         checkpoint_path: "str | Path | None" = None,
@@ -273,6 +211,7 @@ class CampaignRunner:
         self.n_settings = int(n_settings)
         self.seed = int(seed)
         self.sigma = float(sigma)
+        self.backend = str(backend)
         self.faults = faults if faults is not None else FaultConfig()
         self.policy = policy if policy is not None else RetryPolicy()
         self.checkpoint_path = (
@@ -293,6 +232,7 @@ class CampaignRunner:
             "n_settings": self.n_settings,
             "seed": self.seed,
             "sigma": self.sigma,
+            "backend": self.backend,
             "faults": self.faults.to_dict(),
             "stencils": [stencil_to_dict(s) for s in self.stencils],
         }
@@ -356,13 +296,15 @@ class CampaignRunner:
     def _make_search(self) -> "dict[str, RandomSearch]":
         searches = {}
         for gpu in self.gpus:
-            sim: object = GPUSimulator(gpu, sigma=self.sigma)
+            be: object = make_backend(self.backend, gpu, sigma=self.sigma)
             if self.faults.enabled:
-                sim = _GuardedSimulator(
-                    FaultInjector(sim, self.faults, seed=self.seed),
+                # Faults wrap *around* any cache (transients must not be
+                # memoized); the retry guard wraps around the faults.
+                be = RetryBackend(
+                    FaultBackend(be, self.faults, seed=self.seed),
                     self.policy, self.clock, self.health,
                 )
-            searches[gpu] = RandomSearch(sim, self.n_settings, self.seed)
+            searches[gpu] = RandomSearch(be, self.n_settings, self.seed)
         return searches
 
     def _run_unit(
@@ -380,9 +322,9 @@ class CampaignRunner:
         (no :class:`OCResult`, the same shape an all-crashing OC already
         produces), never aborting the campaign.
         """
-        sim = search.sim
-        if isinstance(sim, _GuardedSimulator):
-            sim.begin_unit((gpu, sid))
+        begin_unit = getattr(search.backend, "begin_unit", None)
+        if begin_unit is not None:
+            begin_unit((gpu, sid))
         profile = StencilProfile(stencil=stencil, stencil_id=sid, gpu=gpu)
         for oc in self.ocs:
             delay = self.policy.backoff_base_s

@@ -7,6 +7,28 @@ profiling harness that records only successful runs; an OC with no valid
 setting at all is reported as crashed for that stencil/GPU, matching the
 paper's note that "there are some cases where OC crashes under certain
 stencils".
+
+Measurement goes through the batched evaluation engine
+(:mod:`repro.engine`): the tuner describes whole frontiers of candidate
+settings as :class:`~repro.engine.EvalRequest` batches and the configured
+:class:`~repro.engine.Backend` measures them -- vectorized, cached or
+per-point depending on the backend -- with crash results carried as data
+so one crashing setting never aborts the rest of a batch.
+
+**RNG stream-key convention.**  Each (stencil, OC) tuning batch owns one
+independent random stream, derived as::
+
+    SeedSequence((seed, stencil_id & 0x7FFFFFFF, zlib.crc32(oc.name)))
+
+and drawn from exactly once, up front, when the tuning batch is
+assembled: ``tune_oc`` materializes all ``n_settings *
+_ATTEMPTS_PER_SETTING`` candidate draws before any measurement happens.
+Because the stream is keyed by content (seed, stencil id, OC name) --
+never by evaluation order -- and consumed in one place, profiles are
+identical no matter how the backend batches, caches or reorders the
+measurements, and identical across processes (``zlib.crc32`` is stable,
+unlike builtin ``hash``).  The mask keeps ad-hoc ``stencil_id=-1`` calls
+within SeedSequence's non-negative entropy domain.
 """
 
 from __future__ import annotations
@@ -15,8 +37,7 @@ import zlib
 
 import numpy as np
 
-from ..errors import KernelLaunchError
-from ..gpu.simulator import GPUSimulator
+from ..engine import EvalRequest, as_backend
 from ..optimizations.combos import ALL_OCS, OC
 from ..optimizations.params import (
     ParamSetting,
@@ -40,13 +61,16 @@ class RandomSearch:
     Parameters
     ----------
     simulator:
-        The measurement substrate.
+        The measurement substrate: a :class:`~repro.engine.Backend`, or
+        any simulator-like object with a ``time`` method (wrapped in a
+        :class:`~repro.engine.ScalarBackend` for compatibility).
     n_settings:
         Valid parameter settings to measure per OC (the paper keeps this
         budget identical across compared methods).
     seed:
         Base seed; the per-(stencil, OC) stream is derived from it so
-        profiles are independent of evaluation order.
+        profiles are independent of evaluation order (see the module
+        docstring for the stream-key convention).
     refine:
         When true (default), the best random sample is polished by
         coordinate descent over each relevant parameter's choices.  Pure
@@ -59,25 +83,38 @@ class RandomSearch:
 
     def __init__(
         self,
-        simulator: GPUSimulator,
+        simulator,
         n_settings: int,
         seed: int,
         refine: bool = True,
     ):
-        self.sim = simulator
+        self.backend = as_backend(simulator)
+        # Backends satisfy the simulator surface (spec/sigma/time), so the
+        # historical attribute keeps working for callers that poke at it.
+        self.sim = self.backend
         self.n_settings = int(n_settings)
         self.seed = int(seed)
         self.refine = bool(refine)
 
     # ------------------------------------------------------------------
     def _rng(self, stencil_id: int, oc: OC) -> np.random.Generator:
-        # zlib.crc32 is stable across processes, unlike builtin hash().
-        # Ad-hoc tuning calls pass stencil_id=-1; SeedSequence needs
-        # non-negative entropy words.
         oc_key = zlib.crc32(oc.name.encode())
         return np.random.default_rng(
             np.random.SeedSequence((self.seed, stencil_id & 0x7FFFFFFF, oc_key))
         )
+
+    def _chunk_size(self, need: int) -> int:
+        """Settings to evaluate per engine call while ``need`` are missing.
+
+        A vectorized (or caching-over-vectorized) backend amortizes fixed
+        batch overhead, so it gets generous frontiers; the scalar path
+        pays per point either way, so it evaluates exactly as many unique
+        settings as the sequential tuner would have.
+        """
+        info = self.backend.info
+        if info.vectorized or info.caching:
+            return max(4 * need, 32)
+        return max(need, 1)
 
     def tune_oc(
         self, stencil: Stencil, stencil_id: int, oc: OC
@@ -87,21 +124,54 @@ class RandomSearch:
         Returns ``(None, [])`` when every attempted setting crashes.
         """
         rng = self._rng(stencil_id, oc)
+        max_attempts = self.n_settings * _ATTEMPTS_PER_SETTING
+        # The whole tuning batch's randomness is drawn here, once; see the
+        # module docstring.  Draws past the stopping point are discarded
+        # unobserved, which is exactly what the incremental sampler did.
+        draws = [sample_setting(oc, stencil.ndim, rng) for _ in range(max_attempts)]
+
+        # Unique settings in first-draw order; the sampling walk below
+        # consumes them strictly in this order, so batches can be
+        # evaluated ahead of the walk without changing its outcome.
+        order: list[ParamSetting] = []
+        first_seen: set[tuple[int, ...]] = set()
+        for s in draws:
+            k = s.as_tuple()
+            if k not in first_seen:
+                first_seen.add(k)
+                order.append(s)
+
+        results: dict[tuple[int, ...], "object"] = {}
+        frontier = 0  # index into `order` of the first unevaluated setting
+
         measurements: list[Measurement] = []
         seen: set[tuple[int, ...]] = set()
         crashed = 0
         attempts = 0
-        max_attempts = self.n_settings * _ATTEMPTS_PER_SETTING
+        gpu_name = self.backend.spec.name
         while len(measurements) < self.n_settings and attempts < max_attempts:
+            setting = draws[attempts]
             attempts += 1
-            setting = sample_setting(oc, stencil.ndim, rng)
             key = setting.as_tuple()
             if key in seen:
                 continue
             seen.add(key)
-            try:
-                t = self.sim.time(stencil, oc, setting)
-            except KernelLaunchError:
+            if key not in results:
+                end = min(
+                    len(order),
+                    frontier + self._chunk_size(self.n_settings - len(measurements)),
+                )
+                batch = order[frontier:end]
+                for s, res in zip(
+                    batch,
+                    self.backend.evaluate_batch(
+                        [EvalRequest(stencil, oc, s) for s in batch]
+                    ),
+                ):
+                    results[s.as_tuple()] = res
+                frontier = end
+            res = results[key]
+            if res.crashed:
                 crashed += 1
                 continue
             measurements.append(
@@ -109,8 +179,8 @@ class RandomSearch:
                     stencil_id=stencil_id,
                     oc=oc.name,
                     setting=setting,
-                    gpu=self.sim.spec.name,
-                    time_ms=t,
+                    gpu=gpu_name,
+                    time_ms=res.value(),
                 )
             )
         if not measurements:
@@ -161,21 +231,35 @@ class RandomSearch:
         time_ms: float,
         seen: set[tuple[int, ...]],
     ) -> tuple[ParamSetting, float, list[Measurement]]:
-        """Polish *setting* one parameter at a time until a fixed point."""
+        """Polish *setting* one parameter at a time until a fixed point.
+
+        Each parameter's whole candidate frontier (every alternative
+        choice) is evaluated as one batch; acceptance then walks the
+        results in choice order, so the descent trajectory is identical
+        to evaluating candidates one by one.
+        """
         extra: list[Measurement] = []
         names = relevant_params(oc, stencil.ndim)
+        gpu_name = self.backend.spec.name
         for _ in range(_REFINE_PASSES):
             improved = False
             for name in names:
-                for value in _choices_for(name, stencil.ndim):
-                    if setting[name] == value:
+                base_value = setting[name]
+                candidates = [
+                    setting.replace(**{name: value})
+                    for value in _choices_for(name, stencil.ndim)
+                    if value != base_value
+                ]
+                if not candidates:
+                    continue
+                res_list = self.backend.evaluate_batch(
+                    [EvalRequest(stencil, oc, c) for c in candidates]
+                )
+                for candidate, res in zip(candidates, res_list):
+                    if res.crashed:
                         continue
-                    candidate = setting.replace(**{name: value})
+                    t = res.value()
                     key = candidate.as_tuple()
-                    try:
-                        t = self.sim.time(stencil, oc, candidate)
-                    except KernelLaunchError:
-                        continue
                     if key not in seen:
                         seen.add(key)
                         extra.append(
@@ -183,7 +267,7 @@ class RandomSearch:
                                 stencil_id=stencil_id,
                                 oc=oc.name,
                                 setting=candidate,
-                                gpu=self.sim.spec.name,
+                                gpu=gpu_name,
                                 time_ms=t,
                             )
                         )
@@ -203,7 +287,7 @@ class RandomSearch:
     ) -> StencilProfile:
         """Profile *stencil* under every OC in *ocs* on this GPU."""
         profile = StencilProfile(
-            stencil=stencil, stencil_id=stencil_id, gpu=self.sim.spec.name
+            stencil=stencil, stencil_id=stencil_id, gpu=self.backend.spec.name
         )
         for oc in ocs:
             result, ms = self.tune_oc(stencil, stencil_id, oc)

@@ -15,8 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import KernelLaunchError
-from ..gpu.simulator import GPUSimulator
+from ..engine import EvalRequest, as_backend
 from ..optimizations.combos import OC
 from ..optimizations.params import (
     ParamSetting,
@@ -44,7 +43,10 @@ class GeneticSearch:
     Parameters
     ----------
     simulator:
-        Measurement substrate.
+        Measurement substrate: a :class:`~repro.engine.Backend` or any
+        simulator-like object (wrapped via
+        :func:`~repro.engine.as_backend`).  Each generation is measured
+        as one batch.
     population:
         Individuals per generation.
     generations:
@@ -59,7 +61,7 @@ class GeneticSearch:
 
     def __init__(
         self,
-        simulator: GPUSimulator,
+        simulator,
         population: int = 12,
         generations: int = 6,
         mutation_rate: float = 0.2,
@@ -70,7 +72,8 @@ class GeneticSearch:
             raise ValueError(f"population must be >= 4, got {population}")
         if not 0.0 <= mutation_rate <= 1.0:
             raise ValueError(f"mutation_rate must be in [0, 1], got {mutation_rate}")
-        self.sim = simulator
+        self.backend = as_backend(simulator)
+        self.sim = self.backend
         self.population = int(population)
         self.generations = int(generations)
         self.mutation_rate = float(mutation_rate)
@@ -88,20 +91,39 @@ class GeneticSearch:
         cache: dict[tuple[int, ...], float] = {}
         evaluations = 0
 
-        def fitness(setting: ParamSetting) -> float:
+        def ensure(settings: list[ParamSetting]) -> None:
+            """Measure every not-yet-cached individual as one engine batch.
+
+            Whole generations hit the backend together (the engine
+            vectorizes or memoizes as it sees fit); crashing individuals
+            score ``inf``, exactly as the per-point path scored them.
+            """
             nonlocal evaluations
-            key = setting.as_tuple()
-            if key not in cache:
-                evaluations += 1
-                try:
-                    cache[key] = self.sim.time(stencil, oc, setting)
-                except KernelLaunchError:
-                    cache[key] = float("inf")
-            return cache[key]
+            fresh: list[ParamSetting] = []
+            keys: set[tuple[int, ...]] = set()
+            for s in settings:
+                key = s.as_tuple()
+                if key not in cache and key not in keys:
+                    keys.add(key)
+                    fresh.append(s)
+            if not fresh:
+                return
+            evaluations += len(fresh)
+            results = self.backend.evaluate_batch(
+                [EvalRequest(stencil, oc, s) for s in fresh]
+            )
+            for s, res in zip(fresh, results):
+                cache[s.as_tuple()] = (
+                    float("inf") if res.crashed else res.value()
+                )
+
+        def fitness(setting: ParamSetting) -> float:
+            return cache[setting.as_tuple()]
 
         # Seed generation: random valid-ish individuals.
         pop = [sample_setting(oc, stencil.ndim, rng) for _ in range(self.population)]
         for _ in range(self.generations):
+            ensure(pop)
             scored = sorted(pop, key=fitness)
             next_pop = scored[: self.elite]
             while len(next_pop) < self.population:
@@ -112,6 +134,7 @@ class GeneticSearch:
                 next_pop.append(child)
             pop = next_pop
 
+        ensure(pop)
         best = min(pop, key=fitness)
         best_time = fitness(best)
         if not np.isfinite(best_time):

@@ -1,0 +1,166 @@
+"""Scalar/vector/cached backend equivalence: the engine's core contract.
+
+The vectorized backend must be observationally equivalent to the scalar
+reference over the whole configuration space: identical crash behavior
+(same :class:`KernelLaunchError`, same message), bit-identical noise
+keying, and times within 1e-9 relative.  The sweep here covers random
+stencils x every OC x sampled settings x all four GPUs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    CachingBackend,
+    EvalRequest,
+    ScalarBackend,
+    VectorBackend,
+    make_backend,
+)
+from repro.errors import KernelLaunchError
+from repro.gpu.specs import GPU_ORDER
+from repro.optimizations.combos import ALL_OCS
+from repro.optimizations.params import default_setting, sample_setting
+from repro.stencil.generator import generate_population
+
+REL_TOL = 1e-9
+
+
+def _sweep_requests(ndim: int, n_stencils: int, n_settings: int, seed: int):
+    """Random stencils x all OCs x sampled settings (+ the default)."""
+    rng = np.random.default_rng(seed)
+    requests = []
+    for stencil in generate_population(ndim, n_stencils, seed=seed):
+        for oc in ALL_OCS:
+            settings = [default_setting()] + [
+                sample_setting(oc, stencil.ndim, rng) for _ in range(n_settings)
+            ]
+            requests.extend(EvalRequest(stencil, oc, s) for s in settings)
+    return requests
+
+
+def _assert_equivalent(reference, candidate, requests):
+    ref = reference.evaluate_batch(requests)
+    got = candidate.evaluate_batch(requests)
+    assert len(ref) == len(got) == len(requests)
+    for req, r, g in zip(requests, ref, got):
+        ctx = f"{req.oc.name} {req.setting.as_tuple()}"
+        if r.crashed:
+            assert g.crashed, f"scalar crashed, {candidate.info.name} did not: {ctx}"
+            assert type(g.error) is type(r.error), ctx
+            assert str(g.error) == str(r.error), ctx
+        else:
+            assert g.ok, f"{candidate.info.name} crashed, scalar did not: {ctx}"
+            assert g.time_ms == pytest.approx(r.time_ms, rel=REL_TOL), ctx
+
+
+@pytest.mark.parametrize("gpu", GPU_ORDER)
+@pytest.mark.parametrize("ndim", (2, 3))
+def test_vector_matches_scalar_across_space(gpu, ndim):
+    requests = _sweep_requests(ndim, n_stencils=2, n_settings=4, seed=17 + ndim)
+    _assert_equivalent(ScalarBackend(gpu), VectorBackend(gpu), requests)
+
+
+@pytest.mark.parametrize("gpu", ("V100", "2080Ti"))
+def test_cached_matches_scalar_and_replays(gpu):
+    requests = _sweep_requests(2, n_stencils=1, n_settings=3, seed=5)
+    cached = CachingBackend(VectorBackend(gpu))
+    _assert_equivalent(ScalarBackend(gpu), cached, requests)
+    # A replay must return the exact same results from memory.
+    first = cached.evaluate_batch(requests)
+    hits_before = cached.cache_info()["hits"]
+    second = cached.evaluate_batch(requests)
+    assert cached.cache_info()["hits"] == hits_before + len(requests)
+    for a, b in zip(first, second):
+        assert a is b or (a.time_ms == b.time_ms and a.error is b.error)
+
+
+def test_crash_parity_is_exact_on_crash_heavy_oc():
+    # Streaming + temporal OCs crash for most settings; every crash must
+    # carry the scalar path's exact message.
+    rng = np.random.default_rng(99)
+    (stencil,) = generate_population(3, 1, seed=3)
+    ocs = [oc for oc in ALL_OCS if "ST" in oc.name.split("_") and "TB" in oc.name]
+    assert ocs
+    requests = [
+        EvalRequest(stencil, oc, sample_setting(oc, 3, rng))
+        for oc in ocs
+        for _ in range(12)
+    ]
+    scalar = ScalarBackend("P100").evaluate_batch(requests)
+    vector = VectorBackend("P100").evaluate_batch(requests)
+    crashes = sum(r.crashed for r in scalar)
+    assert crashes > 0
+    for r, g in zip(scalar, vector):
+        assert r.crashed == g.crashed
+        if r.crashed:
+            assert str(r.error) == str(g.error)
+
+
+def test_noise_is_bit_identical():
+    # Noise is part of the equivalence contract *bit for bit*: jitter is
+    # keyed by content, and the vector path reuses the exact blake2b /
+    # Box-Muller arithmetic of the scalar path.
+    rng = np.random.default_rng(7)
+    (stencil,) = generate_population(2, 1, seed=11)
+    oc = ALL_OCS[0]
+    requests = [
+        EvalRequest(stencil, oc, sample_setting(oc, 2, rng)) for _ in range(16)
+    ]
+    noisy_s = ScalarBackend("A100", sigma=0.25).evaluate_batch(requests)
+    noisy_v = VectorBackend("A100", sigma=0.25).evaluate_batch(requests)
+    for r, g in zip(noisy_s, noisy_v):
+        if r.ok:
+            assert g.time_ms == r.time_ms  # exact equality, not approx
+
+
+def test_results_independent_of_batch_composition():
+    # Per-point purity: a request's result must not depend on what else
+    # shares its batch (ordering, duplication, singleton batches).
+    rng = np.random.default_rng(23)
+    (stencil,) = generate_population(2, 1, seed=29)
+    oc = ALL_OCS[4]
+    settings = [sample_setting(oc, 2, rng) for _ in range(10)]
+    requests = [EvalRequest(stencil, oc, s) for s in settings]
+    vb = VectorBackend("V100")
+    together = vb.evaluate_batch(requests)
+    alone = [vb.evaluate_batch([r])[0] for r in requests]
+    shuffled = vb.evaluate_batch(requests[::-1])[::-1]
+    for a, b, c in zip(together, alone, shuffled):
+        if a.crashed:
+            assert b.crashed and c.crashed
+            assert str(a.error) == str(b.error) == str(c.error)
+        else:
+            assert a.time_ms == b.time_ms == c.time_ms
+
+
+def test_make_backend_kinds():
+    for kind, vectorized, caching in (
+        ("scalar", False, False),
+        ("vector", True, False),
+        ("cached", True, True),
+    ):
+        be = make_backend(kind, "V100")
+        assert be.spec.name == "V100"
+        assert be.info.vectorized == vectorized
+        assert be.info.caching == caching
+    with pytest.raises(ValueError):
+        make_backend("quantum", "V100")
+
+
+def test_scalar_backend_time_matches_simulator():
+    from repro.gpu.simulator import GPUSimulator, simulate
+
+    (stencil,) = generate_population(2, 1, seed=41)
+    oc = ALL_OCS[1]
+    setting = default_setting()
+    sim = GPUSimulator("V100")
+    be = ScalarBackend(sim)
+    try:
+        expected = sim.time(stencil, oc, setting)
+    except KernelLaunchError:
+        with pytest.raises(KernelLaunchError):
+            be.time(stencil, oc, setting)
+    else:
+        assert be.time(stencil, oc, setting) == expected
+        assert simulate("V100", stencil, oc, setting) == expected

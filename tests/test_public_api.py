@@ -10,6 +10,7 @@ import repro
 SUBPACKAGES = (
     "stencil",
     "gpu",
+    "engine",
     "optimizations",
     "profiling",
     "ml",

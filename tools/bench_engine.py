@@ -1,0 +1,55 @@
+"""Engine throughput recorder (developer / CI tool).
+
+Measures points/second through every backend kind on the representative
+campaign slice (see ``repro.engine.bench``) and writes the result as
+JSON -- ``BENCH_engine.json`` at the repo root by convention, so the
+perf trajectory of the hot path is machine-readable across PRs.
+
+Run: python tools/bench_engine.py [--quick] [--gpu NAME] [-o PATH]
+"""
+
+import argparse
+import json
+import sys
+
+from repro.engine.bench import run_throughput_bench
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workload for CI smoke runs (no speedup guarantee)",
+    )
+    ap.add_argument("--gpu", default="V100", help="GPU spec to simulate")
+    ap.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_engine.json",
+        help="where to write the JSON document",
+    )
+    args = ap.parse_args(argv)
+
+    doc = run_throughput_bench(quick=args.quick, gpu=args.gpu)
+    with open(args.output, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+
+    print(f"engine throughput ({doc['gpu']}, {doc['n_points']} points)")
+    for kind, row in doc["backends"].items():
+        print(
+            f"  {kind:8s} {row['points_per_sec']:12,.0f} points/sec "
+            f"({row['speedup_vs_scalar']:.2f}x scalar)"
+        )
+    replay = doc["cached_replay"]
+    print(
+        f"  {'replay':8s} {replay['points_per_sec']:12,.0f} points/sec "
+        f"({replay['speedup_vs_scalar']:.2f}x scalar)"
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
