@@ -1,6 +1,6 @@
 """Table I: the six optimizations, their constraints, and the OC space."""
 
-from repro.optimizations import ALL_OCS, TABLE_I, Opt, enumerate_ocs
+from repro.optimizations import TABLE_I, Opt, enumerate_ocs
 
 from conftest import print_table
 

@@ -1,0 +1,54 @@
+"""Static analysis of generated CUDA kernels.
+
+The subsystem has three layers:
+
+- :mod:`repro.analysis.expr` / :mod:`repro.analysis.ir` -- a lexer,
+  expression parser and structural parser covering the disciplined C
+  subset the code generator emits, producing a small kernel IR;
+- :mod:`repro.analysis.framework` / :mod:`repro.analysis.findings` --
+  the pass pipeline, rule metadata, findings with suppression and
+  baseline support;
+- the rule passes (``rules_*``) and the sweep driver
+  (:mod:`repro.analysis.lint`) behind the ``repro lint`` CLI.
+"""
+
+from .findings import Baseline, Finding, Report, Severity, Suppressions
+from .framework import (
+    AnalysisContext,
+    AnalysisPass,
+    Analyzer,
+    RuleInfo,
+    all_rules,
+    build_context,
+    default_passes,
+)
+from .ir import ParseError, parse_unit
+from .lint import (
+    LintRecord,
+    LintSummary,
+    feasible_settings,
+    lint_kernel,
+    lint_sweep,
+)
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisPass",
+    "Analyzer",
+    "Baseline",
+    "Finding",
+    "LintRecord",
+    "LintSummary",
+    "ParseError",
+    "Report",
+    "RuleInfo",
+    "Severity",
+    "Suppressions",
+    "all_rules",
+    "build_context",
+    "default_passes",
+    "feasible_settings",
+    "lint_kernel",
+    "lint_sweep",
+    "parse_unit",
+]

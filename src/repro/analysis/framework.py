@@ -1,0 +1,157 @@
+"""Pass framework: analysis context, rule metadata, the analyzer driver.
+
+A pass is a stateless object with a ``run(ctx)`` method returning
+:class:`~repro.analysis.findings.Finding`s.  The :class:`AnalysisContext`
+carries everything a pass may consult: the parsed IR, resolved macros,
+and -- when the kernel came from the generator rather than a bare
+snippet -- the originating ``(stencil, OC, setting)`` triple plus the
+:class:`~repro.optimizations.kernelmodel.KernelProfile` the simulator
+would price for it.  Passes that cross-check codegen against the model
+require that context and skip cleanly without it, so the same analyzer
+runs over golden snippets and over the full generated sweep.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from ..errors import KernelLaunchError, OptimizationError
+from ..optimizations import kernelmodel
+from . import ir
+from .findings import Baseline, Finding, Report, Severity, Suppressions
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Documentation record for one rule id."""
+
+    rule: str
+    severity: Severity
+    title: str
+    rationale: str
+
+
+@dataclass
+class AnalysisContext:
+    """Everything the passes can see about one translation unit."""
+
+    source: str
+    unit: ir.TranslationUnit
+    macros: dict = field(default_factory=dict)
+    stencil: object = None  # repro.stencil.Stencil | None
+    oc: object = None  # repro.optimizations.OC | None
+    setting: object = None  # repro.optimizations.ParamSetting | None
+    grid: tuple | None = None
+    profile: object = None  # KernelProfile | None
+    profile_error: str | None = None
+
+    @property
+    def has_model(self) -> bool:
+        return self.profile is not None
+
+
+class AnalysisPass(ABC):
+    """Base class for analyzer passes."""
+
+    #: Short machine name, used in ``repro lint --passes``.
+    name: str = ""
+    #: Rules this pass can emit (id -> documentation).
+    rules: tuple = ()
+
+    @abstractmethod
+    def run(self, ctx: AnalysisContext) -> list:
+        """Return the findings for *ctx* (possibly empty)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<pass {self.name}>"
+
+
+def build_context(
+    source: str,
+    *,
+    stencil=None,
+    oc=None,
+    setting=None,
+    grid=None,
+) -> AnalysisContext:
+    """Parse *source* and attach model context when the triple is known.
+
+    ``build_profile`` failures are carried as ``profile_error`` instead of
+    raising: an infeasible configuration (e.g. a temporal halo consuming
+    the tile) is a property of the triple, not a lint crash.
+    """
+    unit = ir.parse_unit(source)
+    profile = None
+    profile_error = None
+    if stencil is not None and oc is not None and setting is not None:
+        try:
+            profile = kernelmodel.build_profile(stencil, oc, setting, grid)
+        except (KernelLaunchError, OptimizationError) as e:
+            profile_error = str(e)
+    return AnalysisContext(
+        source=source,
+        unit=unit,
+        macros=dict(unit.macros),
+        stencil=stencil,
+        oc=oc,
+        setting=setting,
+        grid=grid,
+        profile=profile,
+        profile_error=profile_error,
+    )
+
+
+def default_passes() -> list:
+    """The standard pass pipeline, in execution order."""
+    from .rules_bounds import BoundsPass
+    from .rules_conformance import ConformancePass
+    from .rules_memory import MemoryAccessPass
+    from .rules_race import RacePass
+    from .rules_resources import ResourcePass
+
+    return [RacePass(), BoundsPass(), ResourcePass(), ConformancePass(), MemoryAccessPass()]
+
+
+def all_rules() -> list:
+    """Documentation records for every registered rule, sorted by id."""
+    return sorted(
+        (info for p in default_passes() for info in p.rules),
+        key=lambda r: r.rule,
+    )
+
+
+class Analyzer:
+    """Runs a pass pipeline over one translation unit."""
+
+    def __init__(self, passes: "list | None" = None):
+        self.passes = default_passes() if passes is None else list(passes)
+
+    def analyze(
+        self,
+        source: str,
+        *,
+        stencil=None,
+        oc=None,
+        setting=None,
+        grid=None,
+        baseline: "Baseline | None" = None,
+    ) -> Report:
+        """Analyze one CUDA source; returns the suppression-filtered report."""
+        suppressions = Suppressions.scan(source)
+        try:
+            ctx = build_context(
+                source, stencil=stencil, oc=oc, setting=setting, grid=grid
+            )
+        except Exception as e:  # ParseError or ExprError from the IR layer
+            finding = Finding.make(
+                "PARSE001",
+                Severity.ERROR,
+                f"cannot parse kernel source: {e}",
+            )
+            return Report.filtered([finding], suppressions, baseline)
+
+        findings: list = []
+        for p in self.passes:
+            findings.extend(p.run(ctx))
+        return Report.filtered(findings, suppressions, baseline)

@@ -1,0 +1,196 @@
+"""Lint driver: analyze generated kernels across the (stencil, OC) grid.
+
+``lint_kernel`` generates and analyzes one variant; ``lint_sweep``
+covers a stencil selection against all 30 OCs with deterministically
+sampled parameter settings (seeded per (stencil, OC) so adding a
+stencil does not reshuffle everyone else's settings).  Infeasible
+settings -- the analytical model refuses the launch, e.g. a temporal
+halo consuming the tile -- are resampled a bounded number of times and
+skipped when the OC has no feasible point at that grid, mirroring how
+the profiling campaign treats them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..codegen.cuda import generate_cuda
+from ..errors import KernelLaunchError, OptimizationError
+from ..optimizations import kernelmodel
+from ..optimizations.combos import ALL_OCS, OC
+from ..optimizations.params import ParamSetting, sample_setting
+from ..stencil import library
+from .findings import Baseline, Severity
+from .framework import Analyzer
+
+#: Resample attempts before declaring an OC infeasible for a stencil.
+MAX_SAMPLE_ATTEMPTS = 64
+
+
+def _rng_for(stencil_name: str, oc_name: str, seed: int) -> np.random.Generator:
+    """Deterministic per-(stencil, OC) stream, stable across sweeps."""
+    digest = hashlib.blake2b(
+        f"{stencil_name}|{oc_name}|{seed}".encode(), digest_size=8
+    ).digest()
+    return np.random.default_rng(int.from_bytes(digest, "big"))
+
+
+def feasible_settings(
+    stencil,
+    oc: OC,
+    count: int,
+    seed: int = 0,
+    grid: "tuple[int, ...] | None" = None,
+) -> list[ParamSetting]:
+    """Sample *count* distinct model-feasible settings (may return fewer)."""
+    rng = _rng_for(stencil.name or "anonymous", oc.name, seed)
+    out: list[ParamSetting] = []
+    seen: set = set()
+    for _ in range(MAX_SAMPLE_ATTEMPTS):
+        if len(out) >= count:
+            break
+        s = sample_setting(oc, stencil.ndim, rng)
+        if s.as_tuple() in seen:
+            continue
+        seen.add(s.as_tuple())
+        try:
+            kernelmodel.build_profile(stencil, oc, s, grid)
+        except (KernelLaunchError, OptimizationError):
+            continue
+        out.append(s)
+    return out
+
+
+def lint_kernel(
+    stencil,
+    oc: "OC | str",
+    setting: ParamSetting,
+    grid: "tuple[int, ...] | None" = None,
+    analyzer: "Analyzer | None" = None,
+    baseline: "Baseline | None" = None,
+):
+    """Generate one kernel variant and analyze it; ``(source, Report)``."""
+    oc_obj = OC.parse(oc) if isinstance(oc, str) else oc
+    source = generate_cuda(stencil, oc_obj, setting, grid)
+    analyzer = analyzer or Analyzer()
+    report = analyzer.analyze(
+        source, stencil=stencil, oc=oc_obj, setting=setting, grid=grid,
+        baseline=baseline,
+    )
+    return source, report
+
+
+@dataclass
+class LintRecord:
+    """One analyzed (stencil, OC, setting) triple."""
+
+    stencil: str
+    oc: str
+    setting: ParamSetting
+    report: object  # findings.Report
+
+    def to_dict(self) -> dict:
+        return {
+            "stencil": self.stencil,
+            "oc": self.oc,
+            "setting": dict(self.setting),
+            **self.report.to_dict(),
+        }
+
+
+@dataclass
+class LintSummary:
+    """Aggregated result of a lint sweep."""
+
+    records: list = field(default_factory=list)
+    skipped: list = field(default_factory=list)  # (stencil, oc) with no feasible point
+
+    @property
+    def errors(self) -> int:
+        return sum(len(r.report.errors) for r in self.records)
+
+    @property
+    def warnings(self) -> int:
+        return sum(len(r.report.warnings) for r in self.records)
+
+    @property
+    def ok(self) -> bool:
+        return self.errors == 0
+
+    def all_findings(self) -> list:
+        return [f for r in self.records for f in r.report.findings]
+
+    def to_dict(self) -> dict:
+        return {
+            "kernels": len(self.records),
+            "errors": self.errors,
+            "warnings": self.warnings,
+            "skipped": [list(s) for s in self.skipped],
+            "records": [r.to_dict() for r in self.records],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def format_text(self, verbose: bool = False) -> str:
+        lines: list[str] = []
+        for r in self.records:
+            if not r.report.findings and not verbose:
+                continue
+            for f in r.report.findings:
+                lines.append(f"{r.stencil} x {r.oc}: {f.format()}")
+            if verbose and not r.report.findings:
+                lines.append(f"{r.stencil} x {r.oc}: clean")
+        for stencil, oc in self.skipped:
+            lines.append(f"{stencil} x {oc}: skipped (no feasible setting)")
+        lines.append(
+            f"{len(self.records)} kernels linted: "
+            f"{self.errors} error(s), {self.warnings} warning(s)"
+        )
+        return "\n".join(lines)
+
+
+def lint_sweep(
+    stencils: "list | None" = None,
+    ocs: "list[OC] | None" = None,
+    n_settings: int = 1,
+    seed: int = 0,
+    grid: "tuple[int, ...] | None" = None,
+    analyzer: "Analyzer | None" = None,
+    baseline: "Baseline | None" = None,
+) -> LintSummary:
+    """Lint every (stencil, OC) pair with sampled feasible settings."""
+    stencils = list(library.LIBRARY.values()) if stencils is None else list(stencils)
+    ocs = list(ALL_OCS) if ocs is None else list(ocs)
+    analyzer = analyzer or Analyzer()
+    summary = LintSummary()
+    for stencil in stencils:
+        for oc in ocs:
+            settings = feasible_settings(stencil, oc, n_settings, seed, grid)
+            if not settings:
+                summary.skipped.append((stencil.name or "anonymous", oc.name))
+                continue
+            for setting in settings:
+                _, report = lint_kernel(
+                    stencil, oc, setting, grid, analyzer, baseline
+                )
+                summary.records.append(
+                    LintRecord(
+                        stencil=stencil.name or "anonymous",
+                        oc=oc.name,
+                        setting=setting,
+                        report=report,
+                    )
+                )
+    return summary
+
+
+def worst_severity(summary: LintSummary) -> "Severity | None":
+    findings = summary.all_findings()
+    if not findings:
+        return None
+    return max((f.severity for f in findings), key=lambda s: s.rank)

@@ -1,0 +1,283 @@
+"""Symbolic bounds and halo checking (rules BOUNDS001-003).
+
+The pass walks the kernel with an interval environment seeded from the
+host launch geometry (``threadIdx``/``blockIdx`` ranges), propagated
+through declarations, narrowed by loop ranges and guard predicates.
+Every subscript of a global array (row-major ``in``/``out``) or of a
+declared local/shared array must then be *provably* inside the array --
+the whole access interval within ``[0, N-1]`` -- otherwise BOUNDS001
+fires with the offending axis and range.
+
+BOUNDS002 is the **guard contract**: the boundary guard of a stencil
+kernel must clip each axis by exactly the stencil's per-axis extent.
+A looser guard reads out of bounds (also BOUNDS001); a tighter guard --
+e.g. the historical bug of guarding every axis by the uniform Chebyshev
+``order`` instead of ``axis_extents`` -- silently skips interior points
+that the analytical model prices, so prediction and kernel drift apart.
+When the originating stencil is attached to the context the expected
+extents come from it; for bare snippets they are inferred from the tap
+offsets actually present under the guard.
+"""
+
+from __future__ import annotations
+
+from . import expr as E
+from . import ir, semantics
+from .findings import Finding, Severity
+from .framework import AnalysisPass, RuleInfo
+
+
+class BoundsPass(AnalysisPass):
+    name = "bounds"
+    rules = (
+        RuleInfo(
+            "BOUNDS001",
+            Severity.ERROR,
+            "array access not provably in bounds",
+            "The access interval under all guards and loop ranges exceeds "
+            "the array extent: out-of-bounds reads/writes on real hardware.",
+        ),
+        RuleInfo(
+            "BOUNDS002",
+            Severity.ERROR,
+            "boundary guard does not match per-axis stencil extents",
+            "Guard radius must equal the stencil's extent on each axis; a "
+            "tighter guard skips interior points the performance model "
+            "prices, a looser one is an out-of-bounds access.",
+        ),
+        RuleInfo(
+            "BOUNDS003",
+            Severity.INFO,
+            "index expression outside the analyzable subset",
+            "The access was not checked; keep generated indices in the "
+            "row-major convention so the bounds checker can see them.",
+        ),
+    )
+
+    def run(self, ctx) -> list:
+        findings: list = []
+        for kernel in ctx.unit.kernels:
+            _KernelScan(ctx, kernel, findings).scan()
+        return findings
+
+
+class _KernelScan:
+    """One kernel's walk: env propagation, access checks, guard contract."""
+
+    def __init__(self, ctx, kernel: ir.Kernel, findings: list):
+        self.ctx = ctx
+        self.kernel = kernel
+        self.findings = findings
+        self.macros = ctx.macros
+        self.ndim = semantics.grid_rank(self.macros) or (
+            ctx.stencil.ndim if ctx.stencil is not None else 0
+        )
+        self.arrays = {
+            d.name: d for d in kernel.declarations().values() if d.is_array
+        }
+        # Innermost guard -> accumulated evidence for the contract check.
+        self.guard_taps: dict[int, dict[int, list[float]]] = {}
+        self.guard_writes: dict[int, dict[int, str]] = {}
+        self.guard_nodes: dict[int, ir.If] = {}
+
+    # ------------------------------------------------------------------
+    def scan(self) -> None:
+        env = semantics.builtin_env(self.ctx.unit)
+        self._scan(self.kernel.body, env, None)
+        self._check_guard_contract()
+
+    def _scan(self, stmts, env, guard: "ir.If | None") -> None:
+        env = dict(env)
+        for stmt in stmts:
+            if isinstance(stmt, ir.VarDecl):
+                if stmt.init is not None:
+                    self._check_expr(stmt.init, env, guard, stmt.line)
+                    if not stmt.is_array:
+                        env[stmt.name] = E.eval_interval(stmt.init, env, self.macros)
+            elif isinstance(stmt, ir.For):
+                if stmt.init is not None:
+                    self._check_expr(stmt.init, env, guard, stmt.line)
+                if stmt.cond is not None:
+                    self._check_expr(stmt.cond, env, guard, stmt.line)
+                child = dict(env)
+                if stmt.var:
+                    child[stmt.var] = self._loop_range(stmt, env)
+                self._scan(stmt.body, child, guard)
+            elif isinstance(stmt, ir.If):
+                refined = E.refine_env(stmt.cond, env, self.macros)
+                self.guard_nodes[id(stmt)] = stmt
+                self._scan(stmt.body, refined, stmt)
+            elif isinstance(stmt, ir.Assign):
+                self._check_expr(stmt.target, env, guard, stmt.line, is_write=True)
+                self._check_expr(stmt.value, env, guard, stmt.line)
+            elif isinstance(stmt, ir.CallStmt):
+                for a in stmt.call.args:
+                    self._check_expr(a, env, guard, stmt.line)
+
+    def _loop_range(self, stmt: ir.For, env) -> E.Interval:
+        lo, hi = -E.INF, E.INF
+        if stmt.init is not None:
+            lo = E.eval_interval(stmt.init, env, self.macros).lo
+        bound = ir._upper_bound(stmt.cond) if stmt.cond is not None else None
+        if bound is not None:
+            hi = E.eval_interval(bound, env, self.macros).hi - 1
+        if lo > hi:  # statically empty loop: keep the init point
+            hi = lo
+        return E.Interval(lo, hi)
+
+    # ------------------------------------------------------------------
+    def _check_expr(self, node, env, guard, line, is_write: bool = False) -> None:
+        for sub in E.walk(node):
+            if isinstance(sub, E.Index) and isinstance(sub.base, E.Name):
+                self._check_access(sub, env, guard, line, is_write)
+
+    def _check_access(self, node: E.Index, env, guard, line, is_write) -> None:
+        base = node.base.id
+        if base in semantics.GLOBAL_ARRAYS and len(node.indices) == 1:
+            self._check_global(base, node.indices[0], env, guard, line, is_write)
+            return
+        decl = self.arrays.get(base)
+        if decl is not None and len(node.indices) == len(decl.dims):
+            for k, (idx, dim) in enumerate(zip(node.indices, decl.dims)):
+                size = E.eval_const(dim, self.macros)
+                if size is None:
+                    continue
+                rng = E.eval_interval(idx, env, self.macros)
+                if not rng.within(0, size - 1):
+                    self._oob(base, k, rng, size, line)
+
+    def _check_global(self, base, idx, env, guard, line, is_write) -> None:
+        # Prefetch pseudo-intrinsic: a whole-plane read on the stream axis.
+        plane = self._plane_index_arg(idx)
+        if plane is not None:
+            axis = self._stream_axis()
+            if axis is None:
+                return
+            size = self.macros.get(semantics.axis_macro(axis))
+            if size is None:
+                return
+            rng = E.eval_interval(plane, env, self.macros)
+            if not rng.within(0, size - 1):
+                self._oob(base, axis, rng, size, line)
+            return
+
+        coords = semantics.decompose_flat_index(idx, self.ndim) if self.ndim else None
+        if coords is None:
+            self.findings.append(
+                Finding.make(
+                    "BOUNDS003",
+                    Severity.INFO,
+                    f"index into {base!r} is outside the analyzable row-major "
+                    "subset; access not checked",
+                    line=line,
+                    kernel=self.kernel.name,
+                )
+            )
+            return
+        for axis, coord in enumerate(coords):
+            size = self.macros.get(semantics.axis_macro(axis))
+            if size is None:
+                continue
+            rng = E.eval_interval(coord, env, self.macros)
+            if not rng.within(0, size - 1):
+                self._oob(base, axis, rng, size, line)
+            if guard is not None:
+                self._record_guard_evidence(guard, axis, coord, base, is_write)
+
+    @staticmethod
+    def _plane_index_arg(idx):
+        if isinstance(idx, E.Call) and idx.func == "_plane_index" and len(idx.args) == 1:
+            return idx.args[0]
+        return None
+
+    def _stream_axis(self) -> "int | None":
+        setting, oc = self.ctx.setting, self.ctx.oc
+        if setting is None or oc is None or "ST" not in oc:
+            return None
+        return setting["stream_dim"] - 1
+
+    def _oob(self, base, axis, rng, size, line) -> None:
+        self.findings.append(
+            Finding.make(
+                "BOUNDS001",
+                Severity.ERROR,
+                f"access to {base!r} axis {axis} spans {rng} but the valid "
+                f"range is [0, {int(size) - 1}]",
+                line=line,
+                kernel=self.kernel.name,
+                array=base,
+                axis=axis,
+                lo=rng.lo,
+                hi=rng.hi,
+                size=size,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # guard contract (BOUNDS002)
+    # ------------------------------------------------------------------
+    def _record_guard_evidence(self, guard, axis, coord, base, is_write) -> None:
+        parts = semantics.coord_parts(coord)
+        if parts is None:
+            return
+        var, offset = parts
+        key = id(guard)
+        if is_write and base == "out":
+            self.guard_writes.setdefault(key, {})[axis] = var
+        elif base == "in":
+            self.guard_taps.setdefault(key, {}).setdefault(axis, []).append(offset)
+
+    def _check_guard_contract(self) -> None:
+        stencil = self.ctx.stencil
+        for key, write_vars in self.guard_writes.items():
+            guard = self.guard_nodes[key]
+            bounds = E.guard_bounds(guard.cond, self.macros)
+            taps = self.guard_taps.get(key, {})
+            for axis, var in sorted(write_vars.items()):
+                size = self.macros.get(semantics.axis_macro(axis))
+                if size is None:
+                    continue
+                if stencil is not None and axis < stencil.ndim:
+                    extent = stencil.axis_extents[axis]
+                elif taps.get(axis):
+                    extent = max(abs(o) for o in taps[axis])
+                else:
+                    continue
+                lo, hi = bounds.get(var, (None, None))
+                expected_lo, expected_hi = float(extent), float(size - extent)
+                if lo == expected_lo and hi == expected_hi:
+                    continue
+                direction = self._direction(lo, hi, expected_lo, expected_hi)
+                self.findings.append(
+                    Finding.make(
+                        "BOUNDS002",
+                        Severity.ERROR,
+                        f"guard on axis {axis} ({var!r}) clips "
+                        f"[{_fmt(lo)}, {_fmt(hi)}) but the stencil extent "
+                        f"requires [{int(expected_lo)}, {int(expected_hi)}): "
+                        f"{direction}",
+                        line=guard.line,
+                        kernel=self.kernel.name,
+                        axis=axis,
+                        var=var,
+                        got_lo=lo,
+                        got_hi=hi,
+                        expected_lo=expected_lo,
+                        expected_hi=expected_hi,
+                    )
+                )
+
+    @staticmethod
+    def _direction(lo, hi, expected_lo, expected_hi) -> str:
+        if lo is None or hi is None:
+            return "guard leaves the axis unbounded (out-of-bounds access)"
+        if lo > expected_lo or hi < expected_hi:
+            return (
+                "over-guarded: interior points are skipped while the "
+                "performance model prices them (codegen-model drift)"
+            )
+        return "under-guarded: boundary taps read out of bounds"
+
+
+def _fmt(v) -> str:
+    return "?" if v is None else str(int(v))

@@ -1,0 +1,245 @@
+"""Structural OC conformance (rules OCST001..OCTB001, OCXX001).
+
+Each optimization of Table I leaves a recognisable footprint in the
+generated kernel; this pass checks that the footprint of every opt in
+the declared OC is present -- and that no foreign footprint sneaks in.
+The declared OC comes from the analysis context (generated sweeps) or
+from the ``// optimization combination:`` header comment of a snippet.
+
+Footprints
+----------
+- **ST**: a plane loop over the stream-axis variable plus a queue
+  (``_queue_push``/``_queue_rotate`` rotation and a queue declaration).
+- **BM**: the ``mi`` merge loop with *adjacent* indexing (stride 1).
+- **CM**: the ``mi`` merge loop with *block-strided* indexing
+  (``mi * BLOCK_<axis>``).  No loop is required (or allowed) when the
+  merge axis coincides with the stream axis.
+- **RT**: a ``partial`` accumulator that is folded into ``acc`` and
+  reset inside the stream loop.
+- **PR**: a ``next_plane`` double buffer filled from
+  ``in[_plane_index(...)]`` and consumed by ``_queue_rotate``.
+- **TB**: a ``step`` time loop advancing the staged planes
+  (``_tile_update`` tiled / ``_plane_time_update`` streaming).
+"""
+
+from __future__ import annotations
+
+from . import expr as E
+from . import ir, semantics
+from .findings import Finding, Severity
+from .framework import AnalysisPass, RuleInfo
+
+
+def _missing(rule: str, title: str) -> RuleInfo:
+    return RuleInfo(
+        rule,
+        Severity.ERROR,
+        title,
+        "The OC promises this transformation; without its structure the "
+        "kernel the model prices is not the kernel that was generated.",
+    )
+
+
+class ConformancePass(AnalysisPass):
+    name = "conformance"
+    rules = (
+        _missing("OCST001", "streaming structure missing"),
+        _missing("OCBM001", "block-merging loop missing or wrong stride"),
+        _missing("OCCM001", "cyclic-merging loop missing or wrong stride"),
+        _missing("OCRT001", "retimed partial accumulator missing"),
+        _missing("OCPR001", "prefetch double buffer missing"),
+        _missing("OCTB001", "temporal step loop missing"),
+        RuleInfo(
+            "OCXX001",
+            Severity.ERROR,
+            "structure of an optimization outside the OC",
+            "A footprint of an opt the OC does not contain means the "
+            "generator emitted a different variant than requested.",
+        ),
+    )
+
+    def run(self, ctx) -> list:
+        findings: list = []
+        oc = ctx.oc
+        if oc is None:
+            oc_name = (ctx.unit.meta or {}).get("optimization combination", "")
+            opts = set(oc_name.split("_")) if oc_name else None
+        else:
+            opts = {o.name for o in oc.opts}
+        if opts is None:
+            return findings
+        for kernel in ctx.unit.kernels:
+            findings.extend(self._check_kernel(ctx, kernel, opts))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_kernel(self, ctx, kernel: ir.Kernel, opts: set) -> list:
+        findings: list = []
+        calls = self._calls(kernel)
+        decls = kernel.declarations()
+        merge_loops = self._merge_loops(kernel)
+        step_loops = [
+            f for f, _ in ir.walk_stmts(kernel.body)
+            if isinstance(f, ir.For) and f.var == "step"
+        ]
+
+        def err(rule, msg, line=0):
+            findings.append(
+                Finding.make(rule, Severity.ERROR, msg, line=line, kernel=kernel.name)
+            )
+
+        streaming = "ST" in opts
+        merging = "BM" in opts or "CM" in opts
+        merge_on_stream = self._merge_on_stream(ctx)
+
+        # ST --------------------------------------------------------------
+        if streaming:
+            if not ({"_queue_push", "_queue_rotate"} & set(calls)):
+                err("OCST001", "streaming OC without a plane-queue rotation "
+                    "(_queue_push/_queue_rotate)")
+            if not any(d.is_array for d in decls.values()):
+                err("OCST001", "streaming OC without a plane queue declaration "
+                    "(__shared__ planes or register array)")
+            if not self._has_stream_loop(ctx, kernel):
+                err("OCST001", "streaming OC without a plane loop over the "
+                    "stream axis")
+        elif {"_queue_push", "_queue_rotate"} & set(calls):
+            err("OCXX001", "plane-queue rotation in a non-streaming OC",
+                line=min(calls[c] for c in
+                         {"_queue_push", "_queue_rotate"} & set(calls)))
+
+        # BM / CM ---------------------------------------------------------
+        if merging and not merge_on_stream:
+            want = "BM" if "BM" in opts else "CM"
+            rule = f"OC{want}001"
+            if not merge_loops:
+                err(rule, f"{want} OC without the mi merge loop")
+            else:
+                line, stride = merge_loops[0]
+                if want == "BM" and stride != "adjacent":
+                    err(rule, "block merging must index adjacent points "
+                        "(found block-strided indexing)", line=line)
+                if want == "CM" and stride != "strided":
+                    err(rule, "cyclic merging must index block-strided points "
+                        "(found adjacent indexing)", line=line)
+        elif not merging and merge_loops:
+            err("OCXX001", "merge loop present in a merge-free OC",
+                line=merge_loops[0][0])
+
+        # RT --------------------------------------------------------------
+        has_partial = "partial" in decls
+        folds = any(
+            isinstance(s, ir.Assign) and s.op == "+="
+            and "partial" in E.names_in(s.value)
+            for s, _ in ir.walk_stmts(kernel.body)
+        )
+        if "RT" in opts:
+            if not (has_partial and folds):
+                err("OCRT001", "retiming OC without a partial accumulator "
+                    "folded into the result")
+        elif has_partial and folds:
+            err("OCXX001", "retimed partial accumulator in a non-RT OC",
+                line=decls["partial"].line)
+
+        # PR --------------------------------------------------------------
+        has_next = "next_plane" in decls
+        prefetch_load = any(
+            isinstance(s, ir.Assign)
+            and isinstance(s.target, E.Name)
+            and s.target.id == "next_plane"
+            and any(
+                isinstance(n, E.Call) and n.func == "_plane_index"
+                for n in E.walk(s.value)
+            )
+            for s, _ in ir.walk_stmts(kernel.body)
+        )
+        if "PR" in opts:
+            if not (has_next and prefetch_load):
+                err("OCPR001", "prefetch OC without a next_plane double "
+                    "buffer loaded via _plane_index")
+        elif has_next:
+            err("OCXX001", "prefetch double buffer in a non-PR OC",
+                line=decls["next_plane"].line)
+
+        # TB --------------------------------------------------------------
+        update = "_plane_time_update" if streaming else "_tile_update"
+        tb_loops = [
+            f for f in step_loops
+            if any(
+                isinstance(s, ir.CallStmt) and s.call.func == update
+                for s, _ in ir.walk_stmts(f.body)
+            )
+        ]
+        if "TB" in opts:
+            if not tb_loops:
+                err("OCTB001", f"temporal OC without a step loop calling "
+                    f"{update}")
+        elif step_loops:
+            err("OCXX001", "time-step loop in a non-TB OC",
+                line=step_loops[0].line)
+        return findings
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _calls(kernel: ir.Kernel) -> dict:
+        """Intrinsic call name -> first line it appears on."""
+        out: dict = {}
+        for stmt, _ in ir.walk_stmts(kernel.body):
+            if isinstance(stmt, ir.CallStmt):
+                out.setdefault(stmt.call.func, stmt.line)
+        return out
+
+    @staticmethod
+    def _merge_loops(kernel: ir.Kernel) -> "list[tuple[int, str]]":
+        """(line, "adjacent"|"strided"|"unknown") for each mi loop."""
+        out: list = []
+        for stmt, _ in ir.walk_stmts(kernel.body):
+            if not (isinstance(stmt, ir.For) and stmt.var == "mi"):
+                continue
+            kind = "unknown"
+            for s in stmt.body:
+                if not (isinstance(s, ir.VarDecl) and s.init is not None):
+                    continue
+                stride = _merge_stride(s.init)
+                if stride is not None:
+                    kind = stride
+                    break
+            out.append((stmt.line, kind))
+        return out
+
+    def _merge_on_stream(self, ctx) -> bool:
+        if ctx.oc is None or ctx.setting is None:
+            return False
+        if "ST" not in ctx.oc or not (
+            "BM" in ctx.oc or "CM" in ctx.oc
+        ):
+            return False
+        return ctx.setting["merge_dim"] == ctx.setting["stream_dim"]
+
+    def _has_stream_loop(self, ctx, kernel: ir.Kernel) -> bool:
+        axes = set(semantics.AXES)
+        if ctx.setting is not None and ctx.oc is not None and "ST" in ctx.oc:
+            axes = {semantics.AXES[ctx.setting["stream_dim"] - 1]}
+        return any(
+            isinstance(s, ir.For) and s.var in axes
+            for s, _ in ir.walk_stmts(kernel.body)
+        )
+
+
+def _merge_stride(init) -> "str | None":
+    """Classify ``<axis>0 + mi * <stride>`` initializers."""
+    if not (isinstance(init, E.Bin) and init.op == "+"):
+        return None
+    mul = init.rhs
+    if not (
+        isinstance(mul, E.Bin)
+        and mul.op == "*"
+        and isinstance(mul.lhs, E.Name)
+        and mul.lhs.id == "mi"
+    ):
+        return None
+    if isinstance(mul.rhs, E.Num):
+        return "adjacent" if mul.rhs.value == 1 else "unknown"
+    if isinstance(mul.rhs, E.Name) and mul.rhs.id.startswith("BLOCK_"):
+        return "strided"
+    return "unknown"

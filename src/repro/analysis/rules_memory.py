@@ -1,0 +1,81 @@
+"""Coalescing and divergence heuristics (rules PERF001-PERF003).
+
+Warnings, not errors: these configurations are *legal* -- the sweep
+deliberately samples them so the performance model can learn their cost
+-- but each one throws away global-memory bandwidth in a way the
+analytical model prices down (``coalescing`` factors in
+:mod:`repro.optimizations.kernelmodel`).  The lint surfaces them so a
+hand-picked configuration does not hit one by accident.
+"""
+
+from __future__ import annotations
+
+from .findings import Finding, Severity
+from .framework import AnalysisPass, RuleInfo
+
+#: Threads per warp on every evaluated GPU.
+WARP = 32
+
+
+class MemoryAccessPass(AnalysisPass):
+    name = "memory"
+    rules = (
+        RuleInfo(
+            "PERF001",
+            Severity.WARNING,
+            "streaming along the contiguous axis",
+            "Sweeping x leaves threads covering (y[,z]); every warp load "
+            "is a strided row fetch using a quarter of each sector.",
+        ),
+        RuleInfo(
+            "PERF002",
+            Severity.WARNING,
+            "block narrower than a warp along x",
+            "BLOCK_X below 32 issues partial warps; global loads waste "
+            "the unused lanes of every transaction.",
+        ),
+        RuleInfo(
+            "PERF003",
+            Severity.WARNING,
+            "block merging along the contiguous axis",
+            "Adjacent merged outputs along x stride the warp's accesses "
+            "by the merge factor, splitting each load across sectors.",
+        ),
+    )
+
+    def run(self, ctx) -> list:
+        findings: list = []
+        oc, setting = ctx.oc, ctx.setting
+
+        if oc is not None and setting is not None:
+            if "ST" in oc and setting["stream_dim"] == 1:
+                findings.append(
+                    Finding.make(
+                        "PERF001",
+                        Severity.WARNING,
+                        "streaming sweeps the contiguous axis (stream_dim=1); "
+                        "warp accesses become strided row fetches",
+                    )
+                )
+            if "BM" in oc and setting["merge_dim"] == 1:
+                findings.append(
+                    Finding.make(
+                        "PERF003",
+                        Severity.WARNING,
+                        f"block merging {setting['merge_factor']} adjacent "
+                        "points along the contiguous axis strides warp "
+                        "accesses by the merge factor",
+                    )
+                )
+
+        block_x = ctx.macros.get("BLOCK_X")
+        if block_x is not None and block_x < WARP:
+            findings.append(
+                Finding.make(
+                    "PERF002",
+                    Severity.WARNING,
+                    f"BLOCK_X={int(block_x)} is narrower than a {WARP}-thread "
+                    "warp; global loads issue partially-filled transactions",
+                )
+            )
+        return findings

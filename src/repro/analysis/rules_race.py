@@ -1,0 +1,202 @@
+"""Shared-memory race detection (rules RACE001, RACE002).
+
+Model
+-----
+A ``__shared__`` array is *dirty* from the moment any statement writes it
+until the next ``__syncthreads()``.  A **cross-thread read** -- an
+explicit subscript read, or an intrinsic documented to consume other
+threads' elements (``_tile_update``, ``_plane_time_update``) -- of a
+dirty array races: another thread may still be writing the element this
+thread reads.  Queue-rotation intrinsics (``_queue_push``,
+``_queue_rotate``) write thread-private slices and are not treated as
+cross-thread readers of their own array.
+
+Loops are scanned **twice** with carried dirty-state, so a loop body
+whose iteration N+1 reads what iteration N wrote is caught without any
+extra machinery (the classic missing-barrier-in-streaming-loop bug).
+
+RACE002 flags a barrier nested under thread-divergent control flow
+(a guard on thread coordinates, or a loop whose bounds vary per
+thread): threads that skip the branch never reach the barrier and the
+block deadlocks -- undefined behaviour on every CUDA architecture.
+"""
+
+from __future__ import annotations
+
+from . import expr as E
+from . import ir, semantics
+from .findings import Finding, Severity
+from .framework import AnalysisPass, RuleInfo
+
+#: Intrinsics whose reads span other threads' writes.
+_CROSS_THREAD_READERS = {"_tile_update", "_plane_time_update"}
+
+#: Intrinsics that write shared state: name -> how to resolve the target.
+_SHARED_WRITERS = {
+    "_tile_store": "arg0",
+    "_tile_update": "arg0",
+    "_queue_push": "queue",
+    "_queue_rotate": "queue",
+    "_plane_time_update": "queue",
+}
+
+
+class RacePass(AnalysisPass):
+    name = "race"
+    rules = (
+        RuleInfo(
+            "RACE001",
+            Severity.ERROR,
+            "shared-memory write/read without intervening barrier",
+            "A thread may read a __shared__ element another thread is still "
+            "writing; results depend on warp scheduling.",
+        ),
+        RuleInfo(
+            "RACE002",
+            Severity.ERROR,
+            "__syncthreads() under divergent control flow",
+            "Threads that do not take the branch never reach the barrier; "
+            "the block deadlocks (undefined behaviour).",
+        ),
+    )
+
+    def run(self, ctx) -> list:
+        findings: list = []
+        for kernel in ctx.unit.kernels:
+            findings.extend(self._check_kernel(kernel))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_kernel(self, kernel: ir.Kernel) -> list:
+        findings: list = []
+        shared = set(kernel.shared_arrays())
+        varying = semantics.thread_varying(kernel)
+
+        # RACE002: barriers under divergent ancestors.
+        for stmt, ancestors in ir.walk_stmts(kernel.body):
+            if not isinstance(stmt, ir.Barrier):
+                continue
+            for anc in ancestors:
+                divergent = (
+                    isinstance(anc, ir.If)
+                    and semantics.cond_is_divergent(anc.cond, varying)
+                ) or (
+                    isinstance(anc, ir.For)
+                    and (
+                        semantics.cond_is_divergent(anc.cond, varying)
+                        or semantics.cond_is_divergent(anc.init, varying)
+                    )
+                )
+                if divergent:
+                    findings.append(
+                        Finding.make(
+                            "RACE002",
+                            Severity.ERROR,
+                            "__syncthreads() inside thread-divergent control "
+                            f"flow (condition at line {anc.line}); threads that "
+                            "skip the branch deadlock the block",
+                            line=stmt.line,
+                            kernel=kernel.name,
+                            divergent_line=anc.line,
+                        )
+                    )
+                    break
+
+        # RACE001: dirty-state scan with two-pass loops.
+        if shared:
+            dirty: dict[str, int] = {}  # array -> line of the unsynced write
+            self._scan(kernel, kernel.body, shared, dirty, findings)
+        return findings
+
+    # ------------------------------------------------------------------
+    def _scan(self, kernel, stmts, shared, dirty, findings) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ir.Barrier):
+                dirty.clear()
+            elif isinstance(stmt, ir.For):
+                # Two passes so writes of iteration N meet reads of N+1.
+                before = len(findings)
+                self._scan(kernel, stmt.body, shared, dirty, findings)
+                self._scan(kernel, stmt.body, shared, dirty, findings)
+                # A loop body repeats its own findings on the second pass;
+                # keep each (rule, line) once.
+                seen: set = set()
+                unique = []
+                for f in findings[before:]:
+                    key = (f.rule, f.line, f.message)
+                    if key not in seen:
+                        seen.add(key)
+                        unique.append(f)
+                findings[before:] = unique
+            elif isinstance(stmt, ir.If):
+                self._scan(kernel, stmt.body, shared, dirty, findings)
+            else:
+                self._visit(kernel, stmt, shared, dirty, findings)
+
+    def _visit(self, kernel, stmt, shared, dirty, findings) -> None:
+        reads, writes = self._reads_writes(stmt, shared)
+        for array in reads:
+            if array in dirty:
+                findings.append(
+                    Finding.make(
+                        "RACE001",
+                        Severity.ERROR,
+                        f"read of __shared__ {array!r} after the write at "
+                        f"line {dirty[array]} with no __syncthreads() between",
+                        line=stmt.line,
+                        kernel=kernel.name,
+                        array=array,
+                        write_line=dirty[array],
+                    )
+                )
+        for array in writes:
+            dirty.setdefault(array, stmt.line)
+
+    # ------------------------------------------------------------------
+    def _reads_writes(self, stmt, shared) -> tuple[set, set]:
+        """(cross-thread reads, writes) of shared arrays in one statement."""
+        reads: set = set()
+        writes: set = set()
+        exprs: list = []
+        if isinstance(stmt, ir.Assign):
+            exprs.append(stmt.value)
+            if isinstance(stmt.target, E.Index) and isinstance(stmt.target.base, E.Name):
+                base = stmt.target.base.id
+                if base in shared:
+                    writes.add(base)
+                # Compound assignment reads the destination too.
+                if stmt.op != "=" and base in shared:
+                    reads.add(base)
+                exprs.extend(stmt.target.indices)
+            else:
+                exprs.append(stmt.target)
+        elif isinstance(stmt, ir.CallStmt):
+            call = stmt.call
+            target = _SHARED_WRITERS.get(call.func)
+            resolved = self._resolve_target(call, target, shared)
+            if resolved:
+                writes.update(resolved)
+                if call.func in _CROSS_THREAD_READERS:
+                    reads.update(resolved)
+            exprs.extend(call.args)
+        elif isinstance(stmt, ir.VarDecl) and stmt.init is not None:
+            exprs.append(stmt.init)
+        # Explicit subscript reads anywhere in the expressions.
+        for e in exprs:
+            for node in E.walk(e):
+                if (
+                    isinstance(node, E.Index)
+                    and isinstance(node.base, E.Name)
+                    and node.base.id in shared
+                ):
+                    reads.add(node.base.id)
+        return reads, writes
+
+    @staticmethod
+    def _resolve_target(call, target, shared) -> set:
+        if target == "arg0" and call.args and isinstance(call.args[0], E.Name):
+            name = call.args[0].id
+            return {name} if name in shared else set()
+        if target == "queue":
+            return set(shared)
+        return set()

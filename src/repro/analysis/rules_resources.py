@@ -1,0 +1,252 @@
+"""Codegen-model resource consistency (rules RES001-RES005).
+
+The analytical model (:mod:`repro.optimizations.kernelmodel`) prices a
+kernel by the resources it *claims* the generated code uses.  This pass
+re-derives the same quantities from the source itself -- shared-memory
+bytes from the ``__shared__`` declarations, the register plane-queue
+length from its declaration, launch geometry from the host ``dim3``
+setup -- and fails loudly when the two sides disagree.  Every future
+edit to either the generator or the model runs through this gate, so
+they cannot drift apart silently again.
+
+Rules
+-----
+- RES001: declared ``__shared__`` bytes != model ``smem_per_block``.
+- RES002: register plane-queue length != model queue length.
+- RES003: host launch geometry (threads/block, blocks, launches) != model.
+- RES004: static ``__shared__`` allocation beyond the 48 KiB limit a
+  plain (non-dynamic) allocation can use on any evaluated GPU (warning).
+- RES005: the model rejected the configuration outright (info; the
+  sweep samples around infeasible points).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..optimizations import kernelmodel
+from . import expr as E
+from . import ir
+from .findings import Finding, Severity
+from .framework import AnalysisPass, RuleInfo
+
+#: Largest static __shared__ allocation accepted by nvcc without opt-in
+#: dynamic shared memory, across all evaluated architectures.
+STATIC_SMEM_LIMIT = 48 * 1024
+
+
+class ResourcePass(AnalysisPass):
+    name = "resources"
+    rules = (
+        RuleInfo(
+            "RES001",
+            Severity.ERROR,
+            "declared shared memory != model claim",
+            "The simulator prices occupancy and smem traffic from "
+            "smem_per_block; a mismatched declaration means the model "
+            "times a different kernel than the generator emits.",
+        ),
+        RuleInfo(
+            "RES002",
+            Severity.ERROR,
+            "register plane-queue length != model claim",
+            "The streaming register-pressure model is keyed to the queue "
+            "length; a drifted declaration invalidates the register and "
+            "occupancy estimates.",
+        ),
+        RuleInfo(
+            "RES003",
+            Severity.ERROR,
+            "host launch geometry != model claim",
+            "threads/block, block count and launch count must match the "
+            "profile the simulator prices.",
+        ),
+        RuleInfo(
+            "RES004",
+            Severity.WARNING,
+            "static shared allocation exceeds 48 KiB",
+            "A static __shared__ array beyond 48 KiB fails to compile "
+            "without dynamic shared memory opt-in.",
+        ),
+        RuleInfo(
+            "RES005",
+            Severity.INFO,
+            "model rejects the configuration",
+            "build_profile raised for this triple; the kernel source "
+            "cannot be cross-checked against a model claim.",
+        ),
+    )
+
+    def run(self, ctx) -> list:
+        findings: list = []
+        if ctx.profile_error is not None:
+            findings.append(
+                Finding.make(
+                    "RES005",
+                    Severity.INFO,
+                    f"analytical model rejects this configuration: "
+                    f"{ctx.profile_error}",
+                )
+            )
+            return findings
+
+        for kernel in ctx.unit.kernels:
+            findings.extend(self._check_smem(ctx, kernel))
+            if ctx.has_model:
+                findings.extend(self._check_register_queue(ctx, kernel))
+        if ctx.has_model and ctx.unit.host is not None:
+            findings.extend(self._check_launch_geometry(ctx))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _declared_smem(self, ctx, kernel: ir.Kernel) -> "tuple[int, int] | None":
+        """(total bytes, first declaration line); None when not constant."""
+        total, line = 0, 0
+        for decl in kernel.shared_arrays().values():
+            cells = 1
+            for dim in decl.dims:
+                v = E.eval_const(dim, ctx.macros)
+                if v is None:
+                    return None
+                cells *= int(v)
+            total += cells * ir.CTYPE_SIZE.get(decl.ctype, 8)
+            line = line or decl.line
+        return total, line
+
+    def _check_smem(self, ctx, kernel: ir.Kernel) -> list:
+        findings: list = []
+        declared = self._declared_smem(ctx, kernel)
+        if declared is None:
+            return findings
+        total, line = declared
+        if total > STATIC_SMEM_LIMIT:
+            findings.append(
+                Finding.make(
+                    "RES004",
+                    Severity.WARNING,
+                    f"static __shared__ allocation of {total} bytes exceeds "
+                    f"the {STATIC_SMEM_LIMIT}-byte static limit",
+                    line=line,
+                    kernel=kernel.name,
+                    declared=total,
+                )
+            )
+        if ctx.has_model and total != ctx.profile.smem_per_block:
+            findings.append(
+                Finding.make(
+                    "RES001",
+                    Severity.ERROR,
+                    f"kernel declares {total} shared bytes but the model "
+                    f"claims {ctx.profile.smem_per_block} for "
+                    f"{self._triple(ctx)} -- codegen and kernelmodel have "
+                    "drifted",
+                    line=line,
+                    kernel=kernel.name,
+                    declared=total,
+                    model=ctx.profile.smem_per_block,
+                )
+            )
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_register_queue(self, ctx, kernel: ir.Kernel) -> list:
+        findings: list = []
+        oc, setting = ctx.oc, ctx.setting
+        if oc is None or setting is None or "ST" not in oc:
+            return findings
+        use_smem = bool(setting["use_smem"]) or "TB" in oc
+        if use_smem:
+            return findings
+        queue_decls = [
+            d
+            for d in kernel.declarations().values()
+            if d.is_array and not d.shared and len(d.dims) == 1
+        ]
+        if not queue_decls:
+            return findings  # absence is the conformance pass's finding
+        decl = queue_decls[0]
+        declared = E.eval_const(decl.dims[0], ctx.macros)
+        if declared is None:
+            return findings
+        expected = kernelmodel.register_queue_planes(
+            ctx.stencil, oc, setting
+        ) * setting["stream_unroll"]
+        if int(declared) != expected:
+            findings.append(
+                Finding.make(
+                    "RES002",
+                    Severity.ERROR,
+                    f"register plane queue {decl.name!r} holds {int(declared)} "
+                    f"entries but the model claims {expected} for "
+                    f"{self._triple(ctx)}",
+                    line=decl.line,
+                    kernel=kernel.name,
+                    declared=int(declared),
+                    model=expected,
+                )
+            )
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_launch_geometry(self, ctx) -> list:
+        findings: list = []
+        host = ctx.unit.host
+        profile = ctx.profile
+
+        threads = self._prod(host.block_dims, ctx.macros)
+        if threads is not None and threads != profile.threads_per_block:
+            findings.append(
+                Finding.make(
+                    "RES003",
+                    Severity.ERROR,
+                    f"host launches {threads} threads/block but the model "
+                    f"claims {profile.threads_per_block}",
+                    line=host.line,
+                    declared=threads,
+                    model=profile.threads_per_block,
+                )
+            )
+        blocks = self._prod(host.grid_dims, ctx.macros)
+        if blocks is not None and blocks != profile.n_blocks:
+            findings.append(
+                Finding.make(
+                    "RES003",
+                    Severity.ERROR,
+                    f"host launches {blocks} blocks but the model claims "
+                    f"{profile.n_blocks}",
+                    line=host.line,
+                    declared=blocks,
+                    model=profile.n_blocks,
+                )
+            )
+        if host.launches is not None:
+            launches = E.eval_const(host.launches, ctx.macros)
+            if launches is not None and int(launches) != profile.launches:
+                findings.append(
+                    Finding.make(
+                        "RES003",
+                        Severity.ERROR,
+                        f"host performs {int(launches)} launches but the "
+                        f"model claims {profile.launches}",
+                        line=host.line,
+                        declared=int(launches),
+                        model=profile.launches,
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _prod(dims, macros) -> "int | None":
+        total = 1
+        for d in dims:
+            v = E.eval_const(d, macros)
+            if v is None:
+                return None
+            total *= int(v)
+        return int(total) if not math.isinf(total) else None
+
+    @staticmethod
+    def _triple(ctx) -> str:
+        stencil = getattr(ctx.stencil, "name", "") or "stencil"
+        oc = getattr(ctx.oc, "name", "?")
+        return f"({stencil}, {oc})"

@@ -1,0 +1,143 @@
+"""Shared semantic helpers for the analysis passes.
+
+Bridges the syntactic IR to the generator's conventions: row-major flat
+index decomposition, axis naming, thread-variance propagation, and the
+builtin thread/block coordinate ranges derived from the host launcher.
+"""
+
+from __future__ import annotations
+
+from . import expr as E
+from . import ir
+
+#: Axis variable names in generator order (axis 0 is contiguous).
+AXES = ("x", "y", "z")
+
+#: Global-memory arrays indexed with the row-major flat convention.
+GLOBAL_ARRAYS = ("in", "out")
+
+#: Pseudo-intrinsics the generator emits and the semantics the analyzer
+#: assigns to them.  ``reads``/``writes`` name the shared-state they touch:
+#: ``"arg0"`` means the first call argument, ``"queue"`` means the kernel's
+#: shared plane queue (when one is declared).
+INTRINSICS = {
+    "_tile_store": {"writes": "arg0", "reads": None},
+    "_tile_update": {"writes": "arg0", "reads": "arg0"},
+    "_queue_push": {"writes": "queue", "reads": "queue"},
+    "_queue_rotate": {"writes": "queue", "reads": "queue"},
+    "_plane_time_update": {"writes": "queue", "reads": "queue"},
+}
+
+#: Opaque value-producing intrinsics.
+VALUE_INTRINSICS = ("_flat_tid", "_tile_cells", "_block_threads", "_plane_index")
+
+#: The subset whose value differs across the threads of a block
+#: (``_tile_cells``/``_block_threads`` are block-uniform tile geometry).
+THREAD_INTRINSICS = ("_flat_tid",)
+
+
+def axis_macro(axis: int) -> str:
+    """Grid-size macro for one axis (``NX``/``NY``/``NZ``)."""
+    return f"N{AXES[axis].upper()}"
+
+
+def grid_rank(macros: dict) -> int:
+    """Grid dimensionality implied by the defined ``N*`` macros."""
+    return sum(1 for a in range(3) if axis_macro(a) in macros)
+
+
+def decompose_flat_index(node, ndim: int) -> "list | None":
+    """Split a row-major flat index into per-axis coordinate expressions.
+
+    Matches the generator's convention ``((c2) * NY + (c1)) * NX + (c0)``
+    (x fastest); returns ``[c0, c1, (c2)]`` or ``None`` when the
+    expression does not have that shape.
+    """
+    coords: list = []
+    current = node
+    for axis in range(ndim - 1):
+        if not (isinstance(current, E.Bin) and current.op == "+"):
+            return None
+        mul = current.lhs
+        if not (
+            isinstance(mul, E.Bin)
+            and mul.op == "*"
+            and isinstance(mul.rhs, E.Name)
+            and mul.rhs.id == axis_macro(axis)
+        ):
+            return None
+        coords.append(current.rhs)
+        current = mul.lhs
+    coords.append(current)
+    return coords
+
+
+def coord_parts(node) -> "tuple[str, float] | None":
+    """Split a coordinate expression into ``(base variable, offset)``.
+
+    Handles the generator's forms: ``x``, ``x + (-2)``, ``x + (2)``.
+    """
+    if isinstance(node, E.Name):
+        return node.id, 0.0
+    if isinstance(node, E.Bin) and node.op in ("+", "-"):
+        if isinstance(node.lhs, E.Name) and isinstance(node.rhs, E.Num):
+            off = node.rhs.value
+            return node.lhs.id, (-off if node.op == "-" else off)
+    return None
+
+
+def builtin_env(unit: ir.TranslationUnit) -> dict:
+    """Initial interval environment: thread/block coordinate ranges.
+
+    Block dimensions come from the host ``dim3 block(...)``, grid extents
+    from ``dim3 grid(...)``; without a host launcher both default to the
+    sound ``[0, +inf)``.
+    """
+    env: dict = {}
+    for i, axis in enumerate(("x", "y", "z")):
+        tdim = gdim = None
+        if unit.host is not None:
+            tdim = E.eval_const(unit.host.block_dims[i], unit.macros)
+            gdim = E.eval_const(unit.host.grid_dims[i], unit.macros)
+        env[f"threadIdx.{axis}"] = E.Interval(0, tdim - 1 if tdim else E.INF)
+        env[f"blockIdx.{axis}"] = E.Interval(0, gdim - 1 if gdim else E.INF)
+    return env
+
+
+def thread_varying(kernel: ir.Kernel) -> set[str]:
+    """Variables whose value differs across the threads of a block.
+
+    Seeds with the ``threadIdx`` builtins and the value intrinsics, then
+    propagates through declarations and loop variables until fixpoint.
+    """
+    varying: set[str] = {f"threadIdx.{a}" for a in ("x", "y", "z")}
+    changed = True
+    while changed:
+        changed = False
+        for stmt, _ in ir.walk_stmts(kernel.body):
+            name = None
+            refs: set[str] = set()
+            if isinstance(stmt, ir.VarDecl) and stmt.init is not None:
+                name = stmt.name
+                refs = E.names_in(stmt.init)
+                calls = {n.func for n in E.walk(stmt.init) if isinstance(n, E.Call)}
+                refs |= calls & set(THREAD_INTRINSICS)
+            elif isinstance(stmt, ir.For) and stmt.init is not None:
+                name = stmt.var
+                refs = E.names_in(stmt.init)
+                calls = {n.func for n in E.walk(stmt.init) if isinstance(n, E.Call)}
+                refs |= calls & set(THREAD_INTRINSICS)
+            if name and name not in varying and refs & (varying | set(THREAD_INTRINSICS)):
+                varying.add(name)
+                changed = True
+    return varying
+
+
+def cond_is_divergent(cond, varying: set[str]) -> bool:
+    """True when a branch/loop condition can differ across threads."""
+    if cond is None:
+        return False
+    if E.names_in(cond) & varying:
+        return True
+    calls = {n.func for n in E.walk(cond) if isinstance(n, E.Call)}
+    return bool(calls & set(THREAD_INTRINSICS))

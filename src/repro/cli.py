@@ -1,15 +1,20 @@
 """Command-line interface for the StencilMART reproduction.
 
-Four subcommands mirror the pipeline stages::
+Subcommands mirror the pipeline stages::
 
     python -m repro generate --ndim 2 --count 20          # print stencils
     python -m repro profile  --ndim 2 --count 20 -o c.json  # profile -> JSON
     python -m repro select   --campaign c.json --stencil star2d2r --gpu V100
     python -m repro predict  --campaign c.json --stencil star2d2r \
         --oc ST_RT --gpu A100                              # time prediction
+    python -m repro codegen  --stencil star2d2r --oc ST_RT  # emit CUDA
+    python -m repro lint                                   # verify kernels
 
 ``generate`` and ``profile`` run standalone; ``select`` and ``predict``
 train on a saved campaign so repeated queries do not re-simulate.
+``codegen`` prints (or writes) generated CUDA sources and ``lint`` runs
+the static analyzer over the generated sweep, exiting nonzero on any
+error-severity finding.
 """
 
 from __future__ import annotations
@@ -107,6 +112,70 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--gpu", required=True, choices=list(GPU_ORDER))
     t.add_argument("--method", default="gbr", choices=("gbr", "mlp", "convmlp"))
     _add_common(t)
+
+    c = sub.add_parser("codegen", help="emit CUDA source for a kernel variant")
+    c.add_argument("--stencil", required=True, help="named stencil, e.g. star2d2r")
+    c.add_argument(
+        "--oc",
+        default="naive",
+        help="OC name (e.g. ST_RT) or 'all' for every valid combination",
+    )
+    c.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        dest="overrides",
+        help="pin a parameter (repeatable), e.g. --set block_x=64",
+    )
+    c.add_argument(
+        "--sample",
+        action="store_true",
+        help="sample a feasible setting instead of starting from defaults",
+    )
+    c.add_argument(
+        "-o",
+        "--output-dir",
+        help="write <stencil>__<oc>.cu files here instead of stdout",
+    )
+    _add_common(c)
+
+    lint = sub.add_parser(
+        "lint", help="statically analyze generated kernels (nonzero exit on errors)"
+    )
+    lint.add_argument(
+        "--stencil",
+        action="append",
+        dest="stencils",
+        metavar="NAME",
+        help="restrict to named stencils (repeatable; default: whole library)",
+    )
+    lint.add_argument(
+        "--oc",
+        action="append",
+        dest="ocs",
+        metavar="NAME",
+        help="restrict to OCs (repeatable; default: all 30)",
+    )
+    lint.add_argument(
+        "--n-settings", type=int, default=1,
+        help="sampled parameter settings per (stencil, OC)",
+    )
+    lint.add_argument(
+        "--format", default="text", choices=("text", "json"), dest="fmt"
+    )
+    lint.add_argument("--baseline", help="accept findings recorded in this file")
+    lint.add_argument(
+        "--write-baseline",
+        help="record current findings to this file and exit 0",
+    )
+    lint.add_argument(
+        "-v", "--verbose", action="store_true", help="also list clean kernels"
+    )
+    lint.add_argument(
+        "--rules", action="store_true", help="print the rule catalog and exit"
+    )
+    _add_common(lint)
 
     return parser
 
@@ -226,11 +295,119 @@ def cmd_predict(args) -> int:
     return 0
 
 
+def _parse_overrides(pairs: "list[str]") -> dict:
+    out: dict = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        if not sep or not name or not value:
+            raise SystemExit(f"bad --set {pair!r}; expected NAME=VALUE")
+        out[name] = int(value)
+    return out
+
+
+def cmd_codegen(args) -> int:
+    import os
+
+    from .analysis.lint import feasible_settings
+    from .codegen.cuda import generate_cuda
+    from .optimizations import ALL_OCS, OC_BY_NAME
+    from .optimizations.params import ParamSetting
+    from .stencil import get
+
+    stencil = get(args.stencil)
+    if args.oc == "all":
+        ocs = list(ALL_OCS)
+    else:
+        oc = OC_BY_NAME.get(args.oc)
+        if oc is None:
+            print(f"unknown OC {args.oc!r}", file=sys.stderr)
+            return 2
+        ocs = [oc]
+
+    overrides = _parse_overrides(args.overrides)
+    emitted = 0
+    for oc in ocs:
+        if args.sample:
+            sampled = feasible_settings(stencil, oc, 1, args.seed)
+            if not sampled:
+                print(
+                    f"{stencil.name} x {oc.name}: no feasible setting",
+                    file=sys.stderr,
+                )
+                continue
+            setting = sampled[0].replace(**overrides) if overrides else sampled[0]
+        else:
+            setting = ParamSetting(**overrides)
+        source = generate_cuda(stencil, oc, setting)
+        if args.output_dir:
+            os.makedirs(args.output_dir, exist_ok=True)
+            path = os.path.join(
+                args.output_dir, f"{stencil.name}__{oc.name}.cu"
+            )
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(source)
+            print(path)
+        else:
+            print(source)
+        emitted += 1
+    return 0 if emitted else 1
+
+
+def cmd_lint(args) -> int:
+    from .analysis import Baseline, all_rules, lint_sweep
+    from .optimizations import OC_BY_NAME
+    from .stencil import get
+
+    if args.rules:
+        for info in all_rules():
+            print(f"{info.rule} [{info.severity.value}] {info.title}")
+            print(f"    {info.rationale}")
+        return 0
+
+    stencils = None
+    if args.stencils:
+        stencils = [get(n) for n in args.stencils]
+    ocs = None
+    if args.ocs:
+        ocs = []
+        for name in args.ocs:
+            oc = OC_BY_NAME.get(name)
+            if oc is None:
+                print(f"unknown OC {name!r}", file=sys.stderr)
+                return 2
+            ocs.append(oc)
+
+    baseline = Baseline.load(args.baseline) if args.baseline else None
+    summary = lint_sweep(
+        stencils=stencils,
+        ocs=ocs,
+        n_settings=args.n_settings,
+        seed=args.seed,
+        baseline=baseline,
+    )
+
+    if args.write_baseline:
+        Baseline.from_findings(summary.all_findings()).save(args.write_baseline)
+        print(
+            f"baseline of {len(summary.all_findings())} finding(s) -> "
+            f"{args.write_baseline}"
+        )
+        return 0
+
+    if args.fmt == "json":
+        print(summary.to_json())
+    else:
+        print(summary.format_text(verbose=args.verbose))
+    return 0 if summary.ok else 1
+
+
 _COMMANDS = {
     "generate": cmd_generate,
     "profile": cmd_profile,
     "select": cmd_select,
     "predict": cmd_predict,
+    "codegen": cmd_codegen,
+    "lint": cmd_lint,
 }
 
 

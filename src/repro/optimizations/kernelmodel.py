@@ -64,6 +64,38 @@ def default_grid(ndim: int) -> tuple[int, ...]:
     return (GRID_2D,) * 2 if ndim == 2 else (GRID_3D,) * 3
 
 
+def register_queue_planes(stencil: Stencil, oc: OC, setting: ParamSetting) -> int:
+    """Stream-axis planes the reuse queue must hold (register streaming).
+
+    This is the **contract** with the code generator: the emitted register
+    queue (or the reuse portion of the shared plane buffer) must hold
+    exactly this many planes.  Plain streaming keeps the full stencil
+    footprint ``2*extent + 1``; retiming accumulates partial sums so only
+    the leading ``extent + 1`` planes (at least a rolling pair) stay live.
+    """
+    stream_axis = setting["stream_dim"] - 1
+    es = stencil.axis_extents[stream_axis]
+    planes = 2 * es + 1
+    if Opt.RT in oc.opts:
+        planes = max(2, es + 1)
+    return planes
+
+
+def smem_plane_count(stencil: Stencil, oc: OC, setting: ParamSetting) -> int:
+    """Planes of the shared-memory queue of a streaming smem kernel.
+
+    Also part of the codegen contract: the reuse queue
+    (:func:`register_queue_planes`) plus one prefetch landing plane (PR)
+    plus two staging planes per fused time step beyond the first (TB).
+    """
+    planes = register_queue_planes(stencil, oc, setting)
+    if Opt.PR in oc.opts:
+        planes += 1
+    if Opt.TB in oc.opts:
+        planes += 2 * (setting["temporal_steps"] - 1)
+    return planes
+
+
 @dataclass(frozen=True)
 class KernelProfile:
     """Everything the timing simulator needs to know about one kernel.
@@ -250,14 +282,7 @@ def build_profile(
                 if a == stream_axis:
                     continue
                 plane_cells *= coverage[a] + 2 * extents[a] * t
-            planes = 2 * extents[stream_axis] + 1
-            if retiming:
-                planes = max(2, extents[stream_axis] + 1)
-            if prefetch:
-                planes += 1
-            if temporal:
-                planes += 2 * (t - 1)
-            smem = plane_cells * planes * WORD
+            smem = plane_cells * smem_plane_count(stencil, oc, setting) * WORD
         else:
             tile_cells = 1
             for a in range(ndim):

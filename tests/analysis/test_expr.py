@@ -1,0 +1,132 @@
+"""Tests for the expression layer: lexer, parser, evaluators, guards."""
+
+import pytest
+
+from repro.analysis import expr as E
+
+
+class TestParse:
+    def test_precedence(self):
+        node = E.parse_expr("1 + 2 * 3")
+        assert isinstance(node, E.Bin) and node.op == "+"
+        assert node.rhs == E.Bin("*", E.Num(2), E.Num(3))
+
+    def test_parens_override_precedence(self):
+        node = E.parse_expr("(1 + 2) * 3")
+        assert isinstance(node, E.Bin) and node.op == "*"
+
+    def test_negative_literal_folds(self):
+        assert E.parse_expr("-3") == E.Num(-3)
+
+    def test_dotted_builtin_is_one_name(self):
+        assert E.parse_expr("threadIdx.x") == E.Name("threadIdx.x")
+
+    def test_call(self):
+        node = E.parse_expr("min(a + 1, b)")
+        assert isinstance(node, E.Call)
+        assert node.func == "min" and len(node.args) == 2
+
+    def test_index_chain(self):
+        node = E.parse_expr("tile[i][j + 1]")
+        assert isinstance(node, E.Index)
+        assert node.base == E.Name("tile") and len(node.indices) == 2
+
+    def test_comparison_conjunction(self):
+        node = E.parse_expr("x >= 1 && x < NX - 1")
+        assert isinstance(node, E.Bin) and node.op == "&&"
+        assert len(E.conjuncts(node)) == 2
+
+    def test_names_in(self):
+        assert E.names_in(E.parse_expr("a * NX + min(b, 3)")) == {"a", "NX", "b"}
+
+    def test_junk_raises(self):
+        with pytest.raises(E.ExprError):
+            E.parse_expr("a @ b")
+        with pytest.raises(E.ExprError):
+            E.parse_expr("1 +")
+        with pytest.raises(E.ExprError):
+            E.parse_expr("(a")
+
+
+class TestEvalConst:
+    def test_macro_env(self):
+        node = E.parse_expr("(NX + BLOCK_X - 1) / BLOCK_X")
+        assert E.eval_const(node, {"NX": 100, "BLOCK_X": 32}) == 4
+
+    def test_c_integer_division_truncates(self):
+        assert E.eval_const(E.parse_expr("7 / 2")) == 3
+
+    def test_min_max_calls(self):
+        assert E.eval_const(E.parse_expr("min(3, max(1, 5))")) == 3
+
+    def test_unknown_name_is_none(self):
+        assert E.eval_const(E.parse_expr("NX + 1")) is None
+
+    def test_division_by_zero_is_none(self):
+        assert E.eval_const(E.parse_expr("1 / 0")) is None
+
+
+class TestInterval:
+    def test_arithmetic(self):
+        a, one = E.Interval(0, 31), E.Interval(1, 1)
+        assert a + one == E.Interval(1, 32)
+        assert a - one == E.Interval(-1, 30)
+        assert -one == E.Interval(-1, -1)
+        assert a * E.Interval(2, 2) == E.Interval(0, 62)
+
+    def test_zero_times_infinity_is_zero(self):
+        assert E.Interval(0, E.INF) * E.Interval(2, 2) == E.Interval(0, E.INF)
+
+    def test_within(self):
+        assert E.Interval(1, 5).within(0, 5)
+        assert not E.Interval(1, 6).within(0, 5)
+
+    def test_meet_union(self):
+        assert E.Interval(0, 4).meet(E.Interval(5, 9)) is None
+        assert E.Interval(0, 4).meet(E.Interval(3, 9)) == E.Interval(3, 4)
+        assert E.Interval(0, 4).union(E.Interval(5, 9)) == E.Interval(0, 9)
+
+    def test_point_division(self):
+        assert E.Interval(0, 63).div(E.Interval(32, 32)) == E.Interval(0, 1)
+
+    def test_empty_interval_raises(self):
+        with pytest.raises(E.ExprError):
+            E.Interval(2, 1)
+
+
+class TestEvalInterval:
+    def test_launch_coordinate_range(self):
+        env = {"threadIdx.x": E.Interval(0, 31), "blockIdx.x": E.Interval(0, 7)}
+        node = E.parse_expr("blockIdx.x * BLOCK_X + threadIdx.x")
+        assert E.eval_interval(node, env, {"BLOCK_X": 32}) == E.Interval(0, 255)
+
+    def test_min_clamps_upper_end(self):
+        env = {"z": E.Interval(0, 100)}
+        rng = E.eval_interval(E.parse_expr("min(z + 2, 63)"), env, {})
+        assert rng == E.Interval(2, 63)
+
+    def test_unknown_is_top(self):
+        assert E.eval_interval(E.parse_expr("mystery"), {}, {}) == E.Interval.top()
+
+
+class TestGuards:
+    def test_refine_env_narrows_by_conjuncts(self):
+        env = {"x": E.Interval(0, 8191)}
+        cond = E.parse_expr("x >= 2 && x < NX - 2")
+        refined = E.refine_env(cond, env, {"NX": 8192})
+        assert refined["x"] == E.Interval(2, 8189)
+
+    def test_refine_env_ignores_non_name_conjuncts(self):
+        env = {"x": E.Interval(0, 10)}
+        refined = E.refine_env(E.parse_expr("f(x) < 3 && x >= 4"), env, {})
+        assert refined["x"] == E.Interval(4, 10)
+
+    def test_guard_bounds_syntactic(self):
+        cond = E.parse_expr("x >= 1 && x < NX - 1 && y >= 2 && y < NY - 2")
+        bounds = E.guard_bounds(cond, {"NX": 64, "NY": 32})
+        assert bounds["x"] == (1, 63)
+        assert bounds["y"] == (2, 30)
+
+    def test_guard_bounds_open_side(self):
+        bounds = E.guard_bounds(E.parse_expr("x >= 1"), {})
+        assert bounds["x"] == (1, None)

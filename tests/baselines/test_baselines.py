@@ -1,6 +1,5 @@
 """Tests for the Artemis/AN5D baselines and the oracle."""
 
-import pytest
 
 from repro.baselines import AN5DBaseline, ArtemisBaseline, OracleBaseline
 from repro.optimizations import Opt

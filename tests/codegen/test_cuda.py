@@ -1,13 +1,13 @@
 """Structural tests for the CUDA source generator."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.codegen import generate_cuda
 from repro.optimizations import OC, ParamSetting, sample_setting
 from repro.stencil import box, generate_stencil, star
+from repro.stencil.stencil import Stencil
 
 
 def gen(stencil, oc, **params):
@@ -51,6 +51,18 @@ class TestCommonStructure:
         src = gen(s, "naive")
         assert f"#define COEFF {1.0 / s.nnz!r}" in src
 
+    def test_anisotropic_guard_clips_per_axis(self):
+        # Extent 1 along x, 2 along y: each axis must be clipped by its
+        # own extent, not the uniform Chebyshev order (which would skip
+        # interior x points the performance model prices).
+        aniso = Stencil.from_points(
+            [(0, 0), (1, 0), (-1, 0), (0, 1), (0, -1), (0, 2), (0, -2)],
+            name="aniso2d",
+        )
+        src = gen(aniso, "naive")
+        assert "x0 >= 1 && x0 < NX - 1" in src
+        assert "y0 >= 2 && y0 < NY - 2" in src
+
 
 class TestShmem:
     def test_naive_has_no_shared(self):
@@ -77,10 +89,27 @@ class TestStreaming:
         src = gen(star(3, 1), "ST", stream_dim=3)
         assert "double q[3 * STREAM_UNROLL]" in src
 
+    def test_retiming_shrinks_register_queue(self):
+        # RT folds taps as planes stream past: max(2, extent+1) planes
+        # instead of the full 2*extent+1 window.
+        src = gen(star(3, 3), "ST_RT", stream_dim=3)
+        assert "double q[4 * STREAM_UNROLL]" in src
+
+    def test_smem_queue_prologue_barrier(self):
+        src = gen(star(3, 2), "ST", stream_dim=3, use_smem=1)
+        assert "__syncthreads();  // queue visible before first read" in src
+
     def test_prefetch_double_buffer(self):
         src = gen(star(3, 1), "ST_PR", stream_dim=3)
         assert "next_plane" in src
         assert "overlap next load with compute" in src
+
+    def test_prefetch_clamps_at_domain_edge(self):
+        # The lookahead plane index must clamp to the last plane; an
+        # unclamped z + extent + 1 reads past the grid on the final
+        # iterations.
+        src = gen(star(3, 1), "ST_PR", stream_dim=3)
+        assert "in[_plane_index(min(z + 2, z_end - 1))]" in src
 
     def test_retiming_partial_accumulator(self):
         src = gen(star(3, 3), "ST_RT", stream_dim=3)
@@ -103,6 +132,14 @@ class TestMerging:
         src = gen(star(2, 1), "CM", merge_factor=4, merge_dim=2)
         assert "mi * BLOCK_Y" in src  # strided outputs
 
+    def test_cyclic_merge_block_covers_merged_span(self):
+        # Each block covers merge_factor * BLOCK_Y rows whichever way
+        # the merged outputs are laid out; the base coordinate and the
+        # grid must both account for the full span.
+        src = gen(star(2, 1), "CM", merge_factor=4, merge_dim=2)
+        assert "const int y0 = blockIdx.y * (BLOCK_Y * 4) + threadIdx.y;" in src
+        assert "(NY + (BLOCK_Y * 4) - 1) / (BLOCK_Y * 4)" in src
+
     def test_unroll_pragma(self):
         src = gen(star(2, 1), "BM", merge_factor=2, merge_dim=2)
         assert "#pragma unroll" in src
@@ -121,6 +158,17 @@ class TestTemporal:
         )
         assert "__shared__ double planes" in src
         assert "TSTEPS" in src
+
+    def test_streamed_tb_advances_time_planes(self):
+        src = gen(
+            star(3, 1), "ST_TB",
+            stream_dim=3, temporal_steps=2, use_smem=1, block_y=16,
+        )
+        assert "_plane_time_update(step);" in src
+
+    def test_tiled_tb_double_buffers_the_tile(self):
+        src = gen(star(2, 1), "TB", temporal_steps=2, block_y=16)
+        assert "__shared__ double tile[2][" in src
 
 
 class TestPropertyStructural:

@@ -1,7 +1,6 @@
 """Extra coverage: every regressor path through the StencilMART facade."""
 
 import numpy as np
-import pytest
 
 from repro.optimizations import ParamSetting
 from repro.stencil import get

@@ -7,7 +7,7 @@ behaviour, cross-configuration orderings -- not absolute times.
 import pytest
 
 from repro.errors import KernelLaunchError
-from repro.gpu import GPUSimulator, get_gpu, simulate
+from repro.gpu import GPUSimulator, simulate
 from repro.optimizations import OC, ParamSetting, default_setting
 from repro.stencil import box, get, star
 

@@ -1,6 +1,5 @@
 """Tests for parameter spaces, settings and encodings."""
 
-import math
 
 import numpy as np
 import pytest

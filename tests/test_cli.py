@@ -75,3 +75,111 @@ class TestCommands:
             ]
         )
         assert rc == 2
+
+
+class TestCodegenCommand:
+    def test_parser_accepts_overrides(self):
+        args = build_parser().parse_args(
+            ["codegen", "--stencil", "star2d1r", "--oc", "ST",
+             "--set", "block_x=64", "--set", "stream_dim=2"]
+        )
+        assert args.overrides == ["block_x=64", "stream_dim=2"]
+
+    def test_emits_source_to_stdout(self, capsys):
+        rc = main(
+            ["codegen", "--stencil", "star2d1r", "--oc", "ST_RT",
+             "--set", "stream_dim=2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "__global__ void" in out
+        assert "optimization combination: ST_RT" in out
+
+    def test_writes_files_to_output_dir(self, tmp_path, capsys):
+        rc = main(
+            ["codegen", "--stencil", "star2d1r", "--oc", "naive",
+             "-o", str(tmp_path)]
+        )
+        assert rc == 0
+        path = tmp_path / "star2d1r__naive.cu"
+        assert path.exists()
+        assert "__global__ void" in path.read_text()
+        assert str(path) in capsys.readouterr().out
+
+    def test_sampled_setting(self, capsys):
+        rc = main(
+            ["codegen", "--stencil", "star2d2r", "--oc", "ST", "--sample"]
+        )
+        assert rc == 0
+        assert "__global__ void" in capsys.readouterr().out
+
+    def test_unknown_oc(self, capsys):
+        rc = main(["codegen", "--stencil", "star2d1r", "--oc", "WARP"])
+        assert rc == 2
+        assert "unknown OC" in capsys.readouterr().err
+
+    def test_bad_override_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["codegen", "--stencil", "star2d1r", "--set", "block_x"]
+            )
+
+
+class TestLintCommand:
+    def test_clean_sweep_exits_zero(self, capsys):
+        rc = main(
+            ["lint", "--stencil", "star2d1r", "--oc", "naive", "--oc", "ST"]
+        )
+        assert rc == 0
+        assert "kernels linted: 0 error(s)" in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        import json
+
+        rc = main(
+            ["lint", "--stencil", "star2d1r", "--oc", "naive",
+             "--format", "json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 0
+        assert payload["kernels"] >= 1
+
+    def test_rules_catalog(self, capsys):
+        rc = main(["lint", "--rules"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for rule in ("RACE001", "BOUNDS002", "RES001", "OCST001", "PERF001"):
+            assert rule in out
+
+    def test_unknown_oc(self, capsys):
+        rc = main(["lint", "--oc", "WARP"])
+        assert rc == 2
+        assert "unknown OC" in capsys.readouterr().err
+
+    def test_model_drift_fails_then_baseline_accepts(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import dataclasses
+
+        from repro.optimizations import kernelmodel
+
+        real = kernelmodel.build_profile
+
+        def perturbed(stencil, oc, setting, grid=None):
+            p = real(stencil, oc, setting, grid)
+            return dataclasses.replace(p, smem_per_block=p.smem_per_block + 64)
+
+        monkeypatch.setattr(kernelmodel, "build_profile", perturbed)
+        argv = ["lint", "--stencil", "star3d1r", "--oc", "ST"]
+        rc = main(argv)
+        assert rc == 1
+        assert "RES001" in capsys.readouterr().out
+
+        baseline = tmp_path / "baseline.json"
+        rc = main(argv + ["--write-baseline", str(baseline)])
+        assert rc == 0 and baseline.exists()
+        capsys.readouterr()
+
+        rc = main(argv + ["--baseline", str(baseline)])
+        assert rc == 0

@@ -8,7 +8,6 @@ from repro.baselines import AN5DBaseline, ArtemisBaseline, OracleBaseline
 from repro.codegen import generate_cuda
 from repro.gpu import GPUSimulator
 from repro.optimizations import ALL_OCS, OC
-from repro.profiling import RandomSearch
 from repro.stencil import generate_population, get
 
 

@@ -1,6 +1,5 @@
 """Tests for the csTuner-style genetic parameter search."""
 
-import numpy as np
 import pytest
 
 from repro.gpu import GPUSimulator
