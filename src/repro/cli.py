@@ -50,10 +50,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--backend",
         default="scalar",
-        choices=("scalar", "vector", "cached"),
+        choices=("scalar", "vector", "cached", "parallel"),
         help="measurement backend: per-point reference, NumPy-vectorized "
-        "batches, or vectorized with content-keyed memoization "
-        "(equivalent results; vector/cached are much faster)",
+        "batches, vectorized with content-keyed memoization, or batches "
+        "sharded across a process pool (equivalent results; "
+        "vector/cached/parallel are much faster)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard (gpu, stencil) units across this many worker "
+        "processes (0 = one per CPU; results are bit-identical for "
+        "every worker count, and checkpoints resume across counts)",
+    )
+    p.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="units per shard in parallel runs (default: split pending "
+        "work evenly across workers)",
     )
     p.add_argument("-o", "--output", required=True, help="campaign JSON path")
     p.add_argument(
@@ -103,7 +119,44 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--stencil", required=True, help="named stencil, e.g. star2d2r")
     s.add_argument("--gpu", required=True, choices=list(GPU_ORDER))
     s.add_argument("--method", default="gbdt", choices=("gbdt", "convnet", "fcnet"))
+    s.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallelize model training across this many processes "
+        "(0 = one per CPU; currently the GBDT classifier fits its "
+        "per-class trees in parallel, other methods train sequentially)",
+    )
     _add_common(s)
+
+    e = sub.add_parser(
+        "evaluate",
+        help="cross-validate selection/prediction mechanisms (Figs. 9, 12)",
+    )
+    e.add_argument("--campaign", required=True, help="campaign JSON path")
+    e.add_argument(
+        "--task",
+        default="select",
+        choices=("select", "predict"),
+        help="evaluate OC selection (fold accuracy) or time prediction "
+        "(fold MAPE)",
+    )
+    e.add_argument(
+        "--method",
+        default=None,
+        help="mechanism to evaluate (default: gbdt for select, gbr for "
+        "predict)",
+    )
+    e.add_argument("--gpu", required=True, choices=list(GPU_ORDER))
+    e.add_argument("--folds", type=int, default=5)
+    e.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fit cross-validation folds on this many worker processes "
+        "(0 = one per CPU; fold results are identical for any count)",
+    )
+    _add_common(e)
 
     t = sub.add_parser("predict", help="predict execution time cross-architecture")
     t.add_argument("--campaign", required=True)
@@ -239,6 +292,8 @@ def cmd_profile(args) -> int:
         faults=faults,
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
     )
     try:
         campaign = runner.run(resume=args.resume)
@@ -256,11 +311,31 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_evaluate(args) -> int:
+    mart = _load_mart_from_campaign(args.campaign, args.seed)
+    if args.task == "select":
+        method = args.method or "gbdt"
+        res = mart.evaluate_selector(
+            method, args.gpu, n_folds=args.folds, workers=args.workers
+        )
+        scores, mean, label = res.fold_accuracies, res.accuracy, "accuracy"
+    else:
+        method = args.method or "gbr"
+        res = mart.evaluate_predictor(
+            method, args.gpu, n_folds=args.folds, workers=args.workers
+        )
+        scores, mean, label = res.fold_mapes, res.mape, "MAPE"
+    folds = " ".join(f"{s:.4f}" for s in scores)
+    print(f"{args.task}/{method} on {args.gpu}: per-fold {label}: {folds}")
+    print(f"mean {label}: {mean:.4f}")
+    return 0
+
+
 def cmd_select(args) -> int:
     from .stencil import get
 
     mart = _load_mart_from_campaign(args.campaign, args.seed)
-    mart.fit_selector(args.method, args.gpu)
+    mart.fit_selector(args.method, args.gpu, workers=args.workers)
     stencil = get(args.stencil)
     oc = mart.predict_best_oc(stencil, args.gpu, method=args.method)
     print(f"predicted best OC for {stencil.name} on {args.gpu}: {oc.name}")
@@ -405,6 +480,7 @@ _COMMANDS = {
     "generate": cmd_generate,
     "profile": cmd_profile,
     "select": cmd_select,
+    "evaluate": cmd_evaluate,
     "predict": cmd_predict,
     "codegen": cmd_codegen,
     "lint": cmd_lint,

@@ -42,6 +42,7 @@ from ..profiling import (
     RegressionDataset,
     build_classification_dataset,
     build_regression_dataset,
+    cross_validate,
     kfold_indices,
     merge_ocs,
     run_campaign,
@@ -59,6 +60,80 @@ CLASSIFIERS = ("gbdt", "convnet", "fcnet")
 
 #: Regressor registry.
 REGRESSORS = ("gbr", "mlp", "convmlp")
+
+
+def make_classifier(method: str, n_classes: int, seed: int, **hyper):
+    """Construct a selection classifier by name.
+
+    Module-level (not a :class:`StencilMART` method) so cross-validation
+    fold workers in other processes build models through the same code
+    path.  ``workers`` in *hyper* reaches only models that parallelize
+    internally (currently GBDT); it is dropped for the rest.
+    """
+    method = method.lower()
+    seed = hyper.pop("seed", seed)
+    if method == "gbdt":
+        defaults = dict(
+            n_rounds=60, learning_rate=0.15, max_depth=3, subsample=0.8
+        )
+        defaults.update(hyper)
+        return GBDTClassifier(seed=seed, **defaults)
+    hyper.pop("workers", None)
+    hyper.pop("pool_context", None)
+    if method == "convnet":
+        return ConvNetClassifier(n_classes=n_classes, seed=seed, **hyper)
+    if method == "fcnet":
+        return FcNetClassifier(n_classes=n_classes, seed=seed, **hyper)
+    raise ModelError(f"unknown classifier {method!r}; known: {CLASSIFIERS}")
+
+
+def make_regressor(method: str, seed: int, **hyper):
+    """Construct a time-prediction regressor by name (see
+    :func:`make_classifier` for why this is module-level)."""
+    method = method.lower()
+    seed = hyper.pop("seed", seed)
+    hyper.pop("workers", None)
+    hyper.pop("pool_context", None)
+    if method == "gbr":
+        defaults = dict(n_rounds=80, learning_rate=0.15, max_depth=5)
+        defaults.update(hyper)
+        return GBRegressor(seed=seed, **defaults)
+    if method == "mlp":
+        return MLPRegressor(seed=seed, **hyper)
+    if method == "convmlp":
+        return ConvMLPRegressor(seed=seed, **hyper)
+    raise ModelError(f"unknown regressor {method!r}; known: {REGRESSORS}")
+
+
+def _selector_fold(data: dict, train: np.ndarray, test: np.ndarray) -> float:
+    """One stratified-CV fold of a selection classifier (picklable)."""
+    model = make_classifier(
+        data["method"], data["n_classes"], data["seed"], **dict(data["hyper"])
+    )
+    X, labels = data["X"], data["labels"]
+    model.fit(X[train], labels[train])
+    return accuracy(labels[test], model.predict(X[test]))
+
+
+def _predictor_fold(data: dict, train: np.ndarray, test: np.ndarray) -> float:
+    """One k-fold CV fold of a time predictor (picklable)."""
+    method = data["method"]
+    model = make_regressor(method, data["seed"], **dict(data["hyper"]))
+    if method == "convmlp":
+        model.fit(
+            data["tensors"][train], data["aux"][train], data["times"][train]
+        )
+        pred = model.predict(data["tensors"][test], data["aux"][test])
+    elif method == "gbr":
+        model.fit(
+            data["features"][train],
+            LogTimeTransform.forward(data["times"][train]),
+        )
+        pred = LogTimeTransform.inverse(model.predict(data["features"][test]))
+    else:
+        model.fit(data["features"][train], data["times"][train])
+        pred = model.predict(data["features"][test])
+    return mape(data["times"][test], pred)
 
 
 @dataclass
@@ -174,19 +249,7 @@ class StencilMART:
     # classification: OC selection
     # ------------------------------------------------------------------
     def _make_classifier(self, method: str, **hyper):
-        method = method.lower()
-        seed = hyper.pop("seed", self.seed)
-        if method == "gbdt":
-            defaults = dict(
-                n_rounds=60, learning_rate=0.15, max_depth=3, subsample=0.8
-            )
-            defaults.update(hyper)
-            return GBDTClassifier(seed=seed, **defaults)
-        if method == "convnet":
-            return ConvNetClassifier(n_classes=self.n_classes, seed=seed, **hyper)
-        if method == "fcnet":
-            return FcNetClassifier(n_classes=self.n_classes, seed=seed, **hyper)
-        raise ModelError(f"unknown classifier {method!r}; known: {CLASSIFIERS}")
+        return make_classifier(method, self.n_classes, self.seed, **hyper)
 
     @staticmethod
     def _classifier_inputs(ds: ClassificationDataset, method: str) -> np.ndarray:
@@ -213,16 +276,36 @@ class StencilMART:
         return OC_BY_NAME[self.grouping.representatives[cls]]
 
     def evaluate_selector(
-        self, method: str, gpu: str, n_folds: int = 5, **hyper
+        self,
+        method: str,
+        gpu: str,
+        n_folds: int = 5,
+        workers: int = 1,
+        pool_context: str = "spawn",
+        **hyper,
     ) -> SelectorResult:
-        """Stratified k-fold accuracy of one mechanism on one GPU (Fig. 9)."""
+        """Stratified k-fold accuracy of one mechanism on one GPU (Fig. 9).
+
+        ``workers > 1`` fits the folds concurrently on a process pool;
+        every fold's model is independently seeded, so the result is
+        identical for any worker count.
+        """
         ds = self.classification_dataset(gpu)
-        X = self._classifier_inputs(ds, method)
-        accs: list[float] = []
-        for tr, te in stratified_kfold_indices(ds.labels, n_folds, self.seed):
-            model = self._make_classifier(method, **dict(hyper))
-            model.fit(X[tr], ds.labels[tr])
-            accs.append(accuracy(ds.labels[te], model.predict(X[te])))
+        data = {
+            "method": method,
+            "X": self._classifier_inputs(ds, method),
+            "labels": ds.labels,
+            "n_classes": self.n_classes,
+            "seed": self.seed,
+            "hyper": dict(hyper),
+        }
+        accs = cross_validate(
+            _selector_fold,
+            data,
+            stratified_kfold_indices(ds.labels, n_folds, self.seed),
+            workers=workers,
+            context=pool_context,
+        )
         return SelectorResult(method=method, gpu=gpu, fold_accuracies=accs)
 
     # ------------------------------------------------------------------
@@ -257,17 +340,7 @@ class StencilMART:
     # regression: cross-architecture performance prediction
     # ------------------------------------------------------------------
     def _make_regressor(self, method: str, **hyper):
-        method = method.lower()
-        seed = hyper.pop("seed", self.seed)
-        if method == "gbr":
-            defaults = dict(n_rounds=80, learning_rate=0.15, max_depth=5)
-            defaults.update(hyper)
-            return GBRegressor(seed=seed, **defaults)
-        if method == "mlp":
-            return MLPRegressor(seed=seed, **hyper)
-        if method == "convmlp":
-            return ConvMLPRegressor(seed=seed, **hyper)
-        raise ModelError(f"unknown regressor {method!r}; known: {REGRESSORS}")
+        return make_regressor(method, self.seed, **hyper)
 
     def fit_predictor(
         self,
@@ -332,23 +405,32 @@ class StencilMART:
         gpu: str,
         n_folds: int = 5,
         max_rows: int | None = 6000,
+        workers: int = 1,
+        pool_context: str = "spawn",
         **hyper,
     ) -> PredictorResult:
-        """K-fold MAPE of one regression mechanism on one GPU (Fig. 12)."""
+        """K-fold MAPE of one regression mechanism on one GPU (Fig. 12).
+
+        ``workers > 1`` runs the folds on a process pool; results are
+        identical for any worker count (fold fits are independent).
+        """
         ds = self.regression_dataset((gpu,))
         rows = self._row_subset(ds.n_samples, max_rows)
-        mapes: list[float] = []
-        for tr_i, te_i in kfold_indices(rows.shape[0], n_folds, self.seed):
-            tr, te = rows[tr_i], rows[te_i]
-            model = self._make_regressor(method, **dict(hyper))
-            if method == "convmlp":
-                model.fit(ds.tensors[tr], ds.aux[tr], ds.times_ms[tr])
-                pred = model.predict(ds.tensors[te], ds.aux[te])
-            elif method == "gbr":
-                model.fit(ds.features[tr], LogTimeTransform.forward(ds.times_ms[tr]))
-                pred = LogTimeTransform.inverse(model.predict(ds.features[te]))
-            else:
-                model.fit(ds.features[tr], ds.times_ms[tr])
-                pred = model.predict(ds.features[te])
-            mapes.append(mape(ds.times_ms[te], pred))
+        data = {
+            "method": method,
+            "features": ds.features,
+            "tensors": ds.tensors if method == "convmlp" else None,
+            "aux": ds.aux if method == "convmlp" else None,
+            "times": ds.times_ms,
+            "seed": self.seed,
+            "hyper": dict(hyper),
+        }
+        folds = [
+            (rows[tr_i], rows[te_i])
+            for tr_i, te_i in kfold_indices(rows.shape[0], n_folds, self.seed)
+        ]
+        mapes = cross_validate(
+            _predictor_fold, data, folds,
+            workers=workers, context=pool_context,
+        )
         return PredictorResult(method=method, gpu=gpu, fold_mapes=mapes)

@@ -32,21 +32,33 @@ from .core import (
     iter_chunks,
 )
 from .fault import FaultBackend
+from .parallel import BackendSpec, ParallelBackend
 from .retry import RetryBackend
 from .scalar import ScalarBackend
 from .vector import VectorBackend
 
 #: Backend kinds selectable from the CLI / campaign runner.
-BACKEND_KINDS = ("scalar", "vector", "cached")
+BACKEND_KINDS = ("scalar", "vector", "cached", "parallel")
 
 
-def make_backend(kind: str, gpu, sigma: float = 0.03) -> Backend:
+def make_backend(
+    kind: str,
+    gpu,
+    sigma: float = 0.03,
+    workers: "int | None" = None,
+    chunk_size: "int | None" = None,
+    context: str = "spawn",
+) -> Backend:
     """Construct a measurement backend by name.
 
     ``scalar`` is the reference per-point path; ``vector`` evaluates
-    batches with array math; ``cached`` memoizes on top of ``vector``.
-    *gpu* may be a GPU name, a :class:`~repro.gpu.specs.GPUSpec` or an
-    existing simulator.
+    batches with array math; ``cached`` memoizes on top of ``vector``;
+    ``parallel`` shards batches across a worker pool of ``workers``
+    processes, each running its own vector backend (see
+    :class:`~repro.engine.parallel.ParallelBackend`; results are
+    bit-identical for every worker count and chunk size).  *gpu* may be
+    a GPU name, a :class:`~repro.gpu.specs.GPUSpec` or an existing
+    simulator.
     """
     if kind == "scalar":
         return ScalarBackend(gpu, sigma=sigma)
@@ -54,6 +66,16 @@ def make_backend(kind: str, gpu, sigma: float = 0.03) -> Backend:
         return VectorBackend(gpu, sigma=sigma)
     if kind == "cached":
         return CachingBackend(VectorBackend(gpu, sigma=sigma))
+    if kind == "parallel":
+        from .parallel import BackendSpec, ParallelBackend
+
+        name = gpu if isinstance(gpu, str) else getattr(gpu, "name", None) or gpu.spec.name
+        return ParallelBackend(
+            BackendSpec(kind="vector", gpu=name, sigma=sigma),
+            workers=workers,
+            chunk_size=chunk_size,
+            context=context,
+        )
     raise ValueError(f"unknown backend kind {kind!r} (choose from {BACKEND_KINDS})")
 
 
@@ -62,10 +84,12 @@ __all__ = [
     "BackendBase",
     "BackendInfo",
     "BACKEND_KINDS",
+    "BackendSpec",
     "CachingBackend",
     "EvalRequest",
     "EvalResult",
     "FaultBackend",
+    "ParallelBackend",
     "RetryBackend",
     "ScalarBackend",
     "VectorBackend",

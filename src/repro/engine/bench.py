@@ -14,6 +14,7 @@ speedup) and ``tools/bench_engine.py`` (writes ``BENCH_engine.json``).
 from __future__ import annotations
 
 import math
+import os
 import time
 
 import numpy as np
@@ -122,4 +123,105 @@ def run_throughput_bench(quick: bool = False, gpu: str = "V100") -> dict:
     doc["cached_replay"]["speedup_vs_scalar"] = (
         scalar_s / doc["cached_replay"]["seconds"]
     )
+    return doc
+
+
+def run_parallel_bench(
+    quick: bool = False,
+    gpu: str = "V100",
+    workers_sweep: "tuple[int, ...]" = (1, 2, 4),
+    context: str = "spawn",
+) -> dict:
+    """Worker-count sweep: sharded batch evaluation + sharded campaigns.
+
+    Returns a JSON-ready document::
+
+        {"gpu", "quick", "cpu_count", "n_points",
+         "backend_sweep": {workers: {"seconds", "points_per_sec",
+                                     "speedup_vs_1"}},
+         "campaign": {"n_units", "n_measurements",
+                      "sweep": {workers: {"seconds",
+                                          "measurements_per_sec",
+                                          "speedup_vs_1"}}}}
+
+    Speedups are relative to ``workers=1`` of the same code path (the
+    pool-free bypass for the backend, the sequential runner for the
+    campaign), so they isolate the win from process-level parallelism.
+    Workers beyond ``cpu_count`` cannot help -- the host's CPU count is
+    recorded so readers can judge the numbers.
+    """
+    from ..profiling.runner import CampaignRunner
+    from .parallel import BackendSpec, ParallelBackend
+
+    workload = make_workload(
+        n_stencils=1 if quick else 3,
+        settings_per_oc=4 if quick else 16,
+    )
+    reps = 1 if quick else 3
+    doc: dict = {
+        "gpu": gpu,
+        "quick": bool(quick),
+        "cpu_count": os.cpu_count() or 1,
+        "n_points": len(workload),
+        "backend_sweep": {},
+    }
+
+    for workers in workers_sweep:
+        backend = ParallelBackend(
+            BackendSpec(kind="vector", gpu=gpu),
+            workers=workers,
+            context=context,
+        )
+        try:
+            best = math.inf
+            for _ in range(reps):
+                _clear_model_caches()
+                start = time.perf_counter()
+                results = backend.evaluate_batch(workload)
+                elapsed = time.perf_counter() - start
+                assert len(results) == len(workload)
+                best = min(best, elapsed)
+        finally:
+            backend.close()
+        doc["backend_sweep"][str(workers)] = {
+            "seconds": best,
+            "points_per_sec": len(workload) / best,
+        }
+    base = doc["backend_sweep"][str(workers_sweep[0])]["seconds"]
+    for row in doc["backend_sweep"].values():
+        row["speedup_vs_1"] = base / row["seconds"]
+
+    stencils = generate_population(2, 2 if quick else 6, seed=7)
+    sweep: dict = {}
+    n_meas = 0
+    for workers in workers_sweep:
+        best = math.inf
+        for _ in range(1 if quick else 2):
+            runner = CampaignRunner(
+                stencils,
+                gpus=(gpu,),
+                n_settings=2 if quick else 4,
+                seed=7,
+                backend="vector",
+                workers=workers,
+                mp_context=context,
+            )
+            _clear_model_caches()
+            start = time.perf_counter()
+            campaign = runner.run()
+            elapsed = time.perf_counter() - start
+            n_meas = len(campaign.measurements(gpu))
+            best = min(best, elapsed)
+        sweep[str(workers)] = {
+            "seconds": best,
+            "measurements_per_sec": n_meas / best,
+        }
+    base = sweep[str(workers_sweep[0])]["seconds"]
+    for row in sweep.values():
+        row["speedup_vs_1"] = base / row["seconds"]
+    doc["campaign"] = {
+        "n_units": len(stencils),
+        "n_measurements": n_meas,
+        "sweep": sweep,
+    }
     return doc

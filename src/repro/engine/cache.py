@@ -23,17 +23,52 @@ from .core import BackendBase, BackendInfo, EvalRequest, EvalResult, as_backend
 class CachingBackend(BackendBase):
     """Memoizing decorator around another backend.
 
-    The cache key is :meth:`EvalRequest.key` -- GPU identity is implicit
-    because a backend instance measures exactly one GPU.  Duplicate
-    requests inside one batch are deduplicated before reaching the inner
-    backend (the first occurrence is the miss; the rest are hits).
+    The cache key is equivalent to :meth:`EvalRequest.key` -- GPU
+    identity is implicit because a backend instance measures exactly one
+    GPU.  Duplicate requests inside one batch are deduplicated before
+    reaching the inner backend (the first occurrence is the miss; the
+    rest are hits).
+
+    Key construction is the cache's hot path (on a cold workload it runs
+    once per request with zero amortizing hits), so stencil identities
+    are interned to small integer tokens: hashing a key then costs a few
+    machine words instead of re-hashing the stencil's full offset tuple
+    on every lookup.  The intern table is keyed by object id with the
+    stencil kept referenced (ids are only stable while the object is
+    alive), falling back to content identity so equal stencils behind
+    different objects share one token.
     """
 
     def __init__(self, inner):
         self.inner = as_backend(inner)
         self._cache: dict[tuple, EvalResult] = {}
+        self._token_by_id: dict[int, tuple] = {}
+        self._token_by_content: dict[tuple, int] = {}
         self.hits = 0
         self.misses = 0
+
+    def _stencil_token(self, stencil) -> int:
+        entry = self._token_by_id.get(id(stencil))
+        if entry is not None:
+            return entry[1]
+        content = stencil.cache_key()
+        token = self._token_by_content.get(content)
+        if token is None:
+            token = len(self._token_by_content)
+            self._token_by_content[content] = token
+        self._token_by_id[id(stencil)] = (stencil, token)
+        return token
+
+    def _request_key(self, r: EvalRequest) -> tuple:
+        # Same identity as EvalRequest.key() with the stencil component
+        # collapsed to its intern token; setting.as_tuple() returns the
+        # setting's stored tuple, so no per-request allocation there.
+        return (
+            self._stencil_token(r.stencil),
+            r.oc.name,
+            r.setting.as_tuple(),
+            r.grid,
+        )
 
     @property
     def spec(self):
@@ -59,32 +94,50 @@ class CachingBackend(BackendBase):
 
     def clear(self) -> None:
         self._cache.clear()
+        self._token_by_id.clear()
+        self._token_by_content.clear()
         self.hits = 0
         self.misses = 0
 
     def evaluate_batch(self, requests: Sequence[EvalRequest]) -> list[EvalResult]:
+        # Cold-path discipline: each request's key is hashed at most
+        # three times (lookup, miss registration, result insertion) and
+        # the per-request work is inlined -- on an all-miss batch this
+        # loop is pure overhead on top of the inner backend, so it must
+        # stay a small fraction of the inner backend's per-point cost.
         out: list[EvalResult | None] = [None] * len(requests)
-        keys = [r.key() for r in requests]
+        cache = self._cache
+        token_by_id = self._token_by_id
+        intern = self._stencil_token
         miss_pos: dict[tuple, int] = {}
         miss_requests: list[EvalRequest] = []
-        for i, key in enumerate(keys):
-            cached = self._cache.get(key)
+        miss_keys: list[tuple] = []
+        slots: list[tuple[int, int]] = []
+        hits = 0
+        for i, r in enumerate(requests):
+            entry = token_by_id.get(id(r.stencil))
+            token = entry[1] if entry is not None else intern(r.stencil)
+            key = (token, r.oc.name, r.setting.as_tuple(), r.grid)
+            cached = cache.get(key)
             if cached is not None:
-                self.hits += 1
+                hits += 1
                 out[i] = cached
-            elif key in miss_pos:
-                self.hits += 1  # intra-batch duplicate of a pending miss
+                continue
+            n_miss = len(miss_requests)
+            pos = miss_pos.setdefault(key, n_miss)
+            if pos == n_miss:
+                miss_requests.append(r)
+                miss_keys.append(key)
             else:
-                self.misses += 1
-                miss_pos[key] = len(miss_requests)
-                miss_requests.append(requests[i])
+                hits += 1  # intra-batch duplicate of a pending miss
+            slots.append((i, pos))
+        self.hits += hits
+        self.misses += len(miss_requests)
         if miss_requests:
             results = self.inner.evaluate_batch(miss_requests)
-            for key, pos in miss_pos.items():
-                res = results[pos]
+            for key, res in zip(miss_keys, results):
                 if res.ok or res.crashed:
-                    self._cache[key] = res
-            for i, key in enumerate(keys):
-                if out[i] is None:
-                    out[i] = results[miss_pos[key]]
+                    cache[key] = res
+            for i, pos in slots:
+                out[i] = results[pos]
         return out  # type: ignore[return-value]

@@ -1,0 +1,379 @@
+"""Multi-core evaluation: sharding request batches across a process pool.
+
+``ParallelBackend`` is a :class:`~repro.engine.core.Backend` decorator
+that splits an :class:`EvalRequest` batch into chunks, ships them to a
+persistent worker pool (:class:`repro.parallel.WorkerPool`), and
+reassembles the per-chunk results in request order.  Each worker builds
+its own inner backend once, from a declarative :class:`BackendSpec`, so
+the vector / cached / fault / retry stacks compose *underneath* the
+process boundary exactly as they do in a single process.
+
+Why this is allowed to exist: results are pure, content-keyed functions
+of (GPU, stencil, OC, setting, grid) -- the measurement noise is keyed
+by blake2b over the same identity, never by call order or process --
+so any partition of a batch across any number of workers reassembles to
+**bit-identical** results (times, crash classes, crash messages).  The
+determinism suite (``tests/engine/test_parallel.py``) verifies this
+against :class:`~repro.engine.scalar.ScalarBackend` for every worker
+count and chunk size it sweeps.
+
+Requests cross the process boundary through a compact picklable codec
+(:func:`encode_requests` / :func:`decode_requests`): stencils are
+deduplicated into a per-chunk table of offset lists, OCs travel by name
+and settings as layout-order tuples, so a chunk costs a few hundred
+bytes per distinct stencil plus ~30 bytes per point instead of a full
+object graph pickle.  Results come back as ``(time | error-class +
+message)`` rows (:func:`encode_results` / :func:`decode_results`).
+
+Composition caveat: fault injection draws are scoped per *work unit*
+(``begin_unit``).  ``ParallelBackend`` forwards the unit key with every
+chunk, so unit scoping is preserved **as long as one unit's requests
+are evaluated under one ``begin_unit`` epoch**, which is how the
+sharded campaign runner uses it (whole (gpu, stencil) units per
+worker).  Splitting a single faulted unit's batch across workers with
+nonzero fault rates would advance per-worker attempt counters
+independently; compose faults under ``ParallelBackend`` only through
+the campaign runner's unit-level sharding.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from .. import errors as _errors
+from ..errors import ReproError, TransientError, WorkerLostError
+from ..parallel import WorkerPool
+from ..stencil.stencil import Stencil
+from .core import BackendBase, BackendInfo, EvalRequest, EvalResult
+
+#: Default upper bound on requests per worker task; small enough to load
+#: balance a campaign-sized batch, large enough to amortize IPC and the
+#: vectorized backend's per-call overhead.
+DEFAULT_CHUNK_SIZE = 256
+
+
+# ----------------------------------------------------------------------
+# declarative backend construction (what a worker builds at startup)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BackendSpec:
+    """A picklable recipe for one worker's measurement stack.
+
+    ``build()`` composes, innermost first: the base backend
+    (``scalar`` / ``vector`` / ``cached``), then optional deterministic
+    fault injection, then an optional retry guard.  The recipe -- not a
+    live backend -- crosses the process boundary, so every worker owns
+    an isolated stack (its own caches, fault attempt counters, clock)
+    while all stacks are content-identical.
+    """
+
+    kind: str = "vector"
+    gpu: str = "V100"
+    sigma: float = 0.03
+    faults: "object | None" = None  # FaultConfig
+    fault_seed: int = 0
+    retry: "object | None" = None  # RetryPolicy
+
+    def __post_init__(self) -> None:
+        gpu = self.gpu
+        if not isinstance(gpu, str):  # accept a GPUSpec for convenience
+            object.__setattr__(self, "gpu", gpu.name)
+
+    def build(self, clock=None, health=None):
+        """Construct the backend stack this spec describes.
+
+        *clock* / *health* feed the retry layer when one is requested;
+        fresh worker-local instances are created when omitted (their
+        counters are shipped back to the parent as deltas).
+        """
+        from . import make_backend
+        from .fault import FaultBackend
+        from .retry import RetryBackend
+
+        be = make_backend(self.kind, self.gpu, sigma=self.sigma)
+        if self.faults is not None and getattr(self.faults, "enabled", False):
+            be = FaultBackend(be, self.faults, seed=self.fault_seed)
+        if self.retry is not None:
+            from ..profiling.runner import CampaignHealth, SimClock
+
+            be = RetryBackend(
+                be,
+                self.retry,
+                clock if clock is not None else SimClock(),
+                health if health is not None else CampaignHealth(),
+            )
+        return be
+
+
+# ----------------------------------------------------------------------
+# request / result codec
+# ----------------------------------------------------------------------
+def encode_requests(requests: Sequence[EvalRequest]) -> dict:
+    """Compact picklable form of a request batch.
+
+    Stencils are deduplicated (by object identity, then content) into a
+    table of ``(ndim, offsets, name)`` rows; each request becomes
+    ``(stencil_index, oc_name, setting_tuple, grid)``.
+    """
+    table: list[tuple] = []
+    index_by_id: dict[int, int] = {}
+    index_by_key: dict[tuple, int] = {}
+    rows: list[tuple] = []
+    for req in requests:
+        s = req.stencil
+        idx = index_by_id.get(id(s))
+        if idx is None:
+            key = s.cache_key()
+            idx = index_by_key.get(key)
+            if idx is None:
+                idx = len(table)
+                table.append((s.ndim, s.sorted_offsets, s.name))
+                index_by_key[key] = idx
+            index_by_id[id(s)] = idx
+        rows.append((idx, req.oc.name, req.setting.as_tuple(), req.grid))
+    return {"stencils": table, "requests": rows}
+
+
+def decode_requests(doc: dict) -> "list[EvalRequest]":
+    """Inverse of :func:`encode_requests`.
+
+    Reconstruction is content-exact: stencil offsets, OC identity (via
+    the canonical registry) and setting tuples reproduce the same cache
+    keys -- hence the same noise, crashes and times -- as the originals.
+    """
+    from ..optimizations.combos import OC_BY_NAME
+    from ..optimizations.params import PARAM_NAMES, ParamSetting
+
+    stencils = [
+        Stencil(ndim=ndim, offsets=frozenset(offs), name=name)
+        for ndim, offs, name in doc["stencils"]
+    ]
+    settings: dict[tuple, ParamSetting] = {}
+    out: list[EvalRequest] = []
+    for idx, oc_name, values, grid in doc["requests"]:
+        setting = settings.get(values)
+        if setting is None:
+            setting = ParamSetting(**dict(zip(PARAM_NAMES, values)))
+            settings[values] = setting
+        out.append(EvalRequest(stencils[idx], OC_BY_NAME[oc_name], setting, grid))
+    return out
+
+
+def encode_results(results: Sequence[EvalResult]) -> list:
+    """Picklable rows: ``(0, time_ms)`` or ``(1, error_class, args)``."""
+    rows: list[tuple] = []
+    for res in results:
+        if res.error is None:
+            rows.append((0, res.time_ms))
+        else:
+            rows.append((1, type(res.error).__name__, res.error.args))
+    return rows
+
+
+def decode_results(rows: list) -> "list[EvalResult]":
+    """Inverse of :func:`encode_results` (error classes by name)."""
+    out: list[EvalResult] = []
+    for row in rows:
+        if row[0] == 0:
+            out.append(EvalResult(time_ms=row[1]))
+        else:
+            cls = getattr(_errors, row[1], ReproError)
+            out.append(EvalResult(error=cls(*row[2])))
+    return out
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+_WORKER_BACKEND = None
+_WORKER_UNIT = None
+
+
+def _init_worker(spec: BackendSpec) -> None:
+    """Pool initializer: build this worker's backend stack once."""
+    global _WORKER_BACKEND, _WORKER_UNIT
+    _WORKER_BACKEND = spec.build()
+    _WORKER_UNIT = None
+
+
+def _health_counters(backend) -> "dict | None":
+    health = getattr(backend, "health", None)
+    if health is None:
+        return None
+    doc = health.to_dict()
+    doc.pop("quarantined", None)
+    return doc
+
+
+def _eval_chunk(payload: tuple) -> tuple:
+    """Evaluate one encoded chunk through the worker's backend.
+
+    Returns ``("ok", rows, health_delta)`` or ``("err", class, args,
+    health_delta)`` for exceptions the parent must re-raise (device
+    losses, exhausted retries).  Health deltas carry the worker-local
+    retry layer's counters back to the parent.
+    """
+    global _WORKER_UNIT
+    doc, unit_key = payload
+    backend = _WORKER_BACKEND
+    assert backend is not None, "worker used before initialization"
+    if unit_key is not None and unit_key != _WORKER_UNIT:
+        begin = getattr(backend, "begin_unit", None)
+        if begin is not None:
+            begin(unit_key)
+        _WORKER_UNIT = unit_key
+    before = _health_counters(backend)
+    try:
+        results = backend.evaluate_batch(decode_requests(doc))
+    except TransientError as e:
+        after = _health_counters(backend)
+        delta = _delta(before, after)
+        return ("err", type(e).__name__, e.args, delta)
+    after = _health_counters(backend)
+    return ("ok", encode_results(results), _delta(before, after))
+
+
+def _delta(before: "dict | None", after: "dict | None") -> "dict | None":
+    if before is None or after is None:
+        return None
+    return {k: after[k] - before[k] for k in after if after[k] != before[k]}
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+class ParallelBackend(BackendBase):
+    """Shard request batches across a persistent worker pool.
+
+    Parameters
+    ----------
+    spec:
+        The :class:`BackendSpec` every worker builds its inner stack
+        from (also built once in-parent for metadata and the
+        ``workers=1`` bypass).
+    workers:
+        Process count; ``1`` evaluates inline through the parent-built
+        stack (exactly the wrapped backend's behavior), ``None``/``0``
+        auto-sizes to the CPU count.
+    chunk_size:
+        Max requests per worker task.  ``None`` picks
+        ``min(DEFAULT_CHUNK_SIZE, ceil(n / workers))`` per batch.
+        Results are chunking-invariant; this knob trades IPC overhead
+        against load balance only.
+    context:
+        Pool context (``"spawn"`` default, ``"fork"`` for cheap startup
+        on POSIX).
+    health:
+        Optional health ledger (``CampaignHealth``-shaped); worker-side
+        retry counters and pool restarts are merged into it.
+    max_pool_restarts:
+        Times a batch survives a worker death (the pool is restarted and
+        the batch re-dispatched) before :class:`WorkerLostError`
+        propagates.
+    """
+
+    def __init__(
+        self,
+        spec: BackendSpec,
+        workers: "int | None" = None,
+        chunk_size: "int | None" = None,
+        context: str = "spawn",
+        health=None,
+        max_pool_restarts: int = 2,
+    ):
+        self.backend_spec = spec
+        self._local = spec.build()
+        self._pool = WorkerPool(
+            workers, context=context, initializer=_init_worker, initargs=(spec,)
+        )
+        self.workers = self._pool.workers
+        self.chunk_size = None if chunk_size is None else max(1, int(chunk_size))
+        self.health = health
+        self.max_pool_restarts = int(max_pool_restarts)
+        self.worker_deaths = 0
+        self._unit_key = None
+
+    # -- metadata ------------------------------------------------------
+    @property
+    def spec(self):
+        return self._local.spec
+
+    @property
+    def sigma(self) -> float:
+        return self._local.sigma
+
+    @property
+    def info(self) -> BackendInfo:
+        inner = self._local.info
+        return BackendInfo(
+            name=f"parallel({inner.name}, workers={self.workers})",
+            vectorized=inner.vectorized,
+            caching=inner.caching,
+            batch_limit=inner.batch_limit,
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        self._pool.close()
+
+    def __enter__(self) -> "ParallelBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- unit scoping --------------------------------------------------
+    def begin_unit(self, unit_key: object) -> None:
+        self._unit_key = unit_key
+        begin = getattr(self._local, "begin_unit", None)
+        if begin is not None:
+            begin(unit_key)
+
+    # -- evaluation ----------------------------------------------------
+    def _chunks(self, n: int) -> "list[tuple[int, int]]":
+        size = self.chunk_size
+        if size is None:
+            size = min(DEFAULT_CHUNK_SIZE, math.ceil(n / self.workers))
+        return [(i, min(i + size, n)) for i in range(0, n, size)]
+
+    def evaluate_batch(self, requests: Sequence[EvalRequest]) -> "list[EvalResult]":
+        n = len(requests)
+        if self.workers <= 1 or n <= 1:
+            return self._local.evaluate_batch(requests)
+        spans = self._chunks(n)
+        payloads = [
+            (encode_requests(requests[a:b]), self._unit_key) for a, b in spans
+        ]
+        for restart in range(self.max_pool_restarts + 1):
+            try:
+                replies = self._pool.map(_eval_chunk, payloads)
+            except WorkerLostError:
+                self.worker_deaths += 1
+                if self.health is not None:
+                    self.health.worker_deaths += 1
+                if restart == self.max_pool_restarts:
+                    raise
+                continue
+            break
+        out: list[EvalResult] = []
+        failure: "BaseException | None" = None
+        for reply in replies:
+            if reply[0] == "ok":
+                out.extend(decode_results(reply[1]))
+                delta = reply[2]
+            else:
+                # Deterministic propagation: the first failing chunk in
+                # request order raises, matching where the sequential
+                # path would have stopped.
+                cls = getattr(_errors, reply[1], TransientError)
+                if failure is None:
+                    failure = cls(*reply[2])
+                delta = reply[3]
+            if delta and self.health is not None:
+                for name, value in delta.items():
+                    setattr(self.health, name, getattr(self.health, name) + value)
+        if failure is not None:
+            raise failure
+        return out

@@ -71,6 +71,18 @@ class DeviceLostError(TransientError):
     """
 
 
+class WorkerLostError(TransientError):
+    """A pool worker process died while holding in-flight work.
+
+    Raised by :class:`repro.parallel.WorkerPool` when a worker is
+    killed, segfaults or is OOM-reaped mid-task.  Like the other
+    transient errors this is *retryable*: the sharded campaign runner
+    restarts the pool and re-dispatches the dead worker's remaining
+    units (recording the event in ``CampaignHealth.worker_deaths``)
+    instead of treating the campaign as crashed.
+    """
+
+
 class CampaignInterrupted(ReproError):
     """A profiling campaign stopped before completing all work units.
 

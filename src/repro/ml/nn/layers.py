@@ -128,16 +128,51 @@ class ConvND(Layer):
         self._cols: np.ndarray | None = None
         self._flat_in_size = in_channels * math.prod(self.spatial)
 
-    def _build_index(self) -> np.ndarray:
-        """``(n_out_positions, fan_in)`` flat indices into (C, *spatial)."""
+    def _spatial_strides(self) -> "tuple[list[int], int]":
         spatial_strides = []
         acc = 1
         for s in reversed(self.spatial):
             spatial_strides.append(acc)
             acc *= s
-        spatial_strides = list(reversed(spatial_strides))
-        chan_stride = math.prod(self.spatial)
+        return list(reversed(spatial_strides)), math.prod(self.spatial)
 
+    def _build_index(self) -> np.ndarray:
+        """``(n_out_positions, fan_in)`` flat indices into (C, *spatial).
+
+        A flat offset decomposes as position + channel + tap
+        contributions, so the table is an outer sum of three small
+        vectors instead of a positions x channels x taps Python loop
+        (for the 3-D tensors that loop dominates model construction).
+        Column order is channel-major then tap, matching
+        :meth:`_build_index_loop`.
+        """
+        strides, chan_stride = self._spatial_strides()
+        strides = np.asarray(strides, dtype=np.int64)
+        pos = np.stack(
+            np.meshgrid(
+                *(np.arange(o) for o in self.out_spatial), indexing="ij"
+            ),
+            axis=-1,
+        ).reshape(-1, len(self.spatial))
+        taps = np.stack(
+            np.meshgrid(
+                *(np.arange(self.kernel),) * len(self.spatial), indexing="ij"
+            ),
+            axis=-1,
+        ).reshape(-1, len(self.spatial))
+        pos_off = pos @ strides                                 # (P,)
+        tap_off = taps @ strides                                # (T,)
+        chan_off = np.arange(self.in_channels) * chan_stride    # (C,)
+        fan_off = (chan_off[:, None] + tap_off[None, :]).reshape(-1)
+        return (pos_off[:, None] + fan_off[None, :]).astype(np.int64)
+
+    def _build_index_loop(self) -> np.ndarray:
+        """Reference (per-element loop) index construction.
+
+        Kept as the semantic definition of the gather table; the parity
+        test asserts :meth:`_build_index` reproduces it exactly.
+        """
+        strides, chan_stride = self._spatial_strides()
         out_positions = list(product(*(range(o) for o in self.out_spatial)))
         taps = list(product(*(range(self.kernel) for _ in self.spatial)))
         idx = np.empty(
@@ -150,7 +185,7 @@ class ConvND(Layer):
                 for tap in taps:
                     off = base
                     for d in range(len(self.spatial)):
-                        off += (pos[d] + tap[d]) * spatial_strides[d]
+                        off += (pos[d] + tap[d]) * strides[d]
                     idx[p, col] = off
                     col += 1
         return idx

@@ -1,6 +1,6 @@
 """Profiling campaigns, random search, PCC merging and dataset assembly."""
 
-from .crossval import kfold_indices, stratified_kfold_indices
+from .crossval import cross_validate, kfold_indices, stratified_kfold_indices
 from .dataset import (
     ClassificationDataset,
     RegressionDataset,
@@ -39,6 +39,7 @@ __all__ = [
     "atomic_write_text",
     "build_classification_dataset",
     "build_regression_dataset",
+    "cross_validate",
     "kfold_indices",
     "load_campaign",
     "merge_ocs",

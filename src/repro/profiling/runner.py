@@ -28,6 +28,7 @@ instant.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -37,8 +38,10 @@ from ..errors import (
     CampaignInterrupted,
     DatasetError,
     TransientError,
+    WorkerLostError,
 )
 from ..gpu.faults import FaultConfig
+from ..parallel import WorkerPool, resolve_workers
 from ..gpu.specs import GPU_ORDER
 from ..optimizations.combos import ALL_OCS, OC
 from ..stencil.stencil import Stencil
@@ -84,13 +87,26 @@ class RetryPolicy:
     backoff_max_s: float = 5.0
 
 
+#: Integer counter fields of :class:`CampaignHealth` (everything but
+#: ``backoff_s`` and ``quarantined``); shared by serialization and the
+#: shard-merge path.
+_HEALTH_COUNTERS = (
+    "call_retries", "timeouts", "transients", "device_lost",
+    "corrupt_rejected", "point_retries", "units_completed",
+    "units_resumed", "worker_deaths",
+)
+
+
 @dataclass
 class CampaignHealth:
     """Counters describing how rough a campaign run was.
 
     ``quarantined`` lists ``{"gpu", "stencil_id", "oc", "reason"}``
     records for (gpu, stencil, OC) tuning points that exhausted their
-    retry budget and were recorded as crashed.
+    retry budget and were recorded as crashed.  ``worker_deaths`` counts
+    pool worker processes that died mid-shard; each death is absorbed by
+    re-dispatching the dead worker's remaining units, never by failing
+    the campaign.
     """
 
     call_retries: int = 0
@@ -101,35 +117,36 @@ class CampaignHealth:
     point_retries: int = 0
     units_completed: int = 0
     units_resumed: int = 0
+    worker_deaths: int = 0
     backoff_s: float = 0.0
     quarantined: list[dict] = field(default_factory=list)
 
     def to_dict(self) -> dict:
-        return {
-            "call_retries": self.call_retries,
-            "timeouts": self.timeouts,
-            "transients": self.transients,
-            "device_lost": self.device_lost,
-            "corrupt_rejected": self.corrupt_rejected,
-            "point_retries": self.point_retries,
-            "units_completed": self.units_completed,
-            "units_resumed": self.units_resumed,
-            "backoff_s": self.backoff_s,
-            "quarantined": list(self.quarantined),
-        }
+        doc = {name: getattr(self, name) for name in _HEALTH_COUNTERS}
+        doc["backoff_s"] = self.backoff_s
+        doc["quarantined"] = list(self.quarantined)
+        return doc
 
     @classmethod
     def from_dict(cls, doc: dict) -> "CampaignHealth":
         out = cls()
-        for name in (
-            "call_retries", "timeouts", "transients", "device_lost",
-            "corrupt_rejected", "point_retries", "units_completed",
-            "units_resumed",
-        ):
+        for name in _HEALTH_COUNTERS:
             setattr(out, name, int(doc.get(name, 0)))
         out.backoff_s = float(doc.get("backoff_s", 0.0))
         out.quarantined = list(doc.get("quarantined", []))
         return out
+
+    def merge_dict(self, doc: dict) -> None:
+        """Accumulate another run's counters (a shard's, typically).
+
+        ``units_completed`` / ``units_resumed`` are bookkept by whoever
+        coordinates units, so shard documents carry them as zero; the
+        remaining counters and the quarantine ledger add up.
+        """
+        for name in _HEALTH_COUNTERS:
+            setattr(self, name, getattr(self, name) + int(doc.get(name, 0)))
+        self.backoff_s += float(doc.get("backoff_s", 0.0))
+        self.quarantined.extend(doc.get("quarantined", []))
 
     def summary(self) -> str:
         """Multi-line health report for CLI output."""
@@ -143,6 +160,7 @@ class CampaignHealth:
             f"  retries: {self.call_retries} call-level, "
             f"{self.point_retries} point-level "
             f"({self.backoff_s:.2f} s simulated backoff)",
+            f"  worker deaths absorbed: {self.worker_deaths}",
             f"  quarantined points: {len(self.quarantined)}",
         ]
         for q in self.quarantined:
@@ -151,6 +169,92 @@ class CampaignHealth:
                 f"{q['oc']}: {q['reason']}"
             )
         return "\n".join(lines)
+
+
+def build_search(
+    backend_kind: str,
+    gpu: str,
+    sigma: float,
+    faults: FaultConfig,
+    seed: int,
+    n_settings: int,
+    policy: RetryPolicy,
+    clock: SimClock,
+    health: CampaignHealth,
+) -> RandomSearch:
+    """One GPU's measurement stack, wrapped in a :class:`RandomSearch`.
+
+    Module-level (rather than a runner method) so shard worker processes
+    build the *same* stack from the same code path: backend, then --
+    when injection is enabled -- faults wrapped *around* any cache
+    (transients must not be memoized) and the retry guard wrapped around
+    the faults.
+    """
+    be: object = make_backend(backend_kind, gpu, sigma=sigma)
+    if faults.enabled:
+        be = RetryBackend(
+            FaultBackend(be, faults, seed=seed), policy, clock, health
+        )
+    return RandomSearch(be, n_settings, seed)
+
+
+def run_unit(
+    search: RandomSearch,
+    gpu: str,
+    stencil: Stencil,
+    sid: int,
+    ocs: "tuple[OC, ...]",
+    policy: RetryPolicy,
+    clock: SimClock,
+    health: CampaignHealth,
+) -> StencilProfile:
+    """One (gpu, stencil) work unit, tuned OC by OC with retries.
+
+    A :class:`DeviceLostError` (or a call that exhausted its per-call
+    budget) voids the in-flight (stencil, OC) tuning point; the point
+    re-runs from scratch after a backoff -- its sampling stream is
+    re-derived from the seed, and the fault injector's advanced attempt
+    counters make the retry draw fresh fault decisions, so a recovered
+    point yields exactly the fault-free measurements.  A point that
+    keeps failing is quarantined and recorded as crashed (no
+    :class:`OCResult`, the same shape an all-crashing OC already
+    produces), never aborting the campaign.
+
+    Shared verbatim by the sequential runner and shard workers: both
+    call this function, so the parallel campaign is the sequential
+    campaign with only the unit-to-process mapping changed.
+    """
+    begin_unit = getattr(search.backend, "begin_unit", None)
+    if begin_unit is not None:
+        begin_unit((gpu, sid))
+    profile = StencilProfile(stencil=stencil, stencil_id=sid, gpu=gpu)
+    for oc in ocs:
+        delay = policy.backoff_base_s
+        for attempt in range(policy.max_point_retries + 1):
+            try:
+                result, ms = search.tune_oc(stencil, sid, oc)
+            except TransientError as e:
+                if attempt == policy.max_point_retries:
+                    health.quarantined.append(
+                        {
+                            "gpu": gpu,
+                            "stencil_id": sid,
+                            "oc": oc.name,
+                            "reason": str(e),
+                        }
+                    )
+                    break
+                health.point_retries += 1
+                clock.sleep(delay)
+                health.backoff_s += delay
+                delay = min(delay * policy.backoff_factor,
+                            policy.backoff_max_s)
+            else:
+                if result is not None:
+                    profile.oc_results[oc.name] = result
+                    profile.measurements.extend(ms)
+                break
+    return profile
 
 
 class CampaignRunner:
@@ -181,6 +285,30 @@ class CampaignRunner:
         Process at most this many units *in this run*, then checkpoint
         and raise :class:`CampaignInterrupted`.  Exists to exercise the
         kill--resume path deterministically.
+    workers:
+        Process count for sharded execution.  ``1`` (default) runs the
+        sequential path; ``>1`` partitions pending units into contiguous
+        shards executed by a :class:`~repro.parallel.WorkerPool`, with
+        bit-identical results for every worker count (units are
+        self-contained, see the module docstring).  ``0``/``None``
+        auto-sizes to the CPU count.  Not part of the checkpoint
+        identity: a campaign may be started with one worker count and
+        resumed with another.
+    chunk_size:
+        Units per shard; default splits pending work evenly across
+        workers.  Smaller shards checkpoint (and survive worker deaths)
+        at finer granularity at the cost of more dispatch overhead.
+    mp_context:
+        ``"spawn"`` (portable default) or ``"fork"`` (fast startup,
+        POSIX only).
+    max_shard_retries:
+        How many worker-death recovery rounds to attempt before giving
+        up and re-raising :class:`~repro.errors.WorkerLostError`.
+    worker_crash_units:
+        Test hook: shard workers call ``os._exit`` when about to process
+        one of these (gpu, stencil_id) units, simulating a killed
+        worker.  Fires only on first dispatch; recovery re-runs the unit
+        normally.
     """
 
     def __init__(
@@ -197,6 +325,11 @@ class CampaignRunner:
         checkpoint_path: "str | Path | None" = None,
         checkpoint_every: int = 16,
         max_units: "int | None" = None,
+        workers: "int | None" = 1,
+        chunk_size: "int | None" = None,
+        mp_context: str = "spawn",
+        max_shard_retries: int = 3,
+        worker_crash_units: "tuple | list | None" = None,
     ):
         if not stencils:
             raise DatasetError("empty stencil population")
@@ -219,6 +352,13 @@ class CampaignRunner:
         )
         self.checkpoint_every = int(checkpoint_every)
         self.max_units = max_units
+        self.workers = resolve_workers(workers)
+        self.chunk_size = chunk_size
+        self.mp_context = mp_context
+        self.max_shard_retries = int(max_shard_retries)
+        self.worker_crash_units = tuple(
+            (str(g), int(s)) for g, s in (worker_crash_units or ())
+        )
         self.clock = SimClock()
         self.health = CampaignHealth()
 
@@ -288,79 +428,249 @@ class CampaignRunner:
                 )
         n = sum(len(units) for units in completed.values())
         self.health.units_resumed += n
+        # A killed parallel run may have shard progress the main
+        # checkpoint never saw; fold it in (workers-count independent).
+        self._merge_shard_files(completed, resumed=True)
         return completed
+
+    # ------------------------------------------------------------------
+    # shard checkpoint files
+    # ------------------------------------------------------------------
+    def _shard_path(self, idx: int) -> "Path | None":
+        if self.checkpoint_path is None:
+            return None
+        return self.checkpoint_path.parent / (
+            f"{self.checkpoint_path.name}.shard-{idx:03d}"
+        )
+
+    def _shard_files(self) -> "list[Path]":
+        if self.checkpoint_path is None:
+            return []
+        return sorted(
+            self.checkpoint_path.parent.glob(
+                self.checkpoint_path.name + ".shard-*"
+            )
+        )
+
+    def _cleanup_shard_files(self) -> None:
+        for path in self._shard_files():
+            path.unlink(missing_ok=True)
+
+    def _merge_shard_files(
+        self,
+        completed: dict[str, dict[int, StencilProfile]],
+        resumed: bool = False,
+    ) -> int:
+        """Fold leftover per-shard checkpoints into *completed*.
+
+        Called on resume (a killed sharded run leaves shard files behind
+        -- they merge regardless of the current ``workers`` value) and
+        after a worker death (the dead pool's partial progress lives
+        only in shard files).  Shard documents from a *different*
+        campaign config are ignored, mirroring :meth:`_load_checkpoint`.
+        Health counters merge only when a file contributes at least one
+        new unit, so a shard already folded into the main checkpoint is
+        not double-counted.  Files are consumed (deleted) either way.
+        """
+        config = self._config_doc()
+        merged = 0
+        for path in self._shard_files():
+            try:
+                doc = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if doc.get("kind") != "campaign-shard" \
+                    or doc.get("config") != config:
+                continue
+            new_units = 0
+            for gpu, rows in doc.get("completed", {}).items():
+                if gpu not in completed:
+                    continue
+                for row in rows:
+                    sid = int(row["stencil_id"])
+                    if sid in completed[gpu]:
+                        continue
+                    completed[gpu][sid] = profile_from_row(
+                        row, self.stencils[sid], gpu
+                    )
+                    new_units += 1
+            if new_units:
+                self.health.merge_dict(doc.get("health", {}))
+                if resumed:
+                    self.health.units_resumed += new_units
+                else:
+                    self.health.units_completed += new_units
+                merged += new_units
+            path.unlink(missing_ok=True)
+        return merged
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def _make_search(self) -> "dict[str, RandomSearch]":
-        searches = {}
-        for gpu in self.gpus:
-            be: object = make_backend(self.backend, gpu, sigma=self.sigma)
-            if self.faults.enabled:
-                # Faults wrap *around* any cache (transients must not be
-                # memoized); the retry guard wraps around the faults.
-                be = RetryBackend(
-                    FaultBackend(be, self.faults, seed=self.seed),
-                    self.policy, self.clock, self.health,
-                )
-            searches[gpu] = RandomSearch(be, self.n_settings, self.seed)
-        return searches
+        return {
+            gpu: build_search(
+                self.backend, gpu, self.sigma, self.faults, self.seed,
+                self.n_settings, self.policy, self.clock, self.health,
+            )
+            for gpu in self.gpus
+        }
 
     def _run_unit(
         self, search: RandomSearch, gpu: str, stencil: Stencil, sid: int
     ) -> StencilProfile:
-        """One (gpu, stencil) work unit, tuned OC by OC with retries.
+        return run_unit(
+            search, gpu, stencil, sid, self.ocs,
+            self.policy, self.clock, self.health,
+        )
 
-        A :class:`DeviceLostError` (or a call that exhausted its per-call
-        budget) voids the in-flight (stencil, OC) tuning point; the point
-        re-runs from scratch after a backoff -- its sampling stream is
-        re-derived from the seed, and the fault injector's advanced
-        attempt counters make the retry draw fresh fault decisions, so a
-        recovered point yields exactly the fault-free measurements.  A
-        point that keeps failing is quarantined and recorded as crashed
-        (no :class:`OCResult`, the same shape an all-crashing OC already
-        produces), never aborting the campaign.
+    def _pending_units(
+        self, completed: dict[str, dict[int, StencilProfile]]
+    ) -> "list[tuple[str, int]]":
+        """Unprocessed (gpu, stencil_id) units in canonical gpu-major order."""
+        return [
+            (gpu, sid)
+            for gpu in self.gpus
+            for sid in range(len(self.stencils))
+            if sid not in completed[gpu]
+        ]
+
+    def _interrupt(
+        self, completed: dict[str, dict[int, StencilProfile]], processed: int
+    ) -> CampaignInterrupted:
+        self._write_checkpoint(completed)
+        self._cleanup_shard_files()
+        done = sum(len(u) for u in completed.values())
+        total = len(self.gpus) * len(self.stencils)
+        return CampaignInterrupted(
+            f"stopped after {processed} units this run "
+            f"({done}/{total} total); resume from {self.checkpoint_path}"
+        )
+
+    def _run_sequential(
+        self, completed: dict[str, dict[int, StencilProfile]]
+    ) -> None:
+        searches = self._make_search()
+        processed = 0
+        since_checkpoint = 0
+        for gpu, sid in self._pending_units(completed):
+            if self.max_units is not None and processed >= self.max_units:
+                raise self._interrupt(completed, processed)
+            completed[gpu][sid] = self._run_unit(
+                searches[gpu], gpu, self.stencils[sid], sid
+            )
+            self.health.units_completed += 1
+            processed += 1
+            since_checkpoint += 1
+            if since_checkpoint >= self.checkpoint_every:
+                self._write_checkpoint(completed)
+                since_checkpoint = 0
+
+    def _quarantine_key(self, q: dict) -> tuple:
+        gpu = q.get("gpu")
+        gpu_idx = self.gpus.index(gpu) if gpu in self.gpus else len(self.gpus)
+        oc_idx = next(
+            (i for i, oc in enumerate(self.ocs) if oc.name == q.get("oc")),
+            len(self.ocs),
+        )
+        return (gpu_idx, int(q.get("stencil_id", -1)), oc_idx)
+
+    def _merge_shard_result(
+        self, completed: dict[str, dict[int, StencilProfile]], result: dict
+    ) -> int:
+        n = 0
+        for gpu, rows in result.get("completed", {}).items():
+            for row in rows:
+                sid = int(row["stencil_id"])
+                if sid not in completed[gpu]:
+                    completed[gpu][sid] = profile_from_row(
+                        row, self.stencils[sid], gpu
+                    )
+                    n += 1
+        self.health.merge_dict(result.get("health", {}))
+        self.health.units_completed += n
+        return n
+
+    def _run_sharded(
+        self, completed: dict[str, dict[int, StencilProfile]]
+    ) -> None:
+        """Execute pending units as contiguous shards on a worker pool.
+
+        Each shard runs :func:`run_unit` over its units with a fresh
+        clock/health/search stack -- units are self-contained, so the
+        merged result is bit-identical to the sequential run for any
+        worker count, chunk size or completion order.  Worker deaths are
+        absorbed: partial progress is recovered from per-shard
+        checkpoint files, the pool restarts, and the remaining units are
+        re-dispatched (bounded by ``max_shard_retries``).
         """
-        begin_unit = getattr(search.backend, "begin_unit", None)
-        if begin_unit is not None:
-            begin_unit((gpu, sid))
-        profile = StencilProfile(stencil=stencil, stencil_id=sid, gpu=gpu)
-        for oc in self.ocs:
-            delay = self.policy.backoff_base_s
-            for attempt in range(self.policy.max_point_retries + 1):
+        from .shard import _init_shard_worker, run_shard
+
+        work = self._pending_units(completed)
+        deferred = 0
+        if self.max_units is not None and len(work) > self.max_units:
+            deferred = len(work) - self.max_units
+            work = work[: self.max_units]
+        processed_cap = len(work)
+        crash = set(self.worker_crash_units)
+        pool = WorkerPool(
+            self.workers,
+            context=self.mp_context,
+            initializer=_init_shard_worker,
+            initargs=(self._config_doc(), self.policy, self.checkpoint_every),
+        )
+        deaths = 0
+        try:
+            while work:
+                size = self.chunk_size or max(
+                    1, math.ceil(len(work) / self.workers)
+                )
+                tasks = []
+                for i, lo in enumerate(range(0, len(work), size)):
+                    shard = work[lo:lo + size]
+                    hook = tuple(u for u in shard if u in crash)
+                    path = self._shard_path(i)
+                    tasks.append(
+                        (i, shard, hook, str(path) if path else None)
+                    )
                 try:
-                    result, ms = search.tune_oc(stencil, sid, oc)
-                except TransientError as e:
-                    if attempt == self.policy.max_point_retries:
-                        self.health.quarantined.append(
-                            {
-                                "gpu": gpu,
-                                "stencil_id": sid,
-                                "oc": oc.name,
-                                "reason": str(e),
-                            }
-                        )
-                        break
-                    self.health.point_retries += 1
-                    self.clock.sleep(delay)
-                    self.health.backoff_s += delay
-                    delay = min(delay * self.policy.backoff_factor,
-                                self.policy.backoff_max_s)
-                else:
-                    if result is not None:
-                        profile.oc_results[oc.name] = result
-                        profile.measurements.extend(ms)
-                    break
-        return profile
+                    for _, result in pool.map_unordered(run_shard, tasks):
+                        self._merge_shard_result(completed, result)
+                        self._write_checkpoint(completed)
+                        path = self._shard_path(result["shard"])
+                        if path is not None:
+                            path.unlink(missing_ok=True)
+                except WorkerLostError:
+                    self.health.worker_deaths += 1
+                    deaths += 1
+                    crash = set()  # the crash hook fires once
+                    self._merge_shard_files(completed)
+                    self._write_checkpoint(completed)
+                    if deaths > self.max_shard_retries:
+                        raise
+                    work = [
+                        (g, s) for g, s in work if s not in completed[g]
+                    ]
+                    continue
+                work = []
+        finally:
+            pool.close()
+        # Shard completion order is nondeterministic; restore the
+        # sequential runner's gpu-major, stencil, OC quarantine order so
+        # health reports compare equal across worker counts.
+        self.health.quarantined.sort(key=self._quarantine_key)
+        if deferred:
+            raise self._interrupt(completed, processed_cap)
 
     def run(self, resume: bool = False) -> ProfileCampaign:
         """Execute the campaign, optionally resuming from the checkpoint.
 
         With ``resume=True`` and an existing checkpoint file, completed
-        units are loaded and skipped; a missing checkpoint simply starts
-        fresh.  Raises :class:`CampaignInterrupted` when ``max_units``
-        is exhausted before the campaign completes.
+        units are loaded and skipped (leftover per-shard checkpoints
+        from a killed parallel run merge in too, regardless of the
+        current worker count); a missing checkpoint simply starts fresh.
+        Raises :class:`CampaignInterrupted` when ``max_units`` is
+        exhausted before the campaign completes.
         """
         completed: dict[str, dict[int, StencilProfile]]
         if resume and self.checkpoint_path is not None \
@@ -368,32 +678,17 @@ class CampaignRunner:
             completed = self._load_checkpoint()
         else:
             completed = {gpu: {} for gpu in self.gpus}
+            if resume and self.checkpoint_path is not None:
+                # No main checkpoint, but a killed first parallel run may
+                # have left shard files worth resuming from.
+                self._merge_shard_files(completed, resumed=True)
+            else:
+                self._cleanup_shard_files()
 
-        searches = self._make_search()
-        processed = 0
-        since_checkpoint = 0
-        for gpu in self.gpus:
-            for sid, stencil in enumerate(self.stencils):
-                if sid in completed[gpu]:
-                    continue
-                if self.max_units is not None and processed >= self.max_units:
-                    self._write_checkpoint(completed)
-                    done = sum(len(u) for u in completed.values())
-                    total = len(self.gpus) * len(self.stencils)
-                    raise CampaignInterrupted(
-                        f"stopped after {processed} units this run "
-                        f"({done}/{total} total); resume from "
-                        f"{self.checkpoint_path}"
-                    )
-                completed[gpu][sid] = self._run_unit(
-                    searches[gpu], gpu, stencil, sid
-                )
-                self.health.units_completed += 1
-                processed += 1
-                since_checkpoint += 1
-                if since_checkpoint >= self.checkpoint_every:
-                    self._write_checkpoint(completed)
-                    since_checkpoint = 0
+        if self.workers > 1:
+            self._run_sharded(completed)
+        else:
+            self._run_sequential(completed)
 
         campaign = ProfileCampaign(
             stencils=self.stencils,
@@ -407,4 +702,5 @@ class CampaignRunner:
                 completed[gpu][sid] for sid in range(len(self.stencils))
             ]
         self._write_checkpoint(completed)
+        self._cleanup_shard_files()
         return campaign

@@ -1,0 +1,119 @@
+"""ParallelBackend: codec round trips and bit-identical sharded results.
+
+The determinism claim under test: results are pure content-keyed
+functions of (GPU, stencil, OC, setting, grid), so sharding a batch
+across any number of workers with any chunk size reassembles to exactly
+the wrapped backend's output -- times, crash classes and crash messages
+bit for bit.
+"""
+
+import pytest
+
+from repro.engine import BackendSpec, ParallelBackend, make_backend
+from repro.engine.bench import make_workload
+from repro.engine.parallel import (
+    decode_requests,
+    decode_results,
+    encode_requests,
+    encode_results,
+)
+from repro.errors import KernelLaunchError
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload(ndim=2, n_stencils=2, settings_per_oc=3, seed=5)
+
+
+def _digest(results):
+    """Comparable identity of a result list (times + error identity)."""
+    return tuple(
+        (r.time_ms, type(r.error).__name__, r.error.args)
+        if r.error is not None
+        else (r.time_ms, None, None)
+        for r in results
+    )
+
+
+class TestCodec:
+    def test_request_round_trip_preserves_identity(self, workload):
+        decoded = decode_requests(encode_requests(workload))
+        assert len(decoded) == len(workload)
+        for a, b in zip(workload, decoded):
+            assert a.key() == b.key()
+            assert a.oc is b.oc  # canonical registry object
+
+    def test_stencil_table_deduplicates(self, workload):
+        doc = encode_requests(workload)
+        names = [row[2] for row in doc["stencils"]]
+        assert len(names) == len(set(names)) == 2
+
+    def test_result_round_trip(self, workload):
+        backend = make_backend("vector", "V100")
+        results = backend.evaluate_batch(workload[:64])
+        assert any(r.crashed for r in results), "workload should crash some"
+        decoded = decode_results(encode_results(results))
+        assert _digest(decoded) == _digest(results)
+        crash = next(r for r in decoded if r.crashed)
+        assert isinstance(crash.error, KernelLaunchError)
+
+
+class TestBitIdenticalSharding:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("chunk_size", [None, 7])
+    def test_parallel_scalar_matches_scalar(self, workload, workers,
+                                            chunk_size):
+        reference = make_backend("scalar", "V100").evaluate_batch(workload)
+        with ParallelBackend(
+            BackendSpec(kind="scalar", gpu="V100"),
+            workers=workers,
+            chunk_size=chunk_size,
+            context="fork",
+        ) as backend:
+            sharded = backend.evaluate_batch(workload)
+        assert _digest(sharded) == _digest(reference)
+
+    @pytest.mark.parametrize("kind", ["vector", "cached"])
+    def test_parallel_inner_matches_single_process_inner(self, workload, kind):
+        reference = make_backend(kind, "A100").evaluate_batch(workload)
+        with ParallelBackend(
+            BackendSpec(kind=kind, gpu="A100"), workers=2, context="fork"
+        ) as backend:
+            sharded = backend.evaluate_batch(workload)
+        assert _digest(sharded) == _digest(reference)
+
+    def test_single_worker_bypasses_pool(self, workload):
+        backend = ParallelBackend(BackendSpec(), workers=1)
+        try:
+            results = backend.evaluate_batch(workload[:8])
+            assert len(results) == 8
+            assert backend._pool._executor is None
+        finally:
+            backend.close()
+
+
+class TestMetadata:
+    def test_info_names_inner_and_workers(self):
+        backend = ParallelBackend(
+            BackendSpec(kind="vector", gpu="V100"), workers=3
+        )
+        try:
+            info = backend.info
+            assert info.name == "parallel(vector, workers=3)"
+            assert info.vectorized
+        finally:
+            backend.close()
+
+    def test_make_backend_kind(self):
+        backend = make_backend("parallel", "P100", workers=2)
+        try:
+            assert backend.spec.name == "P100"
+            assert backend.workers == 2
+        finally:
+            backend.close()
+
+    def test_spec_accepts_gpuspec_object(self):
+        from repro.gpu.specs import GPUS
+
+        spec = BackendSpec(gpu=GPUS["V100"])
+        assert spec.gpu == "V100"

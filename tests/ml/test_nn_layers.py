@@ -111,6 +111,21 @@ class TestConvND:
                 manual[i, j] = (x[0, 0, i : i + 3, j : j + 3] * K).sum()
         assert np.allclose(out[0, 0], manual + conv.b[0])
 
+    @pytest.mark.parametrize(
+        "channels,spatial,kernel",
+        [
+            (1, (9, 9), 3),
+            (4, (9, 9), 3),
+            (1, (9, 9, 9), 3),
+            (3, (9, 9, 9), 3),
+            (2, (7, 5, 6), 2),
+        ],
+    )
+    def test_vectorized_index_matches_loop(self, channels, spatial, kernel):
+        """The outer-sum gather table equals the per-element reference."""
+        conv = ConvND(channels, 2, spatial, kernel, np.random.default_rng(1))
+        assert np.array_equal(conv._index, conv._build_index_loop())
+
     def test_kernel_too_large(self):
         with pytest.raises(ModelError):
             ConvND(1, 1, (2, 2), 3, np.random.default_rng(0))

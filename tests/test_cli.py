@@ -59,6 +59,40 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "predicted" in out and "simulated" in out
 
+    def test_profile_with_workers_matches_sequential(self, tmp_path, capsys):
+        seq, par = tmp_path / "seq.json", tmp_path / "par.json"
+        args = [
+            "profile", "--ndim", "2", "--count", "4", "--gpus", "V100",
+            "--n-settings", "2", "--seed", "4",
+        ]
+        assert main(args + ["-o", str(seq)]) == 0
+        assert main(args + ["-o", str(par), "--workers", "2"]) == 0
+        capsys.readouterr()
+        import json
+
+        a, b = json.loads(seq.read_text()), json.loads(par.read_text())
+        assert a == b
+
+    def test_evaluate_select(self, tmp_path, capsys):
+        campaign = tmp_path / "c.json"
+        main(
+            [
+                "profile", "--ndim", "2", "--count", "8", "--gpus", "V100",
+                "--n-settings", "3", "-o", str(campaign), "--seed", "5",
+            ]
+        )
+        capsys.readouterr()
+        rc = main(
+            [
+                "evaluate", "--campaign", str(campaign), "--gpu", "V100",
+                "--folds", "3", "--seed", "5",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "select/gbdt on V100" in out
+        assert "mean accuracy:" in out
+
     def test_predict_unknown_oc(self, tmp_path, capsys):
         campaign = tmp_path / "c.json"
         main(

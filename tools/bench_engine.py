@@ -1,18 +1,21 @@
 """Engine throughput recorder (developer / CI tool).
 
 Measures points/second through every backend kind on the representative
-campaign slice (see ``repro.engine.bench``) and writes the result as
-JSON -- ``BENCH_engine.json`` at the repo root by convention, so the
-perf trajectory of the hot path is machine-readable across PRs.
+campaign slice (see ``repro.engine.bench``), sweeps worker counts for
+the parallel backend and the sharded campaign runner, and writes the
+results as JSON -- ``BENCH_engine.json`` and ``BENCH_parallel.json`` at
+the repo root by convention, so the perf trajectory of the hot path is
+machine-readable across PRs.
 
 Run: python tools/bench_engine.py [--quick] [--gpu NAME] [-o PATH]
+         [--parallel-output PATH] [--skip-parallel] [--context CTX]
 """
 
 import argparse
 import json
 import sys
 
-from repro.engine.bench import run_throughput_bench
+from repro.engine.bench import run_parallel_bench, run_throughput_bench
 
 
 def main(argv=None) -> int:
@@ -27,7 +30,23 @@ def main(argv=None) -> int:
         "-o",
         "--output",
         default="BENCH_engine.json",
-        help="where to write the JSON document",
+        help="where to write the single-process JSON document",
+    )
+    ap.add_argument(
+        "--parallel-output",
+        default="BENCH_parallel.json",
+        help="where to write the worker-sweep JSON document",
+    )
+    ap.add_argument(
+        "--skip-parallel",
+        action="store_true",
+        help="only run the single-process backend bench",
+    )
+    ap.add_argument(
+        "--context",
+        default="fork" if sys.platform.startswith("linux") else "spawn",
+        choices=("fork", "spawn"),
+        help="multiprocessing start method for the worker sweep",
     )
     args = ap.parse_args(argv)
 
@@ -48,6 +67,33 @@ def main(argv=None) -> int:
         f"({replay['speedup_vs_scalar']:.2f}x scalar)"
     )
     print(f"wrote {args.output}")
+    if args.skip_parallel:
+        return 0
+
+    par = run_parallel_bench(
+        quick=args.quick, gpu=args.gpu, context=args.context
+    )
+    with open(args.parallel_output, "w") as f:
+        json.dump(par, f, indent=2)
+        f.write("\n")
+
+    print(
+        f"worker sweep ({par['gpu']}, {par['cpu_count']} CPUs, "
+        f"{par['n_points']} points, {args.context})"
+    )
+    for workers, row in par["backend_sweep"].items():
+        print(
+            f"  backend  workers={workers}  "
+            f"{row['points_per_sec']:12,.0f} points/sec "
+            f"({row['speedup_vs_1']:.2f}x workers=1)"
+        )
+    for workers, row in par["campaign"]["sweep"].items():
+        print(
+            f"  campaign workers={workers}  "
+            f"{row['measurements_per_sec']:12,.1f} measurements/sec "
+            f"({row['speedup_vs_1']:.2f}x workers=1)"
+        )
+    print(f"wrote {args.parallel_output}")
     return 0
 
 
