@@ -1,0 +1,88 @@
+"""Serving throughput: micro-batched vs per-request model calls.
+
+The prediction service exists so that trained StencilMART models answer
+online queries without retraining; its perf claim is that coalescing
+concurrent requests into vectorized model calls is worth the plumbing.
+This bench replays one request stream through the per-request reference
+path, the chunked batch path, and the real thread-fed micro-batcher
+(see ``repro.serve.bench``), and asserts the acceptance bar from
+ISSUE 5: batched throughput >= 3x per-request on both endpoints, with
+p50/p95/p99 latencies recorded for the JSON trail.
+"""
+
+from repro.serve.bench import run_serve_bench
+
+from conftest import print_table
+
+
+def test_serve_throughput(benchmark):
+    doc = run_serve_bench()
+
+    rows = []
+    for name in ("select", "predict"):
+        ep = doc[name]
+        lat = ep["per_request"]["latency_ms"]
+        rows.append(
+            [
+                f"{name} per-request",
+                ep["per_request"]["seconds"],
+                ep["per_request"]["requests_per_sec"],
+                1.0,
+                lat["p50_ms"],
+                lat["p95_ms"],
+                lat["p99_ms"],
+            ]
+        )
+        rows.append(
+            [
+                f"{name} batched",
+                ep["batched"]["seconds"],
+                ep["batched"]["requests_per_sec"],
+                ep["batched_speedup"],
+                "-",
+                "-",
+                "-",
+            ]
+        )
+    con = doc["concurrent_select"]
+    lat = con["latency_ms"]
+    rows.append(
+        [
+            f"select x{con['threads']} threads",
+            con["seconds"],
+            con["requests_per_sec"],
+            "-",
+            lat["p50_ms"],
+            lat["p95_ms"],
+            lat["p99_ms"],
+        ]
+    )
+    print_table(
+        f"Serve throughput ({doc['n_requests']} requests, "
+        f"max_batch={doc['max_batch']})",
+        ["path", "seconds", "req/sec", "speedup", "p50 ms", "p95 ms", "p99 ms"],
+        rows,
+    )
+
+    # The serving acceptance bar (ISSUE 5): vectorized micro-batches
+    # clear >=3x the per-request reference on both endpoints.
+    assert doc["select"]["batched_speedup"] >= 3.0
+    assert doc["predict"]["batched_speedup"] >= 3.0
+    # The real micro-batcher must actually coalesce under threaded load
+    # (mean batch > 1) and answer every request exactly once.
+    assert con["batches"]["mean_size"] > 1.0
+    assert con["batches"]["requests"] == doc["n_requests"]
+    # Latency percentiles are recorded and ordered.
+    for ep in (doc["select"]["per_request"], con):
+        p = ep["latency_ms"]
+        assert 0 < p["p50_ms"] <= p["p95_ms"] <= p["p99_ms"]
+
+    # Representative timing unit: one max-batch select_many call on a
+    # warm service.
+    from repro.serve.bench import _Harness, _make_requests, _train_artifacts
+
+    sel, pred = _train_artifacts(quick=True, seed=0)
+    selects, _ = _make_requests(quick=True, seed=0)
+    svc = _Harness(sel, pred, 64).service()
+    svc.select_many(selects)  # warm cache before timing
+    benchmark(svc.select_many, selects)

@@ -9,12 +9,20 @@ Subcommands mirror the pipeline stages::
         --oc ST_RT --gpu A100                              # time prediction
     python -m repro codegen  --stencil star2d2r --oc ST_RT  # emit CUDA
     python -m repro lint                                   # verify kernels
+    python -m repro train --campaign c.json --gpu V100 \
+        --registry models/                                 # persist a model
+    python -m repro serve --registry models/ --port 8340   # HTTP service
+    python -m repro query --stencil star2d2r --gpu V100    # ask the service
 
 ``generate`` and ``profile`` run standalone; ``select`` and ``predict``
-train on a saved campaign so repeated queries do not re-simulate.
-``codegen`` prints (or writes) generated CUDA sources and ``lint`` runs
-the static analyzer over the generated sweep, exiting nonzero on any
-error-severity finding.
+train on a saved campaign so repeated queries do not re-simulate, or
+reuse a trained artifact via ``--model``.  ``codegen`` prints (or
+writes) generated CUDA sources and ``lint`` runs the static analyzer
+over the generated sweep, exiting nonzero on any error-severity
+finding.  ``train`` turns a campaign into a checksummed model artifact
+(written to a file and/or published into a registry), ``serve`` exposes
+artifacts over a stdlib HTTP endpoint with micro-batching and
+telemetry, and ``query`` is the matching client.
 """
 
 from __future__ import annotations
@@ -115,7 +123,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
 
     s = sub.add_parser("select", help="predict the best OC for a stencil")
-    s.add_argument("--campaign", required=True, help="campaign JSON path")
+    s.add_argument(
+        "--campaign",
+        help="campaign JSON path (optional when --model is given)",
+    )
     s.add_argument("--stencil", required=True, help="named stencil, e.g. star2d2r")
     s.add_argument("--gpu", required=True, choices=list(GPU_ORDER))
     s.add_argument("--method", default="gbdt", choices=("gbdt", "convnet", "fcnet"))
@@ -127,13 +138,22 @@ def build_parser() -> argparse.ArgumentParser:
         "(0 = one per CPU; currently the GBDT classifier fits its "
         "per-class trees in parallel, other methods train sequentially)",
     )
+    s.add_argument(
+        "--model",
+        help="selector artifact JSON (see `repro train`); skips retraining "
+        "and uses the stored model (its method/GPU must match)",
+    )
     _add_common(s)
 
     e = sub.add_parser(
         "evaluate",
         help="cross-validate selection/prediction mechanisms (Figs. 9, 12)",
     )
-    e.add_argument("--campaign", required=True, help="campaign JSON path")
+    e.add_argument(
+        "--campaign",
+        help="campaign JSON path; omit to profile on the fly "
+        "(requires --ndim, honors --backend/--workers/--chunk-size)",
+    )
     e.add_argument(
         "--task",
         default="select",
@@ -150,20 +170,56 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--gpu", required=True, choices=list(GPU_ORDER))
     e.add_argument("--folds", type=int, default=5)
     e.add_argument(
+        "--ndim", type=int, choices=(2, 3),
+        help="stencil dimensionality for on-the-fly profiling "
+        "(required without --campaign)",
+    )
+    e.add_argument(
+        "--count", type=int, default=20,
+        help="stencil population size for on-the-fly profiling",
+    )
+    e.add_argument(
+        "--n-settings", type=int, default=6,
+        help="random settings per OC for on-the-fly profiling",
+    )
+    e.add_argument(
+        "--backend",
+        default="scalar",
+        choices=("scalar", "vector", "cached", "parallel"),
+        help="measurement backend for on-the-fly profiling (same choices "
+        "and semantics as `repro profile`)",
+    )
+    e.add_argument(
         "--workers",
         type=int,
         default=1,
-        help="fit cross-validation folds on this many worker processes "
-        "(0 = one per CPU; fold results are identical for any count)",
+        help="worker processes: shards on-the-fly profiling and fits "
+        "cross-validation folds concurrently (0 = one per CPU; results "
+        "are identical for any count)",
+    )
+    e.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="units per shard for on-the-fly parallel profiling "
+        "(default: split pending work evenly across workers)",
     )
     _add_common(e)
 
     t = sub.add_parser("predict", help="predict execution time cross-architecture")
-    t.add_argument("--campaign", required=True)
+    t.add_argument(
+        "--campaign",
+        help="campaign JSON path to train on (optional with --model)",
+    )
     t.add_argument("--stencil", required=True)
     t.add_argument("--oc", required=True, help="OC name, e.g. ST_RT")
     t.add_argument("--gpu", required=True, choices=list(GPU_ORDER))
     t.add_argument("--method", default="gbr", choices=("gbr", "mlp", "convmlp"))
+    t.add_argument(
+        "--model",
+        help="predictor artifact JSON (see `repro train`); skips "
+        "retraining and uses the stored model",
+    )
     _add_common(t)
 
     c = sub.add_parser("codegen", help="emit CUDA source for a kernel variant")
@@ -230,14 +286,123 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(lint)
 
+    tr = sub.add_parser(
+        "train",
+        help="train a model from a campaign and save it as a serve artifact",
+    )
+    tr.add_argument("--campaign", required=True, help="campaign JSON path")
+    tr.add_argument(
+        "--task",
+        default="select",
+        choices=("select", "predict"),
+        help="train an OC selector (per GPU) or a cross-architecture "
+        "time predictor",
+    )
+    tr.add_argument(
+        "--method",
+        default=None,
+        help="gbdt/convnet/fcnet for select, gbr/mlp/convmlp for predict "
+        "(defaults: gbdt / gbr)",
+    )
+    tr.add_argument(
+        "--gpu",
+        choices=list(GPU_ORDER),
+        help="target GPU (required for --task select)",
+    )
+    tr.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallelize selector training (0 = one per CPU; reaches "
+        "methods that fit in parallel, currently GBDT)",
+    )
+    tr.add_argument(
+        "--max-rows",
+        type=int,
+        default=None,
+        help="deterministically subsample regression rows (predict only)",
+    )
+    tr.add_argument("--out", help="write the artifact JSON to this path")
+    tr.add_argument(
+        "--registry",
+        help="publish the artifact into this registry directory as the "
+        "next version (and move its LATEST tag)",
+    )
+    tr.add_argument(
+        "--name",
+        help="registry name to publish under (default: derived, e.g. "
+        "select-gbdt-V100-2d)",
+    )
+    _add_common(tr)
+
+    sv = sub.add_parser(
+        "serve", help="serve model artifacts over HTTP (stdlib only)"
+    )
+    sv.add_argument(
+        "--registry",
+        help="registry directory; the latest version of every artifact "
+        "is loaded (unreadable ones degrade to the heuristic fallback)",
+    )
+    sv.add_argument(
+        "--model",
+        action="append",
+        default=[],
+        dest="models",
+        metavar="PATH",
+        help="artifact JSON to load directly (repeatable; later installs "
+        "win per (kind, ndim, GPU) slot)",
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=8340, help="0 = ephemeral")
+    sv.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="micro-batch size cap for coalescing concurrent requests",
+    )
+    sv.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="how long a request waits for batch-mates before running",
+    )
+    sv.add_argument(
+        "-v", "--verbose", action="store_true", help="log every request"
+    )
+    _add_common(sv)
+
+    q = sub.add_parser("query", help="query a running serve endpoint")
+    q.add_argument(
+        "--url", default="http://127.0.0.1:8340", help="serve base URL"
+    )
+    q.add_argument(
+        "--stats", action="store_true", help="print /stats JSON and exit"
+    )
+    q.add_argument("--stencil", help="named stencil, e.g. star2d2r")
+    q.add_argument("--gpu", choices=list(GPU_ORDER))
+    q.add_argument(
+        "--oc",
+        help="ask /v1/predict for this OC's execution time instead of "
+        "/v1/select",
+    )
+    q.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        dest="overrides",
+        help="parameter setting for --oc predictions (repeatable)",
+    )
+    _add_common(q)
+
     return parser
 
 
-def _load_mart_from_campaign(path: str, seed: int):
+def _mart_from_campaign(campaign, seed: int):
+    """Wrap an in-memory campaign in a ready-to-train StencilMART."""
     from .core import StencilMART
-    from .profiling import load_campaign, merge_ocs
+    from .profiling import merge_ocs
 
-    campaign = load_campaign(path)
     mart = StencilMART(
         ndim=campaign.ndim,
         gpus=campaign.gpus,
@@ -247,6 +412,12 @@ def _load_mart_from_campaign(path: str, seed: int):
     mart.campaign = campaign
     mart.grouping = merge_ocs(campaign, n_classes=mart.n_classes)
     return mart
+
+
+def _load_mart_from_campaign(path: str, seed: int):
+    from .profiling import load_campaign
+
+    return _mart_from_campaign(load_campaign(path), seed)
 
 
 def cmd_generate(args) -> int:
@@ -312,7 +483,29 @@ def cmd_profile(args) -> int:
 
 
 def cmd_evaluate(args) -> int:
-    mart = _load_mart_from_campaign(args.campaign, args.seed)
+    if args.campaign:
+        mart = _load_mart_from_campaign(args.campaign, args.seed)
+    else:
+        if args.ndim is None:
+            print(
+                "evaluate: --ndim is required when no --campaign is given",
+                file=sys.stderr,
+            )
+            return 2
+        from .profiling import CampaignRunner
+        from .stencil import generate_population
+
+        pop = generate_population(args.ndim, args.count, seed=args.seed)
+        runner = CampaignRunner(
+            pop,
+            gpus=(args.gpu,),
+            n_settings=args.n_settings,
+            seed=args.seed,
+            backend=args.backend,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+        )
+        mart = _mart_from_campaign(runner.run(), args.seed)
     if args.task == "select":
         method = args.method or "gbdt"
         res = mart.evaluate_selector(
@@ -334,15 +527,63 @@ def cmd_evaluate(args) -> int:
 def cmd_select(args) -> int:
     from .stencil import get
 
-    mart = _load_mart_from_campaign(args.campaign, args.seed)
-    mart.fit_selector(args.method, args.gpu, workers=args.workers)
+    art = None
+    if args.model:
+        art = _load_cli_artifact(args.model, "selector")
+        if art is None:
+            return 2
+    if args.campaign:
+        mart = _load_mart_from_campaign(args.campaign, args.seed)
+    elif art is not None:
+        from .core import StencilMART
+
+        mart = StencilMART(
+            ndim=art.ndim, max_order=art.max_order, seed=args.seed
+        )
+    else:
+        print("select: need --campaign and/or --model", file=sys.stderr)
+        return 2
+    method = args.method
+    if art is not None:
+        if art.gpu != args.gpu or art.ndim != mart.ndim:
+            print(
+                f"artifact {args.model} was trained for "
+                f"{art.ndim}d/{art.gpu}, not {mart.ndim}d/{args.gpu}",
+                file=sys.stderr,
+            )
+            return 2
+        method = art.method
+        mart.install_selector(
+            method, args.gpu, art.model, representatives=art.representatives
+        )
+    else:
+        mart.fit_selector(method, args.gpu, workers=args.workers)
     stencil = get(args.stencil)
-    oc = mart.predict_best_oc(stencil, args.gpu, method=args.method)
+    oc = mart.predict_best_oc(stencil, args.gpu, method=method)
     print(f"predicted best OC for {stencil.name} on {args.gpu}: {oc.name}")
-    oc, setting, t = mart.tune(stencil, args.gpu, method=args.method)
+    oc, setting, t = mart.tune(stencil, args.gpu, method=method)
     print(f"tuned: {oc.name} {dict((k, v) for k, v in setting.items() if v)}")
     print(f"simulated time: {t:.3f} ms/step")
     return 0
+
+
+def _load_cli_artifact(path: str, kind: str):
+    """Load a serve artifact for --model flags; None + message on failure."""
+    from .errors import ArtifactError
+    from .serve import load_artifact
+
+    try:
+        art = load_artifact(path)
+    except ArtifactError as e:
+        print(f"cannot use --model {path}: {e}", file=sys.stderr)
+        return None
+    if art.kind != kind:
+        print(
+            f"artifact {path} is a {art.kind}, expected a {kind}",
+            file=sys.stderr,
+        )
+        return None
+    return art
 
 
 def cmd_predict(args) -> int:
@@ -352,16 +593,39 @@ def cmd_predict(args) -> int:
 
     import numpy as np
 
-    mart = _load_mart_from_campaign(args.campaign, args.seed)
-    mart.fit_predictor(args.method, max_rows=8000)
     stencil = get(args.stencil)
+    method = args.method
+    if args.model:
+        art = _load_cli_artifact(args.model, "predictor")
+        if art is None:
+            return 2
+        if art.ndim != stencil.ndim:
+            print(
+                f"artifact {args.model} predicts {art.ndim}d stencils, "
+                f"but {stencil.name} is {stencil.ndim}d",
+                file=sys.stderr,
+            )
+            return 2
+        from .core import StencilMART
+
+        method = art.method
+        mart = StencilMART(
+            ndim=art.ndim, max_order=art.max_order, seed=args.seed
+        )
+        mart.install_predictor(method, art.model)
+    elif args.campaign:
+        mart = _load_mart_from_campaign(args.campaign, args.seed)
+        mart.fit_predictor(method, max_rows=8000)
+    else:
+        print("predict: need --campaign and/or --model", file=sys.stderr)
+        return 2
     oc = OC_BY_NAME.get(args.oc)
     if oc is None:
         print(f"unknown OC {args.oc!r}", file=sys.stderr)
         return 2
     rng = np.random.default_rng(args.seed)
     setting = sample_setting(oc, stencil.ndim, rng)
-    pred = mart.predict_time(stencil, oc, setting, args.gpu, method=args.method)
+    pred = mart.predict_time(stencil, oc, setting, args.gpu, method=method)
     actual = GPUSimulator(args.gpu).time(stencil, oc, setting)
     print(f"{stencil.name} under {oc.name} on {args.gpu}:")
     print(f"  setting: {dict((k, v) for k, v in setting.items() if v)}")
@@ -476,6 +740,132 @@ def cmd_lint(args) -> int:
     return 0 if summary.ok else 1
 
 
+def cmd_train(args) -> int:
+    from .profiling import (
+        load_campaign,
+        train_predictor_artifact,
+        train_selector_artifact,
+    )
+    from .serve import ModelRegistry, save_artifact
+    from .serve.registry import default_artifact_name
+
+    if not args.out and not args.registry:
+        print("train: need --out and/or --registry", file=sys.stderr)
+        return 2
+    campaign = load_campaign(args.campaign)
+    if args.task == "select":
+        if not args.gpu:
+            print("train --task select requires --gpu", file=sys.stderr)
+            return 2
+        artifact = train_selector_artifact(
+            campaign,
+            args.gpu,
+            method=args.method or "gbdt",
+            seed=args.seed,
+            workers=args.workers,
+        )
+    else:
+        artifact = train_predictor_artifact(
+            campaign,
+            method=args.method or "gbr",
+            seed=args.seed,
+            max_rows=args.max_rows,
+        )
+    if args.out:
+        save_artifact(artifact, args.out)
+        print(f"{artifact.describe()} -> {args.out}")
+    if args.registry:
+        reg = ModelRegistry(args.registry)
+        name = args.name or default_artifact_name(
+            artifact.kind, artifact.method, artifact.gpu, artifact.ndim
+        )
+        version = reg.publish(artifact, name)
+        print(f"published {name}@{version} -> {reg.path(name, version)}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from .errors import ArtifactError
+    from .serve import ModelRegistry, PredictionService, load_artifact
+    from .serve.http import make_server
+
+    service = PredictionService(
+        max_batch=args.max_batch, max_wait_s=args.max_wait_ms / 1000.0
+    )
+    if args.registry:
+        service.load_registry(ModelRegistry(args.registry))
+    for path in args.models:
+        try:
+            service.install(load_artifact(path), label=path)
+        except ArtifactError as e:
+            service.degraded.append({"artifact": path, "error": str(e)})
+    caps = service.capabilities()
+    for slot, label in caps["selectors"].items():
+        print(f"selector {slot}: {label}")
+    for slot, label in caps["predictors"].items():
+        print(f"predictor {slot}: {label}")
+    for entry in caps["degraded"]:
+        print(
+            f"degraded (fallback active): {entry['artifact']}: "
+            f"{entry['error']}",
+            file=sys.stderr,
+        )
+    if not caps["selectors"] and not caps["predictors"]:
+        print(
+            "no artifacts installed; selections use the heuristic fallback",
+            file=sys.stderr,
+        )
+    server = make_server(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
+    host, port = server.server_address[:2]
+    print(f"serving on http://{host}:{port} (Ctrl-C to stop)", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def cmd_query(args) -> int:
+    import json
+
+    from .errors import ServiceError
+    from .serve.client import ServeClient
+
+    client = ServeClient(args.url)
+    try:
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if not args.stencil or not args.gpu:
+            print(
+                "query: need --stats, or --stencil and --gpu",
+                file=sys.stderr,
+            )
+            return 2
+        if args.oc:
+            setting = _parse_overrides(args.overrides)
+            t = client.predict(args.stencil, args.oc, args.gpu, setting)
+            print(
+                f"{args.stencil} under {args.oc} on {args.gpu}: "
+                f"{t:.3f} ms/step (predicted)"
+            )
+        else:
+            r = client.select(args.stencil, args.gpu)
+            via = r["artifact"] or "heuristic fallback"
+            print(
+                f"best OC for {args.stencil} on {args.gpu}: {r['oc']} "
+                f"({r['source']} via {via})"
+            )
+        return 0
+    except ServiceError as e:
+        print(f"query failed: {e}", file=sys.stderr)
+        return 1
+
+
 _COMMANDS = {
     "generate": cmd_generate,
     "profile": cmd_profile,
@@ -484,6 +874,9 @@ _COMMANDS = {
     "predict": cmd_predict,
     "codegen": cmd_codegen,
     "lint": cmd_lint,
+    "train": cmd_train,
+    "serve": cmd_serve,
+    "query": cmd_query,
 }
 
 

@@ -202,6 +202,7 @@ class StencilMART:
         self.campaign = None
         self.grouping: OCGrouping | None = None
         self._selectors: dict[tuple[str, str], object] = {}
+        self._selector_reps: dict[tuple[str, str], list[str]] = {}
         self._predictors: dict[str, object] = {}
 
     # ------------------------------------------------------------------
@@ -263,6 +264,29 @@ class StencilMART:
         self._selectors[(method, gpu)] = model
         return self
 
+    def install_selector(
+        self,
+        method: str,
+        gpu: str,
+        model,
+        representatives: "list[str] | None" = None,
+    ) -> "StencilMART":
+        """Adopt a pre-trained selection model (e.g. a serve artifact).
+
+        *representatives* carries the merged-class decoding recorded at
+        training time, so an installed model predicts without this
+        instance ever profiling a campaign of its own.
+        """
+        self._selectors[(method, gpu)] = model
+        if representatives is not None:
+            self._selector_reps[(method, gpu)] = list(representatives)
+        return self
+
+    def install_predictor(self, method: str, model) -> "StencilMART":
+        """Adopt a pre-trained time predictor (see :meth:`install_selector`)."""
+        self._predictors[method] = model
+        return self
+
     def predict_best_oc(self, stencil: Stencil, gpu: str, method: str = "gbdt") -> OC:
         """Predicted best OC (the representative of the predicted class)."""
         model = self._selectors.get((method, gpu))
@@ -273,7 +297,15 @@ class StencilMART:
         else:
             x = assign_tensor(stencil, self.max_order)[None, ...]
         cls = int(model.predict(x)[0])
-        return OC_BY_NAME[self.grouping.representatives[cls]]
+        reps = self._selector_reps.get((method, gpu))
+        if reps is None:
+            if self.grouping is None:
+                raise NotFittedError(
+                    "no class representatives: build_dataset() or "
+                    "install_selector(..., representatives=...) first"
+                )
+            reps = self.grouping.representatives
+        return OC_BY_NAME[reps[cls]]
 
     def evaluate_selector(
         self,
@@ -320,14 +352,17 @@ class StencilMART:
         entirely on the OC the classifier selected.  Falls back to the next
         most likely class if the predicted OC cannot run at all.
         """
-        self._require_dataset()
         oc = self.predict_best_oc(stencil, gpu, method)
         search = RandomSearch(
             GPUSimulator(gpu, sigma=self.sigma), self.n_settings, self.seed
         )
         result, _ = search.tune_oc(stencil, -1, oc)
         if result is None:
-            for rep in self.grouping.representatives:
+            reps = self._selector_reps.get((method, gpu))
+            if reps is None:
+                self._require_dataset()
+                reps = self.grouping.representatives
+            for rep in reps:
                 result, _ = search.tune_oc(stencil, -1, OC_BY_NAME[rep])
                 if result is not None:
                     oc = OC_BY_NAME[rep]

@@ -101,5 +101,25 @@ class ModelError(ReproError):
     """Machine-learning model misuse (predict before fit, shape mismatch)."""
 
 
+class ArtifactError(ReproError):
+    """A persisted model artifact is unusable.
+
+    Raised by :mod:`repro.serve` when an artifact document is corrupt
+    (checksum mismatch, truncated or malformed JSON), written by a newer
+    format version, or simply absent from the registry.  The prediction
+    service treats it as a *degradation* signal -- it falls back to the
+    heuristic selector and counts the event -- rather than a crash.
+    """
+
+
+class ServiceError(ReproError):
+    """A prediction-service request cannot be answered.
+
+    Covers malformed request payloads and queries outside the service's
+    capability (unknown GPU, unknown OC, wrong dimensionality) -- the
+    HTTP layer maps it to a 400-class response instead of a 500.
+    """
+
+
 class NotFittedError(ModelError):
     """An estimator was used before :meth:`fit` was called."""

@@ -5,9 +5,12 @@ from .gbdt import GBDTClassifier, GBRegressor
 from .metrics import accuracy, confusion_matrix, kendall_tau, mape, pcc, top_k_accuracy
 from .nn import ConvMLPRegressor, ConvNetClassifier, FcNetClassifier, MLPRegressor
 from .preprocess import LogTimeTransform, MaxNormalizer, one_hot
+from .serialize import model_from_state, model_state
 from .tree import RegressionTree
 
 __all__ = [
+    "model_from_state",
+    "model_state",
     "ConvMLPRegressor",
     "ConvNetClassifier",
     "FcNetClassifier",

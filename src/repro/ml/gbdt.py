@@ -98,6 +98,23 @@ class _GBBase:
         k = max(2, int(round(self.subsample * n)))
         return rng.choice(n, size=k, replace=False)
 
+    def _hyper_state(self) -> dict:
+        """Constructor arguments needed to rebuild this estimator.
+
+        ``workers``/``pool_context`` only shape *training* concurrency,
+        so they are deliberately not part of a fitted model's identity.
+        """
+        return dict(
+            n_rounds=self.n_rounds,
+            learning_rate=self.learning_rate,
+            max_depth=self.max_depth,
+            min_child_weight=self.min_child_weight,
+            reg_lambda=self.reg_lambda,
+            gamma=self.gamma,
+            subsample=self.subsample,
+            seed=self.seed,
+        )
+
 
 class GBRegressor(_GBBase):
     """Gradient boosting for regression (squared loss)."""
@@ -128,6 +145,27 @@ class GBRegressor(_GBBase):
         for tree in self.trees_:
             pred += self.learning_rate * tree.predict(X)
         return pred
+
+    def state_dict(self) -> dict:
+        """Fitted state for :mod:`repro.ml.serialize` (see there for the
+        bit-identity contract)."""
+        if not hasattr(self, "trees_"):
+            raise NotFittedError("GBRegressor.state_dict before fit")
+        return {
+            "hyper": self._hyper_state(),
+            "base_score": self.base_score_,
+            "trees": [t.to_arrays() for t in self.trees_],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "GBRegressor":
+        model = cls(**state["hyper"])
+        model.base_score_ = float(state["base_score"])
+        model.trees_ = [
+            RegressionTree.from_arrays(a, **model._tree_params())
+            for a in state["trees"]
+        ]
+        return model
 
     def staged_predict(self, X: np.ndarray) -> "list[np.ndarray]":
         """Predictions after each boosting round (learning curves)."""
@@ -215,6 +253,30 @@ class GBDTClassifier(_GBBase):
                 for k, tree in enumerate(round_trees):
                     F[:, k] += self.learning_rate * tree.predict(X)
                 self.trees_.append(round_trees)
+
+    def state_dict(self) -> dict:
+        """Fitted state for :mod:`repro.ml.serialize`."""
+        if not hasattr(self, "trees_"):
+            raise NotFittedError("GBDTClassifier.state_dict before fit")
+        return {
+            "hyper": self._hyper_state(),
+            "n_classes": self.n_classes_,
+            "trees": [
+                [t.to_arrays() for t in round_trees]
+                for round_trees in self.trees_
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "GBDTClassifier":
+        model = cls(**state["hyper"])
+        model.n_classes_ = int(state["n_classes"])
+        params = model._tree_params()
+        model.trees_ = [
+            [RegressionTree.from_arrays(a, **params) for a in round_trees]
+            for round_trees in state["trees"]
+        ]
+        return model
 
     def decision_function(self, X: np.ndarray) -> np.ndarray:
         """Raw per-class scores ``(n, n_classes)``."""

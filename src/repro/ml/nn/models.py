@@ -38,6 +38,7 @@ from .layers import ConvND, Dense, Flatten, ReLU
 from .losses import MSELoss, SoftmaxCrossEntropy
 from .network import Sequential, TwoBranch, train_epochs
 from .optimizers import Adam
+from .serialize import net_from_state, net_state
 
 
 def _as_tensor_batch(tensors: np.ndarray) -> np.ndarray:
@@ -120,6 +121,32 @@ class ConvNetClassifier:
     def predict(self, tensors: np.ndarray) -> np.ndarray:
         return np.argmax(self.predict_proba(tensors), axis=1)
 
+    def state_dict(self) -> dict:
+        """Fitted state for :mod:`repro.ml.serialize`."""
+        if self._net is None:
+            raise NotFittedError("ConvNetClassifier.state_dict before fit")
+        return {
+            "hyper": dict(
+                n_classes=self.n_classes,
+                channels=list(self.channels),
+                dense=self.dense,
+                kernel=self.kernel,
+                lr=self.lr,
+                epochs=self.epochs,
+                batch_size=self.batch_size,
+                seed=self.seed,
+            ),
+            "net": net_state(self._net),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ConvNetClassifier":
+        hyper = dict(state["hyper"])
+        hyper["channels"] = tuple(hyper["channels"])
+        model = cls(**hyper)
+        model._net = net_from_state(state["net"])
+        return model
+
 
 class FcNetClassifier:
     """Fully connected classifier over flattened assigned tensors."""
@@ -177,6 +204,30 @@ class FcNetClassifier:
 
     def predict(self, tensors: np.ndarray) -> np.ndarray:
         return np.argmax(self.predict_proba(tensors), axis=1)
+
+    def state_dict(self) -> dict:
+        """Fitted state for :mod:`repro.ml.serialize`."""
+        if self._net is None:
+            raise NotFittedError("FcNetClassifier.state_dict before fit")
+        return {
+            "hyper": dict(
+                n_classes=self.n_classes,
+                hidden=list(self.hidden),
+                lr=self.lr,
+                epochs=self.epochs,
+                batch_size=self.batch_size,
+                seed=self.seed,
+            ),
+            "net": net_state(self._net),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FcNetClassifier":
+        hyper = dict(state["hyper"])
+        hyper["hidden"] = tuple(hyper["hidden"])
+        model = cls(**hyper)
+        model._net = net_from_state(state["net"])
+        return model
 
 
 class MLPRegressor:
@@ -238,6 +289,30 @@ class MLPRegressor:
             raise NotFittedError("MLPRegressor.predict before fit")
         Xn = self._norm.transform(np.asarray(X, dtype=np.float64))
         return LogTimeTransform.inverse(self._net.forward(Xn).ravel())
+
+    def state_dict(self) -> dict:
+        """Fitted state for :mod:`repro.ml.serialize`."""
+        if self._net is None:
+            raise NotFittedError("MLPRegressor.state_dict before fit")
+        return {
+            "hyper": dict(
+                n_layers=self.n_layers,
+                layer_size=self.layer_size,
+                lr=self.lr,
+                epochs=self.epochs,
+                batch_size=self.batch_size,
+                seed=self.seed,
+            ),
+            "net": net_state(self._net),
+            "norm_scale": self._norm.state_dict(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MLPRegressor":
+        model = cls(**state["hyper"])
+        model._net = net_from_state(state["net"])
+        model._norm = MaxNormalizer.from_state(state["norm_scale"])
+        return model
 
 
 class ConvMLPRegressor:
@@ -323,3 +398,32 @@ class ConvMLPRegressor:
         Xt = _as_tensor_batch(tensors)
         Xa = self._norm.transform(np.asarray(aux, dtype=np.float64))
         return LogTimeTransform.inverse(self._net.forward(Xt, Xa).ravel())
+
+    def state_dict(self) -> dict:
+        """Fitted state for :mod:`repro.ml.serialize`."""
+        if self._net is None:
+            raise NotFittedError("ConvMLPRegressor.state_dict before fit")
+        return {
+            "hyper": dict(
+                channels=list(self.channels),
+                mlp_hidden=list(self.mlp_hidden),
+                head_hidden=self.head_hidden,
+                kernel=self.kernel,
+                lr=self.lr,
+                epochs=self.epochs,
+                batch_size=self.batch_size,
+                seed=self.seed,
+            ),
+            "net": net_state(self._net),
+            "norm_scale": self._norm.state_dict(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ConvMLPRegressor":
+        hyper = dict(state["hyper"])
+        hyper["channels"] = tuple(hyper["channels"])
+        hyper["mlp_hidden"] = tuple(hyper["mlp_hidden"])
+        model = cls(**hyper)
+        model._net = net_from_state(state["net"])
+        model._norm = MaxNormalizer.from_state(state["norm_scale"])
+        return model

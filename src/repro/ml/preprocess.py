@@ -42,6 +42,17 @@ class MaxNormalizer:
     def fit_transform(self, X: np.ndarray) -> np.ndarray:
         return self.fit(X).transform(X)
 
+    def state_dict(self) -> "np.ndarray | None":
+        """Fitted column scales (``None`` before :meth:`fit`)."""
+        return self.scale_
+
+    @classmethod
+    def from_state(cls, scale: "np.ndarray | None") -> "MaxNormalizer":
+        norm = cls()
+        if scale is not None:
+            norm.scale_ = np.asarray(scale, dtype=np.float64)
+        return norm
+
 
 class LogTimeTransform:
     """Bijection between execution times (ms) and the model's target space.

@@ -1,0 +1,135 @@
+"""Byte-exact model (de)serialization for every trained estimator.
+
+The serving subsystem (:mod:`repro.serve`) persists trained models as
+JSON artifacts; its contract is that a save -> load round trip reproduces
+predictions **bit-identically**.  Plain JSON numbers would hold for
+float64 (Python's encoder emits ``repr`` which round-trips), but weight
+matrices as digit strings are bulky and slow, so arrays travel as
+base64-encoded little-endian bytes with dtype and shape recorded --
+exact by construction, compact, and endian-stable across platforms.
+
+Two layers:
+
+- :func:`encode_array` / :func:`decode_array` -- the ndarray <-> JSON
+  codec, applied recursively to any nested state by
+  :func:`state_to_jsonable` / :func:`state_from_jsonable`.
+- :func:`model_state` / :func:`model_from_state` -- class-tagged envelope
+  around each estimator's ``state_dict()`` / ``from_state()`` hooks
+  (GBDT in :mod:`repro.ml.gbdt`, neural nets in
+  :mod:`repro.ml.nn.models`).
+"""
+
+from __future__ import annotations
+
+import base64
+
+import numpy as np
+
+from ..errors import ModelError
+from .gbdt import GBDTClassifier, GBRegressor
+from .nn import (
+    ConvMLPRegressor,
+    ConvNetClassifier,
+    FcNetClassifier,
+    MLPRegressor,
+)
+
+#: Marker key identifying an encoded ndarray inside jsonable state.
+_ARRAY_TAG = "__ndarray__"
+
+#: Estimator classes a model envelope may reference, keyed by class name.
+MODEL_CLASSES = {
+    cls.__name__: cls
+    for cls in (
+        GBRegressor,
+        GBDTClassifier,
+        MLPRegressor,
+        ConvMLPRegressor,
+        ConvNetClassifier,
+        FcNetClassifier,
+    )
+}
+
+
+# ----------------------------------------------------------------------
+# ndarray codec
+# ----------------------------------------------------------------------
+def encode_array(a: np.ndarray) -> dict:
+    """Encode an ndarray as dtype + shape + base64 little-endian bytes."""
+    a = np.ascontiguousarray(a)
+    le = a.astype(a.dtype.newbyteorder("<"), copy=False)
+    return {
+        _ARRAY_TAG: True,
+        "dtype": a.dtype.str.lstrip("<>|="),
+        "shape": list(a.shape),
+        "data": base64.b64encode(le.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(doc: dict) -> np.ndarray:
+    """Inverse of :func:`encode_array`."""
+    try:
+        dtype = np.dtype("<" + doc["dtype"])
+        raw = base64.b64decode(doc["data"].encode("ascii"), validate=True)
+        a = np.frombuffer(raw, dtype=dtype).reshape(doc["shape"])
+    except (KeyError, ValueError, TypeError) as e:
+        raise ModelError(f"malformed array document: {e}") from None
+    # Native byte order, writable copy.
+    return a.astype(dtype.newbyteorder("="), copy=True)
+
+
+def state_to_jsonable(state):
+    """Recursively convert a state tree to JSON-serializable values."""
+    if isinstance(state, np.ndarray):
+        return encode_array(state)
+    if isinstance(state, dict):
+        return {str(k): state_to_jsonable(v) for k, v in state.items()}
+    if isinstance(state, (list, tuple)):
+        return [state_to_jsonable(v) for v in state]
+    if isinstance(state, (np.integer,)):
+        return int(state)
+    if isinstance(state, (np.floating,)):
+        return float(state)
+    if state is None or isinstance(state, (bool, int, float, str)):
+        return state
+    raise ModelError(f"cannot serialize state value of type {type(state).__name__}")
+
+
+def state_from_jsonable(doc):
+    """Inverse of :func:`state_to_jsonable` (arrays decoded in place)."""
+    if isinstance(doc, dict):
+        if doc.get(_ARRAY_TAG):
+            return decode_array(doc)
+        return {k: state_from_jsonable(v) for k, v in doc.items()}
+    if isinstance(doc, list):
+        return [state_from_jsonable(v) for v in doc]
+    return doc
+
+
+# ----------------------------------------------------------------------
+# model envelope
+# ----------------------------------------------------------------------
+def model_state(model) -> dict:
+    """A fitted estimator as a JSON-ready, class-tagged document."""
+    name = type(model).__name__
+    if name not in MODEL_CLASSES:
+        raise ModelError(
+            f"cannot serialize model type {name!r}; "
+            f"known: {sorted(MODEL_CLASSES)}"
+        )
+    return {"class": name, "state": state_to_jsonable(model.state_dict())}
+
+
+def model_from_state(doc: dict):
+    """Rebuild a fitted estimator from :func:`model_state` output."""
+    try:
+        name = doc["class"]
+        state = doc["state"]
+    except (KeyError, TypeError) as e:
+        raise ModelError(f"malformed model document: missing {e}") from None
+    cls = MODEL_CLASSES.get(name)
+    if cls is None:
+        raise ModelError(
+            f"unknown model class {name!r}; known: {sorted(MODEL_CLASSES)}"
+        )
+    return cls.from_state(state_from_jsonable(state))

@@ -192,3 +192,53 @@ class RegressionTree:
             if node.feature >= 0:
                 out[node.feature] += 1
         return out
+
+    # ------------------------------------------------------------------
+    # serialization hooks (see repro.ml.serialize)
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> "dict[str, np.ndarray]":
+        """Export the node table as parallel arrays.
+
+        Thresholds and leaf values stay float64 end to end, so a tree
+        rebuilt by :meth:`from_arrays` predicts bit-identically.
+        """
+        n = len(self._nodes)
+        feature = np.empty(n, dtype=np.int64)
+        threshold = np.empty(n, dtype=np.float64)
+        left = np.empty(n, dtype=np.int64)
+        right = np.empty(n, dtype=np.int64)
+        value = np.empty(n, dtype=np.float64)
+        for i, node in enumerate(self._nodes):
+            feature[i] = node.feature
+            threshold[i] = node.threshold
+            left[i] = node.left
+            right[i] = node.right
+            value[i] = node.value
+        return {
+            "feature": feature,
+            "threshold": threshold,
+            "left": left,
+            "right": right,
+            "value": value,
+        }
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: "dict[str, np.ndarray]", **params
+    ) -> "RegressionTree":
+        """Rebuild a fitted tree from :meth:`to_arrays` output."""
+        tree = cls(**params)
+        n = int(arrays["feature"].shape[0])
+        if n == 0:
+            raise ModelError("empty node table")
+        tree._nodes = [
+            _Node(
+                feature=int(arrays["feature"][i]),
+                threshold=float(arrays["threshold"][i]),
+                left=int(arrays["left"][i]),
+                right=int(arrays["right"][i]),
+                value=float(arrays["value"][i]),
+            )
+            for i in range(n)
+        ]
+        return tree

@@ -22,8 +22,11 @@ from .records import Measurement, OCResult, StencilProfile
 from .runner import CampaignHealth, CampaignRunner, RetryPolicy, SimClock
 from .search import RandomSearch
 from .storage import atomic_write_text, load_campaign, save_campaign
+from .train import train_predictor_artifact, train_selector_artifact
 
 __all__ = [
+    "train_predictor_artifact",
+    "train_selector_artifact",
     "CampaignHealth",
     "CampaignRunner",
     "ClassificationDataset",

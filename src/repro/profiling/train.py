@@ -1,0 +1,131 @@
+"""Train-from-campaign entry points producing serve artifacts.
+
+A profiling campaign is the expensive input; these helpers turn one
+into the *persisted* output the serving stack consumes: a trained
+selector or predictor wrapped as a checksummed
+:class:`~repro.serve.artifacts.ModelArtifact`, ready to publish into a
+:class:`~repro.serve.registry.ModelRegistry`.
+
+They are the factorization of what ``StencilMART.fit_selector`` /
+``fit_predictor`` do in-memory, with provenance (campaign shape, seed,
+dataset sizes) recorded in the artifact's ``meta`` so a served model
+can always be traced back to its training run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import DEFAULT_SEED, MAX_ORDER, N_MERGED_CLASSES
+from ..ml.preprocess import LogTimeTransform
+from .dataset import build_classification_dataset, build_regression_dataset
+from .merge import merge_ocs
+from .profiler import ProfileCampaign
+
+#: Selector methods that consume assignment tensors instead of features.
+_TENSOR_METHODS = {"convnet", "fcnet"}
+
+
+def _campaign_meta(campaign: ProfileCampaign) -> dict:
+    return {
+        "campaign_gpus": list(campaign.gpus),
+        "campaign_stencils": len(campaign.stencils),
+        "campaign_n_settings": campaign.n_settings,
+        "campaign_seed": campaign.seed,
+    }
+
+
+def train_selector_artifact(
+    campaign: ProfileCampaign,
+    gpu: str,
+    method: str = "gbdt",
+    n_classes: int = N_MERGED_CLASSES,
+    max_order: int = MAX_ORDER,
+    seed: int = DEFAULT_SEED,
+    workers: int = 1,
+    **hyper,
+):
+    """Train an OC-selection model on *campaign* and wrap it.
+
+    The artifact records the merged-class representative OCs, so serving
+    needs neither the campaign nor the grouping -- the classifier's
+    class indices decode locally.
+    """
+    from ..core.framework import make_classifier
+    from ..serve.artifacts import ModelArtifact
+
+    grouping = merge_ocs(campaign, n_classes=n_classes)
+    ds = build_classification_dataset(campaign, grouping, gpu, max_order)
+    if method in _TENSOR_METHODS:
+        X = ds.tensors
+    else:
+        X = ds.features
+        hyper.setdefault("workers", workers)
+    model = make_classifier(method, ds.n_classes, seed, **hyper)
+    model.fit(X, ds.labels)
+    ndim = campaign.stencils[0].ndim
+    meta = {
+        **_campaign_meta(campaign),
+        "train_rows": int(ds.n_samples),
+        "skipped_stencils": list(ds.skipped_stencils),
+    }
+    return ModelArtifact(
+        kind="selector",
+        method=method,
+        ndim=ndim,
+        gpu=gpu,
+        max_order=max_order,
+        representatives=list(grouping.representatives),
+        model=model,
+        meta=meta,
+    )
+
+
+def train_predictor_artifact(
+    campaign: ProfileCampaign,
+    gpus: "tuple[str, ...] | None" = None,
+    method: str = "gbr",
+    max_order: int = MAX_ORDER,
+    seed: int = DEFAULT_SEED,
+    max_rows: "int | None" = None,
+    **hyper,
+):
+    """Train a cross-architecture time predictor on *campaign*.
+
+    ``max_rows`` deterministically subsamples the instance set the same
+    way ``StencilMART.fit_predictor`` does, to bound CPU-only training
+    time at large campaign scales.
+    """
+    from ..core.framework import make_regressor
+    from ..serve.artifacts import ModelArtifact
+
+    ds = build_regression_dataset(campaign, gpus, max_order)
+    if max_rows is not None and ds.n_samples > max_rows:
+        rng = np.random.default_rng(seed)
+        rows = np.sort(rng.choice(ds.n_samples, size=max_rows, replace=False))
+    else:
+        rows = np.arange(ds.n_samples)
+    model = make_regressor(method, seed, **hyper)
+    if method == "convmlp":
+        model.fit(ds.tensors[rows], ds.aux[rows], ds.times_ms[rows])
+    elif method == "gbr":
+        model.fit(
+            ds.features[rows], LogTimeTransform.forward(ds.times_ms[rows])
+        )
+    else:
+        model.fit(ds.features[rows], ds.times_ms[rows])
+    ndim = campaign.stencils[0].ndim
+    meta = {
+        **_campaign_meta(campaign),
+        "train_rows": int(rows.shape[0]),
+        "train_gpus": list(gpus) if gpus is not None else list(campaign.gpus),
+    }
+    return ModelArtifact(
+        kind="predictor",
+        method=method,
+        ndim=ndim,
+        gpu=None,
+        max_order=max_order,
+        model=model,
+        meta=meta,
+    )

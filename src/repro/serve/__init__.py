@@ -1,0 +1,48 @@
+"""Model registry and online prediction service.
+
+Everything upstream of this package *trains* models; everything in it
+*serves* them.  The pieces, bottom to top:
+
+- :mod:`~repro.serve.artifacts` -- versioned, checksummed JSON
+  serialization for trained selectors/predictors (save -> load round
+  trips reproduce predictions bit-identically).
+- :mod:`~repro.serve.registry` -- a directory-backed
+  :class:`ModelRegistry` with atomic publishes and ``latest`` tagging.
+- :mod:`~repro.serve.service` -- the :class:`PredictionService`: raw
+  stencils in, OC selections / time predictions out, through a
+  content-keyed feature cache and the models' vectorized predict paths,
+  degrading to a heuristic selector when artifacts are missing or bad.
+- :mod:`~repro.serve.http` / :mod:`~repro.serve.client` -- a
+  stdlib-only JSON-over-HTTP front end and its client.
+- :mod:`~repro.serve.telemetry` -- request counters, cache hit rates,
+  fallback counts and latency histograms exposed on ``/stats``.
+"""
+
+from .artifacts import (
+    SERVE_FORMAT_VERSION,
+    ModelArtifact,
+    load_artifact,
+    save_artifact,
+)
+from .batching import MicroBatcher
+from .fallback import HeuristicSelector
+from .features import FeatureCache
+from .registry import ModelRegistry
+from .service import PredictionService, SelectRequest, SelectResult
+from .telemetry import LatencyHistogram, ServiceStats
+
+__all__ = [
+    "SERVE_FORMAT_VERSION",
+    "FeatureCache",
+    "HeuristicSelector",
+    "LatencyHistogram",
+    "MicroBatcher",
+    "ModelArtifact",
+    "ModelRegistry",
+    "PredictionService",
+    "SelectRequest",
+    "SelectResult",
+    "ServiceStats",
+    "load_artifact",
+    "save_artifact",
+]

@@ -1,0 +1,121 @@
+"""Micro-batching of concurrent requests onto vectorized predict paths.
+
+The models' predict methods are NumPy-vectorized: scoring 64 stencils
+in one call costs little more than scoring one (the engine benchmarks
+quantified the same effect for measurements).  The HTTP front end gets
+one request per connection, though -- so handler threads hand their
+items to a :class:`MicroBatcher`, which drains everything queued (up to
+``max_batch``) into a single call of the underlying batch function.
+
+The first thread to arrive becomes the *leader*: it waits
+``max_wait_s`` for followers to pile on, then processes one combined
+batch while later arrivals queue for the next round.  Under no
+concurrency the wait short-circuits (a lone item proceeds immediately
+once no leader is active), so single-client latency stays at the
+per-request cost plus at most one scheduler wakeup.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Sequence
+
+
+class _Item:
+    __slots__ = ("value", "event", "result", "error")
+
+    def __init__(self, value):
+        self.value = value
+        self.event = threading.Event()
+        self.result = None
+        self.error: "BaseException | None" = None
+
+
+class MicroBatcher:
+    """Funnel concurrent ``submit`` calls into batched function calls.
+
+    Parameters
+    ----------
+    batch_fn:
+        ``batch_fn(values) -> results`` (same length/order).  Called on
+        exactly one thread at a time.
+    max_batch:
+        Largest batch handed to *batch_fn*.
+    max_wait_s:
+        How long the batch leader lingers for followers.  ``0`` batches
+        only what is already queued (pure opportunistic batching).
+    on_batch:
+        Optional observer called with each batch size (telemetry).
+    """
+
+    def __init__(
+        self,
+        batch_fn: "Callable[[Sequence], list]",
+        max_batch: int = 64,
+        max_wait_s: float = 0.002,
+        on_batch: "Callable[[int], None] | None" = None,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.batch_fn = batch_fn
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_s)
+        self.on_batch = on_batch
+        self._queue: list[_Item] = []
+        self._lock = threading.Lock()
+        self._leader_active = False
+        self._wakeup = threading.Condition(self._lock)
+
+    # ------------------------------------------------------------------
+    def submit(self, value):
+        """Block until *value* has been processed in some batch."""
+        item = _Item(value)
+        with self._lock:
+            self._queue.append(item)
+            lead = not self._leader_active
+            if lead:
+                self._leader_active = True
+        if lead:
+            self._lead()
+        item.event.wait()
+        if item.error is not None:
+            raise item.error
+        return item.result
+
+    def _lead(self) -> None:
+        """Run batches until the queue drains, then resign leadership."""
+        if self.max_wait_s > 0:
+            # Give followers a beat to enqueue; lone requests pay at
+            # most this once (and nothing when the queue already holds
+            # a full batch).
+            with self._lock:
+                full = len(self._queue) >= self.max_batch
+            if not full:
+                threading.Event().wait(self.max_wait_s)
+        while True:
+            with self._lock:
+                batch = self._queue[: self.max_batch]
+                del self._queue[: len(batch)]
+                if not batch:
+                    self._leader_active = False
+                    return
+            self._run_batch(batch)
+
+    def _run_batch(self, batch: "list[_Item]") -> None:
+        if self.on_batch is not None:
+            self.on_batch(len(batch))
+        try:
+            results = self.batch_fn([item.value for item in batch])
+            if len(results) != len(batch):
+                raise RuntimeError(
+                    f"batch_fn returned {len(results)} results for "
+                    f"{len(batch)} items"
+                )
+            for item, result in zip(batch, results):
+                item.result = result
+        except BaseException as e:  # noqa: BLE001 - forwarded to callers
+            for item in batch:
+                item.error = e
+        finally:
+            for item in batch:
+                item.event.set()

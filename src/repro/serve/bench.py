@@ -1,0 +1,202 @@
+"""Serving-throughput benchmark (the load generator behind
+``tools/bench_serve.py`` and ``benchmarks/test_serve_throughput.py``).
+
+The serving stack's headline claim is that micro-batching pays: a
+stream of single-stencil requests funneled into one vectorized model
+call clears several times the throughput of answering each request
+with its own model call.  This bench trains real (small) selector and
+predictor artifacts, replays the same request stream through
+
+- the **per-request** path (``select_one`` / ``predict_one``: one model
+  call per request, the no-batching reference),
+- the **batched** path (``select_many`` / ``predict_many`` in
+  max-batch-sized chunks: what the micro-batcher converges to under
+  load), and
+- the **concurrent** path (worker threads submitting through the real
+  :class:`MicroBatcher`, the HTTP server's request shape),
+
+and records throughput, speedups, and p50/p95/p99 latencies as one
+JSON document (``BENCH_serve.json`` at the repo root by convention).
+The feature cache is pre-warmed and shared across phases so every
+number isolates model-call batching, not representation extraction.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from ..config import DEFAULT_SEED, MAX_ORDER
+from ..optimizations.combos import ALL_OCS
+from ..optimizations.params import sample_setting
+from ..profiling import run_campaign
+from ..profiling.train import train_predictor_artifact, train_selector_artifact
+from ..stencil.generator import generate_population
+from .features import FeatureCache
+from .service import PredictionService, PredictRequest, SelectRequest
+
+_GPU = "V100"
+_NDIM = 2
+
+
+def _train_artifacts(quick: bool, seed: int):
+    n_stencils = 6 if quick else 10
+    pop = generate_population(_NDIM, n_stencils, seed=seed)
+    campaign = run_campaign(pop, gpus=(_GPU, "A100"), n_settings=3, seed=seed)
+    selector = train_selector_artifact(campaign, _GPU, seed=seed)
+    predictor = train_predictor_artifact(campaign, seed=seed)
+    return selector, predictor
+
+
+def _make_requests(quick: bool, seed: int):
+    n = 64 if quick else 256
+    stencils = generate_population(_NDIM, n, max_order=MAX_ORDER, seed=seed + 1)
+    rng = np.random.default_rng(seed + 2)
+    selects = [SelectRequest(s, _GPU) for s in stencils]
+    predicts = []
+    for i, s in enumerate(stencils):
+        oc = ALL_OCS[i % len(ALL_OCS)]
+        setting = sample_setting(oc, s.ndim, rng)
+        predicts.append(PredictRequest(s, oc.name, setting, _GPU))
+    return selects, predicts
+
+
+class _Harness:
+    """Fresh service per phase over shared artifacts + a warm cache."""
+
+    def __init__(self, selector, predictor, max_batch: int):
+        self.selector = selector
+        self.predictor = predictor
+        self.max_batch = max_batch
+        self.cache = FeatureCache(MAX_ORDER)
+
+    def service(self) -> PredictionService:
+        svc = PredictionService(
+            feature_cache=self.cache, max_batch=self.max_batch
+        )
+        svc.install(self.selector, "bench-selector")
+        svc.install(self.predictor, "bench-predictor")
+        return svc
+
+
+def _phase_doc(seconds: float, n: int, latency: "dict | None") -> dict:
+    doc = {
+        "seconds": seconds,
+        "requests": n,
+        "requests_per_sec": n / seconds if seconds > 0 else float("inf"),
+    }
+    if latency is not None:
+        doc["latency_ms"] = {
+            k: latency[k] for k in ("p50_ms", "p95_ms", "p99_ms", "mean_ms")
+        }
+    return doc
+
+
+def _bench_endpoint(
+    harness: _Harness, endpoint: str, requests: list, one, many
+) -> dict:
+    """Per-request loop vs chunked batch calls for one endpoint.
+
+    *one* is called as ``one(service, request)``; *many* as
+    ``many(service, requests)``.  Both paths answer the identical
+    stream, so throughput differences are purely batching.
+    """
+    svc = harness.service()
+    start = time.perf_counter()
+    for r in requests:
+        one(svc, r)
+    loop_s = time.perf_counter() - start
+    loop_lat = svc.stats.snapshot()["latency"][endpoint]
+
+    svc = harness.service()
+    chunk = harness.max_batch
+    start = time.perf_counter()
+    for i in range(0, len(requests), chunk):
+        many(svc, requests[i : i + chunk])
+    batch_s = time.perf_counter() - start
+
+    return {
+        "per_request": _phase_doc(loop_s, len(requests), loop_lat),
+        "batched": {
+            **_phase_doc(batch_s, len(requests), None),
+            "chunk_size": chunk,
+        },
+        "batched_speedup": loop_s / batch_s if batch_s > 0 else float("inf"),
+    }
+
+
+def _bench_concurrent(
+    harness: _Harness, requests: "list[SelectRequest]", threads: int
+) -> dict:
+    """Worker threads through the real micro-batcher (the HTTP shape)."""
+    svc = harness.service()
+    shards = [requests[i::threads] for i in range(threads)]
+    barrier = threading.Barrier(threads + 1)
+
+    def worker(shard):
+        barrier.wait()
+        for r in shard:
+            svc.select(r.stencil, r.gpu)
+
+    pool = [
+        threading.Thread(target=worker, args=(s,), daemon=True)
+        for s in shards
+    ]
+    for t in pool:
+        t.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for t in pool:
+        t.join()
+    seconds = time.perf_counter() - start
+    snap = svc.stats.snapshot()
+    doc = _phase_doc(seconds, len(requests), snap["latency"]["select"])
+    doc["threads"] = threads
+    doc["batches"] = snap["batches"]
+    return doc
+
+
+def run_serve_bench(
+    quick: bool = False,
+    seed: int = DEFAULT_SEED,
+    max_batch: int = 64,
+    threads: int = 8,
+) -> dict:
+    """Train artifacts, replay the request stream, return the document."""
+    selector, predictor = _train_artifacts(quick, seed)
+    selects, predicts = _make_requests(quick, seed)
+    harness = _Harness(selector, predictor, max_batch)
+
+    # Warm the shared feature cache and the NumPy dispatch paths once so
+    # every timed phase measures model-call batching only.
+    warm = harness.service()
+    warm.select_many(selects)
+    warm.predict_many(predicts)
+
+    return {
+        "quick": quick,
+        "seed": seed,
+        "gpu": _GPU,
+        "ndim": _NDIM,
+        "n_requests": len(selects),
+        "max_batch": max_batch,
+        "selector": selector.describe(),
+        "predictor": predictor.describe(),
+        "select": _bench_endpoint(
+            harness,
+            "select",
+            selects,
+            lambda svc, r: svc.select_one(r.stencil, r.gpu),
+            lambda svc, rs: svc.select_many(rs),
+        ),
+        "predict": _bench_endpoint(
+            harness,
+            "predict",
+            predicts,
+            lambda svc, r: svc.predict_one(r.stencil, r.oc, r.setting, r.gpu),
+            lambda svc, rs: svc.predict_many(rs),
+        ),
+        "concurrent_select": _bench_concurrent(harness, selects, threads),
+    }

@@ -1,0 +1,70 @@
+"""Stdlib client for the serve HTTP protocol (used by ``repro query``).
+
+Thin urllib wrapper; raises :class:`ServiceError` with the server's
+``error`` field for 4xx/5xx responses so callers see one exception
+type for "the service said no".
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+from ..errors import ServiceError
+
+
+class ServeClient:
+    """Talk to a running serve endpoint."""
+
+    def __init__(self, base_url: str, timeout_s: float = 10.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = float(timeout_s)
+
+    # ------------------------------------------------------------------
+    def _request(self, path: str, payload: "dict | None" = None) -> dict:
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as e:
+            try:
+                detail = json.loads(e.read().decode("utf-8")).get("error", "")
+            except Exception:  # noqa: BLE001 - body may be anything
+                detail = ""
+            raise ServiceError(
+                f"{path} failed with HTTP {e.code}: {detail or e.reason}"
+            ) from None
+        except urllib.error.URLError as e:
+            raise ServiceError(f"cannot reach {url}: {e.reason}") from None
+
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("/healthz")
+
+    def stats(self) -> dict:
+        return self._request("/stats")
+
+    def select(self, stencil, gpu: str) -> dict:
+        """One selection; *stencil* is a name or an offsets document."""
+        return self._request("/v1/select", {"stencil": stencil, "gpu": gpu})
+
+    def select_batch(self, requests: "list[dict]") -> "list[dict]":
+        return self._request("/v1/select", {"requests": requests})["results"]
+
+    def predict(self, stencil, oc: str, gpu: str,
+                setting: "dict | None" = None) -> float:
+        doc = {"stencil": stencil, "oc": oc, "gpu": gpu}
+        if setting:
+            doc["setting"] = setting
+        return float(self._request("/v1/predict", doc)["time_ms"])
+
+    def predict_batch(self, requests: "list[dict]") -> "list[float]":
+        out = self._request("/v1/predict", {"requests": requests})["results"]
+        return [float(r["time_ms"]) for r in out]

@@ -1,0 +1,60 @@
+"""Heuristic OC selection for graceful degradation.
+
+When the service has no usable selector artifact (missing, corrupt,
+wrong dimensionality) it must still answer -- with a defensible default
+rather than an error.  The heuristic mirrors the AN5D baseline's fixed
+strategy ladder (:mod:`repro.baselines.an5d`): prefer streaming with
+retiming and temporal blocking, back off to weaker combinations, and
+finally the naive kernel, picking the first rung that is *statically*
+feasible for the stencil on the target GPU.
+
+Feasibility comes from the analytical kernel model
+(:func:`repro.analysis.lint.feasible_settings`) -- a pure resource
+check, no simulation, no oracle, no measurement noise -- so the
+fallback path stays cheap and deterministic.  Results are memoized by
+(stencil content, GPU).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..optimizations.combos import OC
+from ..stencil.stencil import Stencil
+
+#: Strategy ladder, strongest first (AN5D's ladder plus the naive rung
+#: so the fallback is total: the naive kernel always launches).
+LADDER = ("ST_RT_TB", "ST_RT", "ST", "naive")
+
+
+class HeuristicSelector:
+    """Oracle-free baseline selector: first feasible rung of the ladder."""
+
+    name = "heuristic-ladder"
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._memo: dict[tuple, str] = {}
+        self._lock = threading.Lock()
+
+    def select(self, stencil: Stencil, gpu: str) -> str:
+        """Name of the chosen OC for *stencil* on *gpu*."""
+        key = (stencil.cache_key(), gpu)
+        with self._lock:
+            cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        from ..analysis.lint import feasible_settings
+
+        choice = LADDER[-1]
+        for name in LADDER[:-1]:
+            oc = OC.parse(name)
+            if feasible_settings(stencil, oc, 1, self.seed):
+                choice = name
+                break
+        with self._lock:
+            self._memo[key] = choice
+        return choice
+
+    def select_many(self, stencils: "list[Stencil]", gpu: str) -> "list[str]":
+        return [self.select(s, gpu) for s in stencils]

@@ -1,0 +1,90 @@
+"""Content-keyed feature cache for the prediction service.
+
+Same design as :class:`repro.engine.cache.CachingBackend`: results are
+pure functions of content identity, so replays are free.  Here the
+cached computation is the per-stencil representation work -- the Table
+II feature vector and the binary assignment tensor -- which the service
+would otherwise redo on every request for popular stencils.
+
+Thread-safe: HTTP handler threads and the micro-batcher all feed one
+cache.  The lock is held only around dict bookkeeping; the NumPy work
+for a miss happens outside it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from ..config import MAX_ORDER
+from ..stencil.features import extract_features
+from ..stencil.stencil import Stencil
+from ..stencil.tensorize import assign_tensor
+
+
+class FeatureCache:
+    """Memoized stencil -> (features, tensor) mapping.
+
+    Entries are keyed by :meth:`Stencil.cache_key` (content identity --
+    equal stencils behind different objects share one entry).  Arrays
+    are stored read-only so cached rows can be handed to many batches
+    without defensive copies.
+    """
+
+    def __init__(self, max_order: int = MAX_ORDER):
+        self.max_order = int(max_order)
+        self._entries: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def lookup(self, stencil: Stencil) -> tuple[np.ndarray, np.ndarray]:
+        """``(features, tensor)`` for one stencil, cached by content."""
+        key = stencil.cache_key()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                return entry
+        feats = extract_features(stencil, self.max_order)
+        tensor = assign_tensor(stencil, self.max_order)
+        feats.setflags(write=False)
+        tensor.setflags(write=False)
+        fresh = (feats, tensor)
+        with self._lock:
+            # A racing thread may have filled the slot; keep the first
+            # entry so every caller sees one canonical array pair.
+            entry = self._entries.setdefault(key, fresh)
+            if entry is fresh:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return entry
+
+    def features(self, stencils: "list[Stencil]") -> np.ndarray:
+        """Stacked Table II feature matrix ``(n, n_features)``."""
+        return np.stack([self.lookup(s)[0] for s in stencils])
+
+    def tensors(self, stencils: "list[Stencil]") -> np.ndarray:
+        """Stacked assignment tensors ``(n, (2R+1)^d)``."""
+        return np.stack([self.lookup(s)[1] for s in stencils])
+
+    # ------------------------------------------------------------------
+    def info(self) -> dict:
+        """Hit/miss accounting: ``{"hits", "misses", "size", "hit_rate"}``."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._entries),
+                "hit_rate": (self.hits / total) if total else 0.0,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0

@@ -1,0 +1,188 @@
+"""Stdlib-only JSON-over-HTTP front end for the prediction service.
+
+Protocol (all bodies are JSON):
+
+- ``GET /healthz`` -> ``{"ok": true}``
+- ``GET /stats`` -> the :meth:`PredictionService.stats_snapshot` body
+- ``POST /v1/select`` with ``{"stencil": <stencil>, "gpu": "V100"}``
+  -> ``{"oc": ..., "source": "model"|"fallback", ...}``; or
+  ``{"requests": [...]}`` -> ``{"results": [...]}``
+- ``POST /v1/predict`` with ``{"stencil": <stencil>, "oc": "ST_RT",
+  "setting": {...}, "gpu": "V100"}`` -> ``{"time_ms": ...}``; batched
+  form as above.
+
+``<stencil>`` is either a library name (``"star2d2r"``) or an inline
+``{"ndim": ..., "offsets": [[...], ...]}`` document (the campaign
+storage format).  Client errors (bad payloads, unknown GPUs/OCs) map to
+HTTP 400 with ``{"error": ...}``; unexpected failures to 500.  Requests
+are served on a thread per connection (``ThreadingHTTPServer``), which
+is exactly the concurrency the service's micro-batcher coalesces.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..errors import ReproError, ServiceError
+from ..profiling.storage import stencil_from_dict
+from ..stencil import library
+from ..stencil.stencil import Stencil
+from .service import PredictionService, setting_from_dict
+
+#: Largest accepted request body; a service endpoint is not a file drop.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+def parse_stencil(doc) -> Stencil:
+    """A stencil from its request form: library name or inline offsets."""
+    if isinstance(doc, str):
+        try:
+            return library.get(doc)
+        except (KeyError, ReproError):
+            raise ServiceError(f"unknown stencil name {doc!r}") from None
+    if isinstance(doc, dict):
+        try:
+            return stencil_from_dict(doc)
+        except ReproError as e:
+            raise ServiceError(f"bad stencil document: {e}") from None
+    raise ServiceError(
+        "stencil must be a library name or an {ndim, offsets} object"
+    )
+
+
+def _select_payload(service: PredictionService, doc: dict) -> dict:
+    from .service import SelectRequest
+
+    if "requests" in doc:
+        reqs = [
+            SelectRequest(parse_stencil(r.get("stencil")), str(r.get("gpu")))
+            for r in doc["requests"]
+        ]
+        results = service.select_many(reqs)
+        return {"results": [_select_result(r) for r in results]}
+    result = service.select(parse_stencil(doc.get("stencil")), str(doc.get("gpu")))
+    return _select_result(result)
+
+
+def _select_result(r) -> dict:
+    return {
+        "oc": r.oc,
+        "source": r.source,
+        "class": r.cls,
+        "artifact": r.artifact,
+    }
+
+
+def _predict_payload(service: PredictionService, doc: dict) -> dict:
+    from .service import PredictRequest
+
+    if "requests" in doc:
+        reqs = [
+            PredictRequest(
+                parse_stencil(r.get("stencil")),
+                str(r.get("oc")),
+                setting_from_dict(r.get("setting")),
+                str(r.get("gpu")),
+            )
+            for r in doc["requests"]
+        ]
+        times = service.predict_many(reqs)
+        return {"results": [{"time_ms": t} for t in times]}
+    t = service.predict(
+        parse_stencil(doc.get("stencil")),
+        str(doc.get("oc")),
+        setting_from_dict(doc.get("setting")),
+        str(doc.get("gpu")),
+    )
+    return {"time_ms": t}
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """Request handler bound to a service via the server object."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> PredictionService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # Quiet by default: the service keeps structured telemetry instead
+    # of an access log; opt back in with server.verbose = True.
+    def log_message(self, fmt: str, *args) -> None:  # noqa: A003
+        if getattr(self.server, "verbose", False):
+            super().log_message(fmt, *args)
+
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ServiceError("missing request body")
+        if length > MAX_BODY_BYTES:
+            raise ServiceError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES} byte limit"
+            )
+        raw = self.rfile.read(length)
+        try:
+            doc = json.loads(raw)
+        except json.JSONDecodeError as e:
+            raise ServiceError(f"request body is not valid JSON: {e}") from None
+        if not isinstance(doc, dict):
+            raise ServiceError("request body must be a JSON object")
+        return doc
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            self._send_json(200, {"ok": True})
+        elif self.path == "/stats":
+            self._send_json(200, self.service.stats_snapshot())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        handlers = {"/v1/select": _select_payload, "/v1/predict": _predict_payload}
+        handler = handlers.get(self.path)
+        if handler is None:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        endpoint = self.path.rsplit("/", 1)[-1]
+        try:
+            doc = self._read_body()
+            self._send_json(200, handler(self.service, doc))
+        except ReproError as e:
+            self.service.stats.count_error(endpoint)
+            self._send_json(400, {"error": str(e)})
+        except Exception as e:  # noqa: BLE001 - last-resort 500
+            self.service.stats.count_error(endpoint)
+            self._send_json(500, {"error": f"internal error: {e}"})
+
+
+class ServeServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the service for its handlers."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: PredictionService,
+                 verbose: bool = False):
+        super().__init__(address, ServeHandler)
+        self.service = service
+        self.verbose = verbose
+
+
+def make_server(
+    service: PredictionService, host: str = "127.0.0.1", port: int = 0,
+    verbose: bool = False,
+) -> ServeServer:
+    """Bind a server (``port=0`` picks a free ephemeral port)."""
+    return ServeServer((host, port), service, verbose=verbose)

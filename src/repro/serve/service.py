@@ -1,0 +1,343 @@
+"""The online prediction service.
+
+Raw stencils in, answers out:
+
+- **select**: which OC should this stencil use on this GPU?  Served by
+  a selector artifact's classifier when one is installed for the
+  (ndim, GPU) pair, decoded through the artifact's representative OCs;
+  otherwise the heuristic ladder answers and the event is counted as a
+  fallback.
+- **predict**: how long will this (stencil, OC, setting) run on this
+  GPU?  Served by a predictor artifact (cross-architecture: the GPU is
+  a model input, so one artifact covers every known GPU).
+
+Per-stencil representation work flows through a content-keyed
+:class:`FeatureCache`; batched entry points stack cached rows and make
+one vectorized model call.  Concurrent single requests (the HTTP front
+end) are funneled through :class:`MicroBatcher` instances onto the same
+batch paths.  Every answer is counted in :class:`ServiceStats`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import MAX_ORDER
+from ..errors import ArtifactError, ServiceError
+from ..gpu.specs import GPU_ORDER, hardware_features
+from ..ml.preprocess import LogTimeTransform
+from ..optimizations.combos import OC_BY_NAME
+from ..optimizations.params import PARAM_NAMES, ParamSetting
+from ..profiling.dataset import oc_flags
+from ..stencil.stencil import Stencil
+from .artifacts import ModelArtifact
+from .batching import MicroBatcher
+from .fallback import HeuristicSelector
+from .features import FeatureCache
+from .registry import ModelRegistry
+from .telemetry import ServiceStats
+
+#: Selector methods whose input is the assignment tensor (the rest use
+#: the flat Table II feature vector).
+_TENSOR_METHODS = {"convnet", "fcnet", "convmlp"}
+
+
+@dataclass(frozen=True)
+class SelectRequest:
+    """One OC-selection query."""
+
+    stencil: Stencil
+    gpu: str
+
+
+@dataclass(frozen=True)
+class PredictRequest:
+    """One execution-time query."""
+
+    stencil: Stencil
+    oc: str
+    setting: ParamSetting
+    gpu: str
+
+
+@dataclass
+class SelectResult:
+    """Answer to a :class:`SelectRequest`."""
+
+    oc: str
+    source: str  # "model" | "fallback"
+    cls: "int | None" = None
+    artifact: "str | None" = None
+
+
+@dataclass
+class _Installed:
+    artifact: ModelArtifact
+    label: str
+
+
+def _check_gpu(gpu: str) -> str:
+    if gpu not in GPU_ORDER:
+        raise ServiceError(
+            f"unknown GPU {gpu!r}; known: {list(GPU_ORDER)}"
+        )
+    return gpu
+
+
+def setting_from_dict(doc: "dict | None") -> ParamSetting:
+    """Build a :class:`ParamSetting` from a request's JSON object."""
+    if not doc:
+        return ParamSetting()
+    bad = sorted(set(doc) - set(PARAM_NAMES))
+    if bad:
+        raise ServiceError(
+            f"unknown setting parameter(s) {bad}; known: {list(PARAM_NAMES)}"
+        )
+    try:
+        return ParamSetting(**{k: int(v) for k, v in doc.items()})
+    except (TypeError, ValueError) as e:
+        raise ServiceError(f"bad setting values: {e}") from None
+
+
+class PredictionService:
+    """Serve OC selections and time predictions from model artifacts."""
+
+    def __init__(
+        self,
+        registry: "ModelRegistry | None" = None,
+        fallback: "HeuristicSelector | None" = None,
+        feature_cache: "FeatureCache | None" = None,
+        stats: "ServiceStats | None" = None,
+        max_order: int = MAX_ORDER,
+        max_batch: int = 64,
+        max_wait_s: float = 0.002,
+    ):
+        self.stats = stats or ServiceStats()
+        self.cache = feature_cache or FeatureCache(max_order)
+        self.fallback = fallback or HeuristicSelector()
+        self.max_order = int(max_order)
+        self._selectors: dict[tuple[int, str], _Installed] = {}
+        self._predictors: dict[int, _Installed] = {}
+        self.degraded: list[dict] = []
+        self._select_batcher = MicroBatcher(
+            self.select_many,
+            max_batch=max_batch,
+            max_wait_s=max_wait_s,
+            on_batch=self.stats.count_batch,
+        )
+        self._predict_batcher = MicroBatcher(
+            self.predict_many,
+            max_batch=max_batch,
+            max_wait_s=max_wait_s,
+            on_batch=self.stats.count_batch,
+        )
+        if registry is not None:
+            self.load_registry(registry)
+
+    # ------------------------------------------------------------------
+    # artifact installation
+    # ------------------------------------------------------------------
+    def install(self, artifact: ModelArtifact, label: str = "") -> None:
+        """Install a loaded artifact; later installs win per slot."""
+        label = label or artifact.describe()
+        slot = _Installed(artifact, label)
+        if artifact.kind == "selector":
+            if artifact.gpu is None:
+                raise ArtifactError("selector artifacts must name a GPU")
+            self._selectors[(artifact.ndim, artifact.gpu)] = slot
+        else:
+            self._predictors[artifact.ndim] = slot
+
+    def load_registry(self, registry: ModelRegistry) -> None:
+        """Install the latest version of every artifact in *registry*.
+
+        Unreadable artifacts (corrupt, newer format, ...) do not raise:
+        the failure is recorded in :attr:`degraded` -- visible in
+        ``/stats`` -- and requests that would have used the artifact
+        fall back instead.  That is the degradation contract: a bad
+        publish never takes the service down.
+        """
+        for name in registry.names():
+            try:
+                version = registry.latest(name)
+                self.install(registry.load(name, version), f"{name}@{version}")
+            except ArtifactError as e:
+                self.degraded.append({"artifact": name, "error": str(e)})
+
+    def capabilities(self) -> dict:
+        """What the service can currently answer (for ``/stats``)."""
+        return {
+            "selectors": {
+                f"{ndim}d/{gpu}": slot.label
+                for (ndim, gpu), slot in sorted(self._selectors.items())
+            },
+            "predictors": {
+                f"{ndim}d": slot.label
+                for ndim, slot in sorted(self._predictors.items())
+            },
+            "degraded": list(self.degraded),
+        }
+
+    # ------------------------------------------------------------------
+    # selection
+    # ------------------------------------------------------------------
+    def select(self, stencil: Stencil, gpu: str) -> SelectResult:
+        """One selection, through the micro-batcher (the service's
+        per-request front door)."""
+        t0 = time.perf_counter()
+        try:
+            result = self._select_batcher.submit(SelectRequest(stencil, gpu))
+        except Exception:
+            self.stats.count_error("select")
+            raise
+        finally:
+            self.stats.observe_latency("select", time.perf_counter() - t0)
+        return result
+
+    def select_one(self, stencil: Stencil, gpu: str) -> SelectResult:
+        """One selection on the unbatched path (reference/benchmark)."""
+        t0 = time.perf_counter()
+        try:
+            result = self.select_many([SelectRequest(stencil, gpu)])[0]
+        except Exception:
+            self.stats.count_error("select")
+            raise
+        finally:
+            self.stats.observe_latency("select", time.perf_counter() - t0)
+        return result
+
+    def select_many(
+        self, requests: "list[SelectRequest]"
+    ) -> "list[SelectResult]":
+        """Vectorized selection: one model call per (ndim, GPU) group."""
+        self.stats.count_request("select", len(requests))
+        out: "list[SelectResult | None]" = [None] * len(requests)
+        groups: dict[tuple[int, str], list[int]] = {}
+        for i, r in enumerate(requests):
+            _check_gpu(r.gpu)
+            if r.stencil.order > self.max_order:
+                raise ServiceError(
+                    f"stencil order {r.stencil.order} exceeds the service "
+                    f"max order {self.max_order}"
+                )
+            groups.setdefault((r.stencil.ndim, r.gpu), []).append(i)
+        for (ndim, gpu), idxs in groups.items():
+            slot = self._selectors.get((ndim, gpu))
+            stencils = [requests[i].stencil for i in idxs]
+            if slot is None:
+                self.stats.count_fallback(len(idxs))
+                for i, oc in zip(idxs, self.fallback.select_many(stencils, gpu)):
+                    out[i] = SelectResult(oc=oc, source="fallback")
+                continue
+            art = slot.artifact
+            X = (
+                self.cache.tensors(stencils)
+                if art.method in _TENSOR_METHODS
+                else self.cache.features(stencils)
+            )
+            classes = np.asarray(art.model.predict(X), dtype=np.int64)
+            self.stats.count_model_hit(len(idxs))
+            for i, cls in zip(idxs, classes):
+                out[i] = SelectResult(
+                    oc=art.representatives[int(cls)],
+                    source="model",
+                    cls=int(cls),
+                    artifact=slot.label,
+                )
+        return out  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # time prediction
+    # ------------------------------------------------------------------
+    def predict(
+        self, stencil: Stencil, oc: str, setting: ParamSetting, gpu: str
+    ) -> float:
+        """One time prediction through the micro-batcher."""
+        t0 = time.perf_counter()
+        try:
+            result = self._predict_batcher.submit(
+                PredictRequest(stencil, oc, setting, gpu)
+            )
+        except Exception:
+            self.stats.count_error("predict")
+            raise
+        finally:
+            self.stats.observe_latency("predict", time.perf_counter() - t0)
+        return result
+
+    def predict_one(
+        self, stencil: Stencil, oc: str, setting: ParamSetting, gpu: str
+    ) -> float:
+        """One prediction on the unbatched path (reference/benchmark)."""
+        t0 = time.perf_counter()
+        try:
+            result = self.predict_many(
+                [PredictRequest(stencil, oc, setting, gpu)]
+            )[0]
+        except Exception:
+            self.stats.count_error("predict")
+            raise
+        finally:
+            self.stats.observe_latency("predict", time.perf_counter() - t0)
+        return result
+
+    def predict_many(
+        self, requests: "list[PredictRequest]"
+    ) -> "list[float]":
+        """Vectorized time prediction, one model call per ndim group."""
+        self.stats.count_request("predict", len(requests))
+        out = [0.0] * len(requests)
+        groups: dict[int, list[int]] = {}
+        for i, r in enumerate(requests):
+            _check_gpu(r.gpu)
+            if r.oc not in OC_BY_NAME:
+                raise ServiceError(
+                    f"unknown OC {r.oc!r}; known: {sorted(OC_BY_NAME)}"
+                )
+            groups.setdefault(r.stencil.ndim, []).append(i)
+        for ndim, idxs in groups.items():
+            slot = self._predictors.get(ndim)
+            if slot is None:
+                raise ServiceError(
+                    f"no {ndim}d predictor artifact installed "
+                    f"(capabilities: {self.capabilities()['predictors']})"
+                )
+            art = slot.artifact
+            sub = [requests[i] for i in idxs]
+            aux = np.stack(
+                [
+                    np.concatenate(
+                        [
+                            oc_flags(r.oc),
+                            r.setting.encode(),
+                            np.asarray(hardware_features(r.gpu)),
+                        ]
+                    )
+                    for r in sub
+                ]
+            )
+            stencils = [r.stencil for r in sub]
+            if art.method == "convmlp":
+                tensors = self.cache.tensors(stencils)
+                times = art.model.predict(tensors, aux)
+            else:
+                feats = self.cache.features(stencils)
+                X = np.concatenate([feats, aux], axis=1)
+                if art.method == "gbr":
+                    times = LogTimeTransform.inverse(art.model.predict(X))
+                else:
+                    times = art.model.predict(X)
+            self.stats.count_model_hit(len(idxs))
+            for i, t in zip(idxs, times):
+                out[i] = float(t)
+        return out
+
+    # ------------------------------------------------------------------
+    def stats_snapshot(self) -> dict:
+        """Counters + capabilities, the ``/stats`` response body."""
+        doc = self.stats.snapshot(cache_info=self.cache.info())
+        doc["capabilities"] = self.capabilities()
+        return doc

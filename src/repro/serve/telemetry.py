@@ -1,0 +1,165 @@
+"""Service telemetry: counters, cache hit rates, latency histograms.
+
+All state is in-process and thread-safe; ``/stats`` and the service
+logs read the same :meth:`ServiceStats.snapshot`.  Latencies go into
+fixed geometric buckets (factor 2 from 1 microsecond to ~100 seconds),
+so recording is O(1), memory is constant, and p50/p95/p99 come from the
+cumulative bucket counts with linear interpolation inside the bucket --
+the standard monitoring-histogram trade-off (quantile error bounded by
+the bucket ratio, here at most 2x).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+#: Histogram bucket geometry: upper bounds in seconds, factor-2 ladder.
+_BUCKET_START_S = 1e-6
+_N_BUCKETS = 28  # 1 us .. ~134 s
+
+
+def _bucket_bounds() -> "list[float]":
+    return [_BUCKET_START_S * (2.0 ** i) for i in range(_N_BUCKETS)]
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with percentile estimation."""
+
+    def __init__(self) -> None:
+        self._bounds = _bucket_bounds()
+        self._counts = [0] * (_N_BUCKETS + 1)  # +1 overflow bucket
+        self.count = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        s = max(0.0, float(seconds))
+        if s <= _BUCKET_START_S:
+            idx = 0
+        else:
+            idx = min(
+                _N_BUCKETS,
+                int(math.ceil(math.log2(s / _BUCKET_START_S))),
+            )
+        with self._lock:
+            self._counts[idx] += 1
+            self.count += 1
+            self.total_s += s
+            if s > self.max_s:
+                self.max_s = s
+
+    # ------------------------------------------------------------------
+    def percentile(self, p: float) -> float:
+        """Estimated latency (seconds) at percentile ``p`` in [0, 100]."""
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            target = (p / 100.0) * self.count
+            acc = 0
+            for idx, n in enumerate(self._counts):
+                if n == 0:
+                    continue
+                if acc + n >= target:
+                    hi = (
+                        self._bounds[idx]
+                        if idx < _N_BUCKETS
+                        else self.max_s
+                    )
+                    lo = self._bounds[idx - 1] if idx > 0 else 0.0
+                    frac = (target - acc) / n
+                    return min(lo + frac * (hi - lo), self.max_s)
+                acc += n
+            return self.max_s
+
+    def summary(self) -> dict:
+        """Count, mean and tail percentiles, in milliseconds."""
+        p50, p95, p99 = (self.percentile(p) for p in (50, 95, 99))
+        with self._lock:
+            count, total, mx = self.count, self.total_s, self.max_s
+        return {
+            "count": count,
+            "mean_ms": (total / count * 1e3) if count else 0.0,
+            "p50_ms": p50 * 1e3,
+            "p95_ms": p95 * 1e3,
+            "p99_ms": p99 * 1e3,
+            "max_ms": mx * 1e3,
+        }
+
+
+class ServiceStats:
+    """Aggregated counters for one :class:`PredictionService`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests: dict[str, int] = {}
+        self.errors: dict[str, int] = {}
+        self.fallbacks = 0
+        self.model_hits = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.max_batch = 0
+        self.latency: dict[str, LatencyHistogram] = {}
+
+    # ------------------------------------------------------------------
+    def count_request(self, endpoint: str, n: int = 1) -> None:
+        with self._lock:
+            self.requests[endpoint] = self.requests.get(endpoint, 0) + n
+
+    def count_error(self, endpoint: str) -> None:
+        with self._lock:
+            self.errors[endpoint] = self.errors.get(endpoint, 0) + 1
+
+    def count_fallback(self, n: int = 1) -> None:
+        with self._lock:
+            self.fallbacks += n
+
+    def count_model_hit(self, n: int = 1) -> None:
+        with self._lock:
+            self.model_hits += n
+
+    def count_batch(self, size: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += size
+            if size > self.max_batch:
+                self.max_batch = size
+
+    def observe_latency(self, endpoint: str, seconds: float) -> None:
+        with self._lock:
+            hist = self.latency.get(endpoint)
+            if hist is None:
+                hist = self.latency[endpoint] = LatencyHistogram()
+        hist.record(seconds)
+
+    # ------------------------------------------------------------------
+    def snapshot(self, cache_info: "dict | None" = None) -> dict:
+        """One JSON-ready view of everything (the ``/stats`` body)."""
+        with self._lock:
+            requests = dict(self.requests)
+            errors = dict(self.errors)
+            fallbacks = self.fallbacks
+            model_hits = self.model_hits
+            batches = self.batches
+            batched = self.batched_requests
+            max_batch = self.max_batch
+            hists = dict(self.latency)
+        doc = {
+            "requests": requests,
+            "requests_total": sum(requests.values()),
+            "errors": errors,
+            "errors_total": sum(errors.values()),
+            "fallbacks": fallbacks,
+            "model_hits": model_hits,
+            "batches": {
+                "count": batches,
+                "requests": batched,
+                "max_size": max_batch,
+                "mean_size": (batched / batches) if batches else 0.0,
+            },
+            "latency": {name: h.summary() for name, h in hists.items()},
+        }
+        if cache_info is not None:
+            doc["feature_cache"] = cache_info
+        return doc

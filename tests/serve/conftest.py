@@ -1,0 +1,36 @@
+"""Shared fixtures for the serving-stack tests.
+
+One small (but real) 2-D campaign is profiled once per session and
+turned into selector/predictor artifacts; every test that needs a
+trained model shares them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.profiling import run_campaign
+from repro.profiling.train import (
+    train_predictor_artifact,
+    train_selector_artifact,
+)
+from repro.stencil.generator import generate_population
+
+SEED = 21
+GPUS = ("V100", "A100")
+
+
+@pytest.fixture(scope="session")
+def campaign2d():
+    pop = generate_population(2, 8, seed=SEED)
+    return run_campaign(pop, gpus=GPUS, n_settings=3, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def selector_artifact(campaign2d):
+    return train_selector_artifact(campaign2d, "V100", seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def predictor_artifact(campaign2d):
+    return train_predictor_artifact(campaign2d, seed=SEED)

@@ -1,0 +1,170 @@
+"""The HTTP front end + stdlib client, over a real ephemeral-port server.
+
+Spins up the actual ThreadingHTTPServer and talks to it through
+:class:`ServeClient` (urllib): model-served selections, inline stencil
+documents, batched requests, the heuristic-fallback path, time
+predictions, clean 400s for client mistakes, and the ``/stats`` body.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.serve import PredictionService
+from repro.serve.client import ServeClient
+from repro.serve.http import make_server, parse_stencil
+from repro.stencil.library import get
+
+
+@pytest.fixture(scope="module")
+def live(selector_artifact, predictor_artifact):
+    import threading
+
+    service = PredictionService()
+    service.install(selector_artifact, "sel@live")
+    service.install(predictor_artifact, "pred@live")
+    server = make_server(service)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield ServeClient(f"http://{host}:{port}"), service
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+class TestParseStencil:
+    def test_library_name(self):
+        assert parse_stencil("star2d2r").name == "star2d2r"
+
+    def test_inline_document(self):
+        s = get("star2d1r")
+        doc = {"ndim": s.ndim, "offsets": [list(o) for o in sorted(s.offsets)]}
+        assert parse_stencil(doc).offsets == s.offsets
+
+    def test_unknown_name(self):
+        with pytest.raises(ServiceError, match="unknown stencil"):
+            parse_stencil("star9d9r")
+
+    def test_wrong_type(self):
+        with pytest.raises(ServiceError, match="library name"):
+            parse_stencil(42)
+
+
+class TestEndpoints:
+    def test_healthz(self, live):
+        client, _ = live
+        assert client.healthz() == {"ok": True}
+
+    def test_select_by_name(self, live):
+        client, service = live
+        r = client.select("star2d2r", "V100")
+        assert r["source"] == "model"
+        assert r["artifact"] == "sel@live"
+        direct = service.select_one(get("star2d2r"), "V100")
+        assert r["oc"] == direct.oc and r["class"] == direct.cls
+
+    def test_select_inline_document(self, live):
+        client, _ = live
+        s = get("box2d1r")
+        doc = {"ndim": s.ndim, "offsets": [list(o) for o in sorted(s.offsets)]}
+        r = client.select(doc, "A100")
+        assert r["oc"]
+
+    def test_select_batch(self, live):
+        client, service = live
+        results = client.select_batch(
+            [
+                {"stencil": "star2d1r", "gpu": "V100"},
+                {"stencil": "star3d1r", "gpu": "V100"},  # no 3d model
+            ]
+        )
+        assert results[0]["source"] == "model"
+        assert results[1]["source"] == "fallback"
+
+    def test_predict(self, live):
+        client, service = live
+        t = client.predict(
+            "star2d1r", "ST_RT", "A100", {"block_x": 64, "block_y": 8}
+        )
+        assert t > 0
+        from repro.serve.service import setting_from_dict
+
+        direct = service.predict_one(
+            get("star2d1r"),
+            "ST_RT",
+            setting_from_dict({"block_x": 64, "block_y": 8}),
+            "A100",
+        )
+        assert t == pytest.approx(direct)
+
+    def test_predict_batch(self, live):
+        client, _ = live
+        times = client.predict_batch(
+            [
+                {"stencil": "star2d1r", "oc": "naive", "gpu": "V100"},
+                {"stencil": "star2d2r", "oc": "ST", "gpu": "2080Ti"},
+            ]
+        )
+        assert len(times) == 2 and all(t > 0 for t in times)
+
+
+class TestErrors:
+    def test_unknown_stencil_is_400(self, live):
+        client, _ = live
+        with pytest.raises(ServiceError, match="HTTP 400"):
+            client.select("no-such", "V100")
+
+    def test_unknown_gpu_is_400(self, live):
+        client, _ = live
+        with pytest.raises(ServiceError, match="unknown GPU"):
+            client.select("star2d1r", "H100")
+
+    def test_unknown_path_is_404(self, live):
+        client, _ = live
+        with pytest.raises(ServiceError, match="HTTP 404"):
+            client._request("/v2/select", {})
+
+    def test_bad_json_body_is_400(self, live):
+        client, _ = live
+        req = urllib.request.Request(
+            client.base_url + "/v1/select",
+            data=b"not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(req, timeout=5)
+        assert exc.value.code == 400
+        assert "error" in json.loads(exc.value.read().decode())
+
+    def test_missing_body_is_400(self, live):
+        client, _ = live
+        req = urllib.request.Request(
+            client.base_url + "/v1/select", data=b"", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(req, timeout=5)
+        assert exc.value.code == 400
+        body = json.loads(exc.value.read().decode())
+        assert "missing request body" in body["error"]
+
+    def test_cannot_reach_dead_server(self):
+        client = ServeClient("http://127.0.0.1:9", timeout_s=1)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.healthz()
+
+
+class TestStats:
+    def test_stats_body(self, live):
+        client, service = live
+        client.select("star2d1r", "V100")
+        stats = client.stats()
+        assert stats["requests"]["select"] >= 1
+        assert "feature_cache" in stats
+        assert "latency" in stats
+        assert stats["capabilities"]["selectors"]["2d/V100"] == "sel@live"
+        assert stats["capabilities"]["degraded"] == []

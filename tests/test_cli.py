@@ -111,6 +111,265 @@ class TestCommands:
         assert rc == 2
 
 
+class TestServeCommands:
+    @pytest.fixture(scope="class")
+    def campaign(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("serve_cli") / "c.json"
+        rc = main(
+            [
+                "profile", "--ndim", "2", "--count", "6", "--gpus", "V100",
+                "A100", "--n-settings", "3", "--backend", "cached",
+                "-o", str(path), "--seed", "9",
+            ]
+        )
+        assert rc == 0
+        return path
+
+    def test_train_out_and_registry(self, campaign, tmp_path, capsys):
+        out = tmp_path / "sel.json"
+        reg = tmp_path / "reg"
+        rc = main(
+            [
+                "train", "--campaign", str(campaign), "--task", "select",
+                "--gpu", "V100", "--out", str(out), "--registry", str(reg),
+                "--seed", "9",
+            ]
+        )
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert out.exists()
+        assert "published select-gbdt-V100-2d@v000001" in stdout
+        assert (reg / "select-gbdt-V100-2d" / "v000001.json").exists()
+        assert (reg / "select-gbdt-V100-2d" / "LATEST").read_text().strip() == (
+            "v000001"
+        )
+
+    def test_train_select_needs_gpu(self, campaign, capsys):
+        rc = main(
+            ["train", "--campaign", str(campaign), "--task", "select",
+             "--out", "x.json"]
+        )
+        assert rc == 2
+        assert "requires --gpu" in capsys.readouterr().err
+
+    def test_train_needs_destination(self, campaign, capsys):
+        rc = main(["train", "--campaign", str(campaign), "--gpu", "V100"])
+        assert rc == 2
+        assert "--out and/or --registry" in capsys.readouterr().err
+
+    def test_select_with_model_matches_retrain(self, campaign, tmp_path, capsys):
+        """--model must reproduce what retraining on the campaign says
+        (same model, so same selection), without fitting anything."""
+        out = tmp_path / "sel.json"
+        assert main(
+            ["train", "--campaign", str(campaign), "--task", "select",
+             "--gpu", "V100", "--out", str(out), "--seed", "9"]
+        ) == 0
+        capsys.readouterr()
+        base = [
+            "select", "--campaign", str(campaign), "--stencil", "star2d1r",
+            "--gpu", "V100", "--seed", "9",
+        ]
+        assert main(base) == 0
+        retrained = capsys.readouterr().out
+        assert main(base + ["--model", str(out)]) == 0
+        from_artifact = capsys.readouterr().out
+        assert retrained == from_artifact
+
+    def test_select_with_model_needs_no_campaign(
+        self, campaign, tmp_path, capsys
+    ):
+        """An artifact carries ndim/max_order/representatives, so select
+        runs without any campaign; the prediction matches the
+        campaign-backed run (the tuning budget may differ: the campaign's
+        n_settings vs the framework default)."""
+        out = tmp_path / "sel.json"
+        assert main(
+            ["train", "--campaign", str(campaign), "--task", "select",
+             "--gpu", "V100", "--out", str(out), "--seed", "9"]
+        ) == 0
+        capsys.readouterr()
+        tail = ["--stencil", "star2d1r", "--gpu", "V100", "--seed", "9",
+                "--model", str(out)]
+        assert main(["select", "--campaign", str(campaign)] + tail) == 0
+        with_campaign = capsys.readouterr().out
+        assert main(["select"] + tail) == 0
+        campaign_free = capsys.readouterr().out
+        assert campaign_free.splitlines()[0] == with_campaign.splitlines()[0]
+        assert "predicted best OC" in campaign_free
+
+    def test_select_needs_campaign_or_model(self, capsys):
+        rc = main(["select", "--stencil", "star2d1r", "--gpu", "V100"])
+        assert rc == 2
+        assert "--campaign and/or --model" in capsys.readouterr().err
+
+    def test_select_model_gpu_mismatch(self, campaign, tmp_path, capsys):
+        out = tmp_path / "sel.json"
+        main(
+            ["train", "--campaign", str(campaign), "--task", "select",
+             "--gpu", "V100", "--out", str(out), "--seed", "9"]
+        )
+        capsys.readouterr()
+        rc = main(
+            ["select", "--campaign", str(campaign), "--stencil", "star2d1r",
+             "--gpu", "A100", "--model", str(out), "--seed", "9"]
+        )
+        assert rc == 2
+        assert "trained for 2d/V100" in capsys.readouterr().err
+
+    def test_select_model_wrong_kind(self, campaign, tmp_path, capsys):
+        out = tmp_path / "pred.json"
+        main(
+            ["train", "--campaign", str(campaign), "--task", "predict",
+             "--out", str(out), "--seed", "9"]
+        )
+        capsys.readouterr()
+        rc = main(
+            ["select", "--campaign", str(campaign), "--stencil", "star2d1r",
+             "--gpu", "V100", "--model", str(out), "--seed", "9"]
+        )
+        assert rc == 2
+        assert "is a predictor, expected a selector" in capsys.readouterr().err
+
+    def test_predict_with_model_needs_no_campaign(
+        self, campaign, tmp_path, capsys
+    ):
+        out = tmp_path / "pred.json"
+        main(
+            ["train", "--campaign", str(campaign), "--task", "predict",
+             "--out", str(out), "--seed", "9"]
+        )
+        capsys.readouterr()
+        rc = main(
+            ["predict", "--stencil", "star2d1r", "--oc", "ST_RT",
+             "--gpu", "A100", "--model", str(out), "--seed", "9"]
+        )
+        assert rc == 0
+        assert "predicted" in capsys.readouterr().out
+
+    def test_predict_needs_campaign_or_model(self, capsys):
+        rc = main(
+            ["predict", "--stencil", "star2d1r", "--oc", "ST", "--gpu", "V100"]
+        )
+        assert rc == 2
+        assert "--campaign and/or --model" in capsys.readouterr().err
+
+    def test_corrupt_model_rejected(self, campaign, tmp_path, capsys):
+        out = tmp_path / "sel.json"
+        main(
+            ["train", "--campaign", str(campaign), "--task", "select",
+             "--gpu", "V100", "--out", str(out), "--seed", "9"]
+        )
+        out.write_text(out.read_text()[:-30])
+        capsys.readouterr()
+        rc = main(
+            ["select", "--campaign", str(campaign), "--stencil", "star2d1r",
+             "--gpu", "V100", "--model", str(out), "--seed", "9"]
+        )
+        assert rc == 2
+        assert "cannot use --model" in capsys.readouterr().err
+
+    def test_query_against_live_server(self, campaign, tmp_path, capsys):
+        import threading
+
+        from repro.serve import ModelRegistry, PredictionService
+        from repro.serve.http import make_server
+
+        reg = tmp_path / "reg"
+        main(
+            ["train", "--campaign", str(campaign), "--task", "select",
+             "--gpu", "V100", "--registry", str(reg), "--seed", "9"]
+        )
+        main(
+            ["train", "--campaign", str(campaign), "--task", "predict",
+             "--registry", str(reg), "--seed", "9"]
+        )
+        capsys.readouterr()
+        service = PredictionService(registry=ModelRegistry(reg))
+        server = make_server(service)
+        host, port = server.server_address[:2]
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        url = f"http://{host}:{port}"
+        try:
+            rc = main(
+                ["query", "--url", url, "--stencil", "star2d1r",
+                 "--gpu", "V100"]
+            )
+            assert rc == 0
+            assert "best OC for star2d1r" in capsys.readouterr().out
+
+            rc = main(
+                ["query", "--url", url, "--stencil", "star2d1r",
+                 "--gpu", "A100", "--oc", "ST", "--set", "block_x=64"]
+            )
+            assert rc == 0
+            assert "ms/step (predicted)" in capsys.readouterr().out
+
+            rc = main(["query", "--url", url, "--stats"])
+            assert rc == 0
+            import json
+
+            stats = json.loads(capsys.readouterr().out)
+            assert stats["requests"]["select"] == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_query_needs_target(self, capsys):
+        rc = main(["query", "--url", "http://127.0.0.1:1"])
+        assert rc == 2
+        assert "--stats" in capsys.readouterr().err
+
+    def test_query_unreachable_server(self, capsys):
+        rc = main(
+            ["query", "--url", "http://127.0.0.1:9", "--stencil",
+             "star2d1r", "--gpu", "V100"]
+        )
+        assert rc == 1
+        assert "query failed" in capsys.readouterr().err
+
+
+class TestEvaluateParity:
+    def test_evaluate_without_campaign_profiles_on_the_fly(self, capsys):
+        rc = main(
+            [
+                "evaluate", "--task", "select", "--gpu", "V100", "--ndim",
+                "2", "--count", "6", "--n-settings", "3", "--backend",
+                "cached", "--folds", "2", "--seed", "6",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "select/gbdt on V100" in out and "mean accuracy" in out
+
+    def test_evaluate_backend_invariance(self, capsys):
+        """Backend choice shapes speed, never scores: the cached and
+        scalar paths must report identical fold accuracies."""
+        argv = [
+            "evaluate", "--task", "select", "--gpu", "V100", "--ndim", "2",
+            "--count", "6", "--n-settings", "3", "--folds", "2",
+            "--seed", "6",
+        ]
+        assert main(argv + ["--backend", "scalar"]) == 0
+        scalar = capsys.readouterr().out
+        assert main(argv + ["--backend", "cached"]) == 0
+        cached = capsys.readouterr().out
+        assert scalar == cached
+
+    def test_evaluate_without_campaign_needs_ndim(self, capsys):
+        rc = main(["evaluate", "--gpu", "V100"])
+        assert rc == 2
+        assert "--ndim is required" in capsys.readouterr().err
+
+    def test_parser_accepts_parity_flags(self):
+        args = build_parser().parse_args(
+            ["evaluate", "--gpu", "V100", "--ndim", "2", "--backend",
+             "parallel", "--workers", "2", "--chunk-size", "3"]
+        )
+        assert args.backend == "parallel"
+        assert args.chunk_size == 3
+
+
 class TestCodegenCommand:
     def test_parser_accepts_overrides(self):
         args = build_parser().parse_args(

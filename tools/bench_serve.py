@@ -1,0 +1,83 @@
+"""Serving throughput recorder (developer / CI tool).
+
+Trains small selector/predictor artifacts, replays a request stream
+through the per-request, batched, and concurrent micro-batched paths of
+the prediction service (see ``repro.serve.bench``), and writes the
+results as JSON -- ``BENCH_serve.json`` at the repo root by convention,
+so the serving-path perf trajectory is machine-readable across PRs.
+
+Run: python tools/bench_serve.py [--quick] [--threads N]
+         [--max-batch N] [-o PATH]
+"""
+
+import argparse
+import json
+import sys
+
+from repro.serve.bench import run_serve_bench
+
+
+def _print_endpoint(name: str, doc: dict) -> None:
+    per, bat = doc["per_request"], doc["batched"]
+    lat = per["latency_ms"]
+    print(
+        f"  {name:8s} per-request {per['requests_per_sec']:10,.0f} req/s "
+        f"(p50 {lat['p50_ms']:.3f} ms, p95 {lat['p95_ms']:.3f} ms, "
+        f"p99 {lat['p99_ms']:.3f} ms)"
+    )
+    print(
+        f"  {name:8s} batched     {bat['requests_per_sec']:10,.0f} req/s "
+        f"({doc['batched_speedup']:.2f}x per-request)"
+    )
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workload for CI smoke runs (no speedup guarantee)",
+    )
+    ap.add_argument(
+        "--threads",
+        type=int,
+        default=8,
+        help="client threads for the concurrent micro-batched phase",
+    )
+    ap.add_argument(
+        "--max-batch", type=int, default=64, help="micro-batch size cap"
+    )
+    ap.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_serve.json",
+        help="where to write the JSON document",
+    )
+    args = ap.parse_args(argv)
+
+    doc = run_serve_bench(
+        quick=args.quick, max_batch=args.max_batch, threads=args.threads
+    )
+    with open(args.output, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+
+    print(
+        f"serve throughput ({doc['n_requests']} requests, "
+        f"{doc['selector']}, {doc['predictor']})"
+    )
+    _print_endpoint("select", doc["select"])
+    _print_endpoint("predict", doc["predict"])
+    con = doc["concurrent_select"]
+    lat = con["latency_ms"]
+    print(
+        f"  {'select':8s} concurrent  {con['requests_per_sec']:10,.0f} req/s "
+        f"({con['threads']} threads, mean batch "
+        f"{con['batches']['mean_size']:.1f}, p95 {lat['p95_ms']:.3f} ms)"
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
