@@ -13,6 +13,7 @@ Subcommands mirror the pipeline stages::
         --registry models/                                 # persist a model
     python -m repro serve --registry models/ --port 8340   # HTTP service
     python -m repro query --stencil star2d2r --gpu V100    # ask the service
+    python -m repro serve-chaos --quick                    # robustness drill
 
 ``generate`` and ``profile`` run standalone; ``select`` and ``predict``
 train on a saved campaign so repeated queries do not re-simulate, or
@@ -21,8 +22,11 @@ writes) generated CUDA sources and ``lint`` runs the static analyzer
 over the generated sweep, exiting nonzero on any error-severity
 finding.  ``train`` turns a campaign into a checksummed model artifact
 (written to a file and/or published into a registry), ``serve`` exposes
-artifacts over a stdlib HTTP endpoint with micro-batching and
-telemetry, and ``query`` is the matching client.
+artifacts over a stdlib HTTP endpoint with micro-batching, admission
+control (bounded queue, 503 load shedding), optional hot model reload,
+and telemetry, and ``query`` is the matching client.  ``serve-chaos``
+runs the scripted fault-injection scenario against the whole serving
+stack and exits nonzero if any robustness invariant is violated.
 """
 
 from __future__ import annotations
@@ -367,9 +371,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="how long a request waits for batch-mates before running",
     )
     sv.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        help="admission bound: queued + in-flight requests beyond this "
+        "are shed with 503 + Retry-After (0 disables)",
+    )
+    sv.add_argument(
+        "--budget-ms",
+        type=float,
+        default=None,
+        help="default per-request deadline budget; queued work past its "
+        "deadline is shed before compute (requests may override via "
+        "their own budget_ms field)",
+    )
+    sv.add_argument(
+        "--reload-interval",
+        type=float,
+        default=0.0,
+        help="poll the registry's LATEST tags every this many seconds "
+        "and hot-swap validated new artifacts (0 disables; needs "
+        "--registry)",
+    )
+    sv.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        help="on SIGTERM/SIGINT: stop accepting and wait up to this "
+        "long for in-flight requests before closing",
+    )
+    sv.add_argument(
         "-v", "--verbose", action="store_true", help="log every request"
     )
     _add_common(sv)
+
+    ch = sub.add_parser(
+        "serve-chaos",
+        help="run the scripted fault-injection scenario against the "
+        "serving stack (overload, corrupt publishes, torn tags, hot "
+        "swap, poisoned model); nonzero exit on any violated invariant",
+    )
+    ch.add_argument(
+        "--quick", action="store_true",
+        help="smaller artifacts and traffic mix (the CI smoke setting)",
+    )
+    ch.add_argument("--report", help="write the full JSON report here")
+    _add_common(ch)
 
     q = sub.add_parser("query", help="query a running serve endpoint")
     q.add_argument(
@@ -785,15 +832,33 @@ def cmd_train(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    import json
+    import signal
+    import threading
+
     from .errors import ArtifactError
-    from .serve import ModelRegistry, PredictionService, load_artifact
-    from .serve.http import make_server
+    from .serve import (
+        AdmissionPolicy,
+        ModelRegistry,
+        ModelReloader,
+        PredictionService,
+        load_artifact,
+    )
+    from .serve.http import drain, make_server
 
     service = PredictionService(
-        max_batch=args.max_batch, max_wait_s=args.max_wait_ms / 1000.0
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1000.0,
+        admission=AdmissionPolicy(
+            max_queue=args.max_queue,
+            default_budget_s=(
+                args.budget_ms / 1000.0 if args.budget_ms else None
+            ),
+        ),
     )
-    if args.registry:
-        service.load_registry(ModelRegistry(args.registry))
+    registry = ModelRegistry(args.registry) if args.registry else None
+    if registry is not None:
+        service.load_registry(registry)
     for path in args.models:
         try:
             service.install(load_artifact(path), label=path)
@@ -815,18 +880,93 @@ def cmd_serve(args) -> int:
             "no artifacts installed; selections use the heuristic fallback",
             file=sys.stderr,
         )
+    reloader = None
+    if registry is not None and args.reload_interval > 0:
+        reloader = ModelReloader(service, registry)
+        reloader.start(args.reload_interval)
+        print(
+            f"hot reload: polling {args.registry} every "
+            f"{args.reload_interval:g}s"
+        )
     server = make_server(
         service, host=args.host, port=args.port, verbose=args.verbose
     )
     host, port = server.server_address[:2]
     print(f"serving on http://{host}:{port} (Ctrl-C to stop)", flush=True)
+
+    # Graceful shutdown: SIGTERM/SIGINT stop the accept loop, in-flight
+    # requests drain up to --drain-timeout, final stats go to stderr.
+    stop = threading.Event()
+
+    def _request_stop(signum, frame) -> None:  # noqa: ARG001
+        stop.set()
+
     try:
-        server.serve_forever()
+        signal.signal(signal.SIGTERM, _request_stop)
+        signal.signal(signal.SIGINT, _request_stop)
+    except ValueError:
+        pass  # not on the main thread (tests drive stop directly)
+    serve_thread = threading.Thread(target=server.serve_forever, daemon=True)
+    serve_thread.start()
+    try:
+        stop.wait()
     except KeyboardInterrupt:
         pass
-    finally:
-        server.server_close()
+    print(
+        f"shutting down: draining in-flight requests "
+        f"(timeout {args.drain_timeout:g}s)",
+        file=sys.stderr,
+    )
+    if reloader is not None:
+        reloader.stop()
+    if not drain(server, args.drain_timeout):
+        print(
+            "drain timeout: closing with requests still in flight",
+            file=sys.stderr,
+        )
+    serve_thread.join(timeout=1.0)
+    print(json.dumps(service.stats_snapshot(), sort_keys=True), file=sys.stderr)
     return 0
+
+
+def cmd_serve_chaos(args) -> int:
+    import json
+    import tempfile
+
+    from .serve.bench import train_bench_artifacts
+    from .serve.chaos import ChaosConfig, chaos_passed, run_chaos
+
+    print("training artifacts for the chaos scenario...", flush=True)
+    selector, predictor = train_bench_artifacts(args.quick, args.seed)
+    cfg = ChaosConfig.make(quick=args.quick, seed=args.seed)
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as workdir:
+        report = run_chaos(selector, predictor, cfg, workdir)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"report -> {args.report}")
+    t = report["totals"]
+    print(
+        f"{t['requests']} requests: {t['ok']} ok, {t['shed']} shed, "
+        f"{t['deadline']} deadline, {report['non_503_errors']} failed"
+    )
+    print(
+        f"availability {report['availability']:.3f} "
+        f"(excluding shed: {report['availability_excluding_shed']:.3f}); "
+        f"p99 under overload {report['p99_under_overload_ms']:.1f} ms"
+    )
+    b, r = report["breaker"], report["reload"]
+    print(
+        f"breaker: opened={b['opened']} pinned={b['pinned_last_good']} "
+        f"recovered={b['recovered']} final={b['final_state']}; "
+        f"swaps={r['swaps']} rollbacks={r['rollbacks']}"
+    )
+    problems = chaos_passed(report)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if not problems:
+        print("all robustness invariants held")
+    return 1 if problems else 0
 
 
 def cmd_query(args) -> int:
@@ -876,6 +1016,7 @@ _COMMANDS = {
     "lint": cmd_lint,
     "train": cmd_train,
     "serve": cmd_serve,
+    "serve-chaos": cmd_serve_chaos,
     "query": cmd_query,
 }
 

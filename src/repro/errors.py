@@ -121,5 +121,25 @@ class ServiceError(ReproError):
     """
 
 
+class OverloadError(ServiceError):
+    """The service shed a request instead of queueing it unboundedly.
+
+    Raised by the admission controller when the bounded request queue is
+    full (``kind="queue_full"``) or when a request's deadline expired
+    while it waited for a batch slot (``kind="deadline"``).  Shedding is
+    deliberate overload protection, not a fault: the HTTP layer maps it
+    to ``503`` with a ``Retry-After`` hint (:attr:`retry_after_s`), and
+    a well-behaved client (:class:`repro.serve.client.ServeClient`)
+    backs off and retries.  Sheds are counted separately from errors in
+    the service telemetry.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.05,
+                 kind: str = "queue_full"):
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+        self.kind = kind
+
+
 class NotFittedError(ModelError):
     """An estimator was used before :meth:`fit` was called."""

@@ -13,11 +13,21 @@ Everything upstream of this package *trains* models; everything in it
   content-keyed feature cache and the models' vectorized predict paths,
   degrading to a heuristic selector when artifacts are missing or bad.
 - :mod:`~repro.serve.http` / :mod:`~repro.serve.client` -- a
-  stdlib-only JSON-over-HTTP front end and its client.
+  stdlib-only JSON-over-HTTP front end and its retrying client.
 - :mod:`~repro.serve.telemetry` -- request counters, cache hit rates,
   fallback counts and latency histograms exposed on ``/stats``.
+- :mod:`~repro.serve.admission` -- bounded-queue admission control:
+  load shedding (503 + ``Retry-After``), per-request deadlines, and
+  degraded ``/healthz`` before hard failure.
+- :mod:`~repro.serve.reload` -- hot model reload: a registry watcher
+  that validates and atomically swaps new artifacts, with a circuit
+  breaker pinning the last good model through bad publishes and
+  automatic rollback of models that degrade after the swap.
+- :mod:`~repro.serve.chaos` -- the chaos harness driving all of the
+  above through scripted faults (``repro serve-chaos``).
 """
 
+from .admission import AdmissionController, AdmissionPolicy
 from .artifacts import (
     SERVE_FORMAT_VERSION,
     ModelArtifact,
@@ -25,24 +35,38 @@ from .artifacts import (
     save_artifact,
 )
 from .batching import MicroBatcher
+from .chaos import ChaosConfig, ChaosRegistry, chaos_passed, run_chaos
+from .client import ClientRetryPolicy, ServeClient
 from .fallback import HeuristicSelector
 from .features import FeatureCache
 from .registry import ModelRegistry
+from .reload import CircuitBreaker, ModelReloader, ReloadPolicy
 from .service import PredictionService, SelectRequest, SelectResult
 from .telemetry import LatencyHistogram, ServiceStats
 
 __all__ = [
     "SERVE_FORMAT_VERSION",
+    "AdmissionController",
+    "AdmissionPolicy",
+    "ChaosConfig",
+    "ChaosRegistry",
+    "CircuitBreaker",
+    "ClientRetryPolicy",
     "FeatureCache",
     "HeuristicSelector",
     "LatencyHistogram",
     "MicroBatcher",
     "ModelArtifact",
     "ModelRegistry",
+    "ModelReloader",
     "PredictionService",
+    "ReloadPolicy",
     "SelectRequest",
     "SelectResult",
+    "ServeClient",
     "ServiceStats",
+    "chaos_passed",
     "load_artifact",
+    "run_chaos",
     "save_artifact",
 ]

@@ -1,0 +1,160 @@
+"""Admission control for the prediction service.
+
+The serving tier must keep answering when offered load exceeds what the
+model path can clear.  Unbounded queueing is the classic failure mode:
+latency grows without bound, every request eventually times out
+client-side, and the service does work nobody is waiting for anymore.
+The admission controller replaces that with three explicit mechanisms:
+
+- **Bounded queue**: at most ``max_queue`` requests may be queued or in
+  flight across the service's micro-batchers.  A request arriving past
+  the bound is *shed* immediately with :class:`OverloadError` -- the
+  HTTP layer turns that into ``503`` + ``Retry-After`` -- instead of
+  joining a queue it would never clear.
+- **Deadlines**: every admitted request carries a deadline (per-request
+  budget, or the policy default).  Work whose deadline expired while it
+  waited is shed *before* compute -- the batch leader drops it when
+  forming a batch -- so a stalled worker does not burn model time on
+  answers nobody will read.
+- **Degraded health**: ``/healthz`` reports ``"overloaded"`` once the
+  queue passes ``overload_threshold`` of its bound, before requests are
+  actually shed, so load balancers can rebalance ahead of hard 503s.
+
+All accounting is O(1) per request and shared by the select and predict
+batchers: one bound protects the whole service.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from ..errors import OverloadError
+
+#: Sentinel distinguishing "no budget given, use the policy default"
+#: from an explicit ``None`` ("no deadline for this request").
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Knobs for the bounded-queue admission controller.
+
+    ``max_queue <= 0`` disables the bound (admit everything) -- useful
+    for offline batch replays where shedding would only lose work.
+    ``default_budget_s`` of ``None`` means admitted requests have no
+    deadline unless the caller supplies one.
+    """
+
+    max_queue: int = 256
+    default_budget_s: "float | None" = None
+    overload_threshold: float = 0.5
+    retry_after_s: float = 0.05
+
+
+class AdmissionController:
+    """Bounded admission with deadline bookkeeping and health status.
+
+    ``depth`` counts requests admitted but not yet answered (queued or
+    in a running batch); the micro-batchers call :meth:`admit` on
+    submit and :meth:`release` when an item completes or is shed.  The
+    clock is injectable so deadline behaviour is testable without real
+    waits.
+    """
+
+    def __init__(
+        self,
+        policy: "AdmissionPolicy | None" = None,
+        stats=None,
+        clock=time.monotonic,
+    ):
+        self.policy = policy or AdmissionPolicy()
+        self.stats = stats
+        self.clock = clock
+        self._lock = threading.Lock()
+        self.depth = 0
+        self.peak_depth = 0
+        self.shed_total = 0
+
+    # ------------------------------------------------------------------
+    # queue accounting
+    # ------------------------------------------------------------------
+    def admit(self) -> None:
+        """Reserve a queue slot or shed with :class:`OverloadError`."""
+        p = self.policy
+        with self._lock:
+            if 0 < p.max_queue <= self.depth:
+                self.shed_total += 1
+                depth = self.depth
+                if self.stats is not None:
+                    self.stats.count_shed()
+                raise OverloadError(
+                    f"request queue full ({depth}/{p.max_queue} in "
+                    f"flight); retry after {p.retry_after_s}s",
+                    retry_after_s=p.retry_after_s,
+                    kind="queue_full",
+                )
+            self.depth += 1
+            if self.depth > self.peak_depth:
+                self.peak_depth = self.depth
+
+    def release(self, n: int = 1) -> None:
+        """Return *n* slots after their requests completed or were shed."""
+        with self._lock:
+            self.depth = max(0, self.depth - n)
+
+    # ------------------------------------------------------------------
+    # deadlines
+    # ------------------------------------------------------------------
+    def deadline_for(self, budget_s=_UNSET) -> "float | None":
+        """Absolute deadline for a request entering now (None = none)."""
+        if budget_s is _UNSET:
+            budget_s = self.policy.default_budget_s
+        if budget_s is None:
+            return None
+        return self.clock() + float(budget_s)
+
+    def expired(self, deadline: "float | None") -> bool:
+        return deadline is not None and self.clock() > deadline
+
+    def shed_expired(self) -> None:
+        """Record one deadline miss (the batcher already holds the item)."""
+        with self._lock:
+            self.shed_total += 1
+        if self.stats is not None:
+            self.stats.count_deadline_miss()
+
+    def deadline_error(self) -> OverloadError:
+        return OverloadError(
+            "deadline expired while the request waited for a batch slot",
+            retry_after_s=self.policy.retry_after_s,
+            kind="deadline",
+        )
+
+    # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+    def status(self) -> str:
+        """``"ok"`` or ``"overloaded"`` (queue past the threshold)."""
+        p = self.policy
+        if p.max_queue <= 0:
+            return "ok"
+        with self._lock:
+            depth = self.depth
+        if depth >= max(1.0, p.overload_threshold * p.max_queue):
+            return "overloaded"
+        return "ok"
+
+    def snapshot(self) -> dict:
+        """Queue-state document merged into ``/stats``."""
+        with self._lock:
+            depth, peak, shed = self.depth, self.peak_depth, self.shed_total
+        return {
+            "queue_depth": depth,
+            "queue_depth_peak": peak,
+            "max_queue": self.policy.max_queue,
+            "shed_total": shed,
+            "status": self.status(),
+            "default_budget_s": self.policy.default_budget_s,
+        }

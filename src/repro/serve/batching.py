@@ -22,10 +22,11 @@ from typing import Callable, Sequence
 
 
 class _Item:
-    __slots__ = ("value", "event", "result", "error")
+    __slots__ = ("value", "event", "result", "error", "deadline")
 
-    def __init__(self, value):
+    def __init__(self, value, deadline: "float | None" = None):
         self.value = value
+        self.deadline = deadline
         self.event = threading.Event()
         self.result = None
         self.error: "BaseException | None" = None
@@ -46,6 +47,13 @@ class MicroBatcher:
         only what is already queued (pure opportunistic batching).
     on_batch:
         Optional observer called with each batch size (telemetry).
+    admission:
+        Optional :class:`~repro.serve.admission.AdmissionController`.
+        When given, ``submit`` reserves a queue slot first (which may
+        shed with :class:`~repro.errors.OverloadError`), slots are
+        released as items complete, and items whose deadline expired
+        while queued are shed before compute.  One controller may guard
+        several batchers: the bound then spans all of them.
     """
 
     def __init__(
@@ -54,6 +62,7 @@ class MicroBatcher:
         max_batch: int = 64,
         max_wait_s: float = 0.002,
         on_batch: "Callable[[int], None] | None" = None,
+        admission=None,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -61,15 +70,23 @@ class MicroBatcher:
         self.max_batch = int(max_batch)
         self.max_wait_s = float(max_wait_s)
         self.on_batch = on_batch
+        self.admission = admission
         self._queue: list[_Item] = []
         self._lock = threading.Lock()
         self._leader_active = False
-        self._wakeup = threading.Condition(self._lock)
 
     # ------------------------------------------------------------------
-    def submit(self, value):
-        """Block until *value* has been processed in some batch."""
-        item = _Item(value)
+    def submit(self, value, deadline: "float | None" = None):
+        """Block until *value* has been processed in some batch.
+
+        Raises :class:`~repro.errors.OverloadError` without queueing
+        when the admission controller's bound is hit, or after dequeue
+        when *deadline* (absolute, on the controller's clock) expired
+        before the item reached compute.
+        """
+        if self.admission is not None:
+            self.admission.admit()
+        item = _Item(value, deadline)
         with self._lock:
             self._queue.append(item)
             lead = not self._leader_active
@@ -99,7 +116,30 @@ class MicroBatcher:
                 if not batch:
                     self._leader_active = False
                     return
-            self._run_batch(batch)
+            batch = self._shed_expired(batch)
+            if batch:
+                self._run_batch(batch)
+
+    def _shed_expired(self, batch: "list[_Item]") -> "list[_Item]":
+        """Drop items whose deadline passed while they queued.
+
+        Expired work is answered with the controller's deadline error
+        (503-class) *before* the batch function runs: compute is spent
+        only on answers somebody is still waiting for.
+        """
+        adm = self.admission
+        if adm is None:
+            return batch
+        live: list[_Item] = []
+        for item in batch:
+            if adm.expired(item.deadline):
+                adm.shed_expired()
+                adm.release(1)
+                item.error = adm.deadline_error()
+                item.event.set()
+            else:
+                live.append(item)
+        return live
 
     def _run_batch(self, batch: "list[_Item]") -> None:
         if self.on_batch is not None:
@@ -117,5 +157,7 @@ class MicroBatcher:
             for item in batch:
                 item.error = e
         finally:
+            if self.admission is not None:
+                self.admission.release(len(batch))
             for item in batch:
                 item.event.set()

@@ -50,6 +50,11 @@ def _train_artifacts(quick: bool, seed: int):
     return selector, predictor
 
 
+def train_bench_artifacts(quick: bool = False, seed: int = DEFAULT_SEED):
+    """Small real selector/predictor artifacts for benches and chaos."""
+    return _train_artifacts(quick, seed)
+
+
 def _make_requests(quick: bool, seed: int):
     n = 64 if quick else 256
     stencils = generate_population(_NDIM, n, max_order=MAX_ORDER, seed=seed + 1)

@@ -3,26 +3,93 @@
 Thin urllib wrapper; raises :class:`ServiceError` with the server's
 ``error`` field for 4xx/5xx responses so callers see one exception
 type for "the service said no".
+
+Transient trouble is retried the way the PR 1 measurement guard
+retries transient faults: a bounded per-call budget, exponential
+backoff with a cap, and a clean split between *transient* errors
+(connection refused/reset, HTTP 503 load sheds -- worth another try)
+and *deterministic* ones (400s, 500s -- retrying would just repeat
+them).  Two serve-specific twists:
+
+- A 503 carrying ``Retry-After`` is the server telling the client
+  when capacity returns; the hint overrides the backoff schedule
+  (still capped at ``backoff_max_s``).
+- Jitter is deterministic -- a BLAKE2b hash of ``(path, attempt)``
+  scales each delay -- so a retrying client is reproducible under
+  test while a fleet of clients still decorrelates (different paths
+  and attempt counts hash apart).  No global RNG is consulted.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import time
 import urllib.error
 import urllib.request
+from dataclasses import dataclass
 
 from ..errors import ServiceError
 
 
-class ServeClient:
-    """Talk to a running serve endpoint."""
+@dataclass(frozen=True)
+class ClientRetryPolicy:
+    """Bounded-retry schedule for transient request failures.
 
-    def __init__(self, base_url: str, timeout_s: float = 10.0):
+    ``max_retries=0`` disables retrying entirely (one attempt).
+    """
+
+    max_retries: int = 3
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    jitter: float = 0.25  # +/- fraction applied to each delay
+
+
+def _jitter_scale(path: str, attempt: int, jitter: float) -> float:
+    """Deterministic delay multiplier in ``[1 - jitter, 1 + jitter]``."""
+    if jitter <= 0:
+        return 1.0
+    h = hashlib.blake2b(f"{path}:{attempt}".encode(), digest_size=2)
+    unit = int(h.hexdigest(), 16) / 0xFFFF  # [0, 1]
+    return 1.0 + jitter * (2.0 * unit - 1.0)
+
+
+class ServeClient:
+    """Talk to a running serve endpoint.
+
+    Parameters
+    ----------
+    base_url:
+        ``http://host:port`` of a running ``repro serve``.
+    timeout_s:
+        Per-request socket timeout.
+    retry:
+        :class:`ClientRetryPolicy`; the default retries connection
+        errors and 503 sheds a few times with backoff.
+    sleep / opener:
+        Injectable for tests (defaults: ``time.sleep``,
+        ``urllib.request.urlopen``).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 10.0,
+        retry: "ClientRetryPolicy | None" = None,
+        sleep=time.sleep,
+        opener=urllib.request.urlopen,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout_s = float(timeout_s)
+        self.retry = retry or ClientRetryPolicy()
+        self.sleep = sleep
+        self.opener = opener
+        self.retries_used = 0  # total across the client's lifetime
 
     # ------------------------------------------------------------------
-    def _request(self, path: str, payload: "dict | None" = None) -> dict:
+    def _attempt(self, path: str, payload: "dict | None") -> dict:
+        """One HTTP round trip; transient trouble raises ``_Transient``."""
         url = self.base_url + path
         data = None
         headers = {"Accept": "application/json"}
@@ -31,18 +98,44 @@ class ServeClient:
             headers["Content-Type"] = "application/json"
         req = urllib.request.Request(url, data=data, headers=headers)
         try:
-            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+            with self.opener(req, timeout=self.timeout_s) as resp:
                 return json.loads(resp.read().decode("utf-8"))
         except urllib.error.HTTPError as e:
             try:
                 detail = json.loads(e.read().decode("utf-8")).get("error", "")
             except Exception:  # noqa: BLE001 - body may be anything
                 detail = ""
-            raise ServiceError(
-                f"{path} failed with HTTP {e.code}: {detail or e.reason}"
-            ) from None
+            message = f"{path} failed with HTTP {e.code}: {detail or e.reason}"
+            if e.code == 503:
+                raise _Transient(
+                    message, retry_after_s=_retry_after(e.headers)
+                ) from None
+            raise ServiceError(message) from None
         except urllib.error.URLError as e:
-            raise ServiceError(f"cannot reach {url}: {e.reason}") from None
+            # Connection refused/reset, DNS hiccups: the request never
+            # reached a handler, so a retry cannot double-apply it.
+            raise _Transient(f"cannot reach {url}: {e.reason}") from None
+
+    def _request(self, path: str, payload: "dict | None" = None) -> dict:
+        policy = self.retry
+        delay = policy.backoff_base_s
+        for attempt in range(policy.max_retries + 1):
+            try:
+                return self._attempt(path, payload)
+            except _Transient as e:
+                if attempt >= policy.max_retries:
+                    raise ServiceError(
+                        f"{e} (gave up after {attempt + 1} attempts)"
+                    ) from None
+                wait = delay * _jitter_scale(path, attempt, policy.jitter)
+                if e.retry_after_s is not None:
+                    wait = e.retry_after_s
+                self.sleep(min(wait, policy.backoff_max_s))
+                self.retries_used += 1
+                delay = min(
+                    delay * policy.backoff_factor, policy.backoff_max_s
+                )
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # ------------------------------------------------------------------
     def healthz(self) -> dict:
@@ -51,20 +144,45 @@ class ServeClient:
     def stats(self) -> dict:
         return self._request("/stats")
 
-    def select(self, stencil, gpu: str) -> dict:
+    def select(self, stencil, gpu: str,
+               budget_ms: "float | None" = None) -> dict:
         """One selection; *stencil* is a name or an offsets document."""
-        return self._request("/v1/select", {"stencil": stencil, "gpu": gpu})
+        doc = {"stencil": stencil, "gpu": gpu}
+        if budget_ms is not None:
+            doc["budget_ms"] = budget_ms
+        return self._request("/v1/select", doc)
 
     def select_batch(self, requests: "list[dict]") -> "list[dict]":
         return self._request("/v1/select", {"requests": requests})["results"]
 
     def predict(self, stencil, oc: str, gpu: str,
-                setting: "dict | None" = None) -> float:
+                setting: "dict | None" = None,
+                budget_ms: "float | None" = None) -> float:
         doc = {"stencil": stencil, "oc": oc, "gpu": gpu}
         if setting:
             doc["setting"] = setting
+        if budget_ms is not None:
+            doc["budget_ms"] = budget_ms
         return float(self._request("/v1/predict", doc)["time_ms"])
 
     def predict_batch(self, requests: "list[dict]") -> "list[float]":
         out = self._request("/v1/predict", {"requests": requests})["results"]
         return [float(r["time_ms"]) for r in out]
+
+
+class _Transient(Exception):
+    """A failure worth retrying (connection error or 503 shed)."""
+
+    def __init__(self, message: str, retry_after_s: "float | None" = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+def _retry_after(headers) -> "float | None":
+    raw = headers.get("Retry-After") if headers is not None else None
+    if raw is None:
+        return None
+    try:
+        return max(0.0, float(raw))
+    except ValueError:
+        return None

@@ -13,25 +13,66 @@ Protocol (all bodies are JSON):
 
 ``<stencil>`` is either a library name (``"star2d2r"``) or an inline
 ``{"ndim": ..., "offsets": [[...], ...]}`` document (the campaign
-storage format).  Client errors (bad payloads, unknown GPUs/OCs) map to
-HTTP 400 with ``{"error": ...}``; unexpected failures to 500.  Requests
-are served on a thread per connection (``ThreadingHTTPServer``), which
-is exactly the concurrency the service's micro-batcher coalesces.
+storage format).  Single-item bodies may carry ``"budget_ms"``, a
+per-request deadline budget forwarded to the admission controller.
+
+Status mapping:
+
+- Client errors (bad payloads, unknown GPUs/OCs) -> 400.
+- A missing or oversized ``Content-Length`` -> 413; a malformed
+  (non-integer) one -> 400.  Bodies are read only after the bound
+  check, so an abusive client cannot make a handler thread buffer
+  gigabytes.
+- A shed request (:class:`~repro.errors.OverloadError`: admission
+  queue full, or deadline expired before compute) -> 503 with a
+  ``Retry-After`` header -- the client-visible half of load shedding.
+- Unexpected failures -> 500.
+- ``/healthz`` stays 200 while the process can answer at all, but its
+  ``status`` field degrades to ``"overloaded"`` before requests are
+  hard-shed (see :meth:`PredictionService.health`).
+
+Requests are served on a thread per connection
+(``ThreadingHTTPServer``), which is exactly the concurrency the
+service's micro-batcher coalesces.  The server counts in-flight
+connections so a draining shutdown can wait for them.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from ..errors import ReproError, ServiceError
+from ..errors import OverloadError, ReproError, ServiceError
 from ..profiling.storage import stencil_from_dict
 from ..stencil import library
 from ..stencil.stencil import Stencil
+from .admission import _UNSET
 from .service import PredictionService, setting_from_dict
 
 #: Largest accepted request body; a service endpoint is not a file drop.
 MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class _HttpError(Exception):
+    """A request rejected before (or instead of) service dispatch."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+def _budget_s(doc: dict):
+    """The request's deadline budget in seconds (unset -> policy default)."""
+    raw = doc.get("budget_ms")
+    if raw is None:
+        return _UNSET
+    try:
+        return float(raw) / 1e3
+    except (TypeError, ValueError):
+        raise ServiceError(
+            f"budget_ms must be a number, got {raw!r}"
+        ) from None
 
 
 def parse_stencil(doc) -> Stencil:
@@ -61,7 +102,11 @@ def _select_payload(service: PredictionService, doc: dict) -> dict:
         ]
         results = service.select_many(reqs)
         return {"results": [_select_result(r) for r in results]}
-    result = service.select(parse_stencil(doc.get("stencil")), str(doc.get("gpu")))
+    result = service.select(
+        parse_stencil(doc.get("stencil")),
+        str(doc.get("gpu")),
+        budget_s=_budget_s(doc),
+    )
     return _select_result(result)
 
 
@@ -94,6 +139,7 @@ def _predict_payload(service: PredictionService, doc: dict) -> dict:
         str(doc.get("oc")),
         setting_from_dict(doc.get("setting")),
         str(doc.get("gpu")),
+        budget_s=_budget_s(doc),
     )
     return {"time_ms": t}
 
@@ -115,23 +161,41 @@ class ServeHandler(BaseHTTPRequestHandler):
             super().log_message(fmt, *args)
 
     # ------------------------------------------------------------------
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self, status: int, payload: dict,
+        headers: "dict[str, str] | None" = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for k, v in (headers or {}).items():
+            self.send_header(k, v)
         self.end_headers()
         self.wfile.write(body)
 
     def _read_body(self) -> dict:
-        length = int(self.headers.get("Content-Length") or 0)
+        raw_length = self.headers.get("Content-Length")
+        if raw_length is None:
+            # Without a declared length the only safe read bound is the
+            # connection itself; reject instead of buffering blind.
+            raise _HttpError(
+                413, "missing Content-Length header (chunked or unbounded "
+                     "bodies are not accepted)"
+            )
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise _HttpError(
+                400, f"malformed Content-Length header {raw_length!r}"
+            ) from None
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(
+                413, f"request body of {length} bytes exceeds the "
+                     f"{MAX_BODY_BYTES} byte limit"
+            )
         if length <= 0:
             raise ServiceError("missing request body")
-        if length > MAX_BODY_BYTES:
-            raise ServiceError(
-                f"request body of {length} bytes exceeds the "
-                f"{MAX_BODY_BYTES} byte limit"
-            )
         raw = self.rfile.read(length)
         try:
             doc = json.loads(raw)
@@ -144,7 +208,7 @@ class ServeHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         if self.path == "/healthz":
-            self._send_json(200, {"ok": True})
+            self._send_json(200, self.service.health())
         elif self.path == "/stats":
             self._send_json(200, self.service.stats_snapshot())
         else:
@@ -160,6 +224,17 @@ class ServeHandler(BaseHTTPRequestHandler):
         try:
             doc = self._read_body()
             self._send_json(200, handler(self.service, doc))
+        except _HttpError as e:
+            self.service.stats.count_error(endpoint)
+            self._send_json(e.status, {"error": str(e)})
+        except OverloadError as e:
+            # Shed, not failed: the admission controller already counted
+            # it; tell the client when to come back.
+            self._send_json(
+                503,
+                {"error": str(e), "kind": e.kind},
+                headers={"Retry-After": f"{e.retry_after_s:.3f}"},
+            )
         except ReproError as e:
             self.service.stats.count_error(endpoint)
             self._send_json(400, {"error": str(e)})
@@ -178,6 +253,25 @@ class ServeServer(ThreadingHTTPServer):
         super().__init__(address, ServeHandler)
         self.service = service
         self.verbose = verbose
+        self._in_flight = 0
+        self._in_flight_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def finish_request(self, request, client_address) -> None:
+        """Handle one connection, counted for draining shutdowns."""
+        with self._in_flight_lock:
+            self._in_flight += 1
+        try:
+            super().finish_request(request, client_address)
+        finally:
+            with self._in_flight_lock:
+                self._in_flight -= 1
+
+    @property
+    def in_flight(self) -> int:
+        """Connections currently being handled (drain watches this)."""
+        with self._in_flight_lock:
+            return self._in_flight
 
 
 def make_server(
@@ -186,3 +280,21 @@ def make_server(
 ) -> ServeServer:
     """Bind a server (``port=0`` picks a free ephemeral port)."""
     return ServeServer((host, port), service, verbose=verbose)
+
+
+def drain(server: ServeServer, timeout_s: float = 5.0) -> bool:
+    """Graceful shutdown: stop accepting, wait out in-flight work.
+
+    Returns ``True`` when every in-flight connection finished within
+    *timeout_s*; the server socket is closed either way (a drain
+    timeout abandons the stragglers rather than hanging shutdown).
+    """
+    import time
+
+    server.shutdown()  # stops serve_forever: no new connections accepted
+    deadline = time.monotonic() + max(0.0, timeout_s)
+    while server.in_flight > 0 and time.monotonic() < deadline:
+        time.sleep(0.01)
+    drained = server.in_flight == 0
+    server.server_close()
+    return drained

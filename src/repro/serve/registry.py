@@ -18,6 +18,7 @@ files are never rewritten; history stays queryable.
 from __future__ import annotations
 
 import re
+import threading
 from pathlib import Path
 
 from ..errors import ArtifactError
@@ -44,6 +45,11 @@ class ModelRegistry:
     def __init__(self, root: "str | Path"):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        # Serializes in-process publishes so concurrent publishers never
+        # race for the same next version number.  (Cross-process safety
+        # comes from the atomic file moves: readers always observe a
+        # complete version file and a complete tag.)
+        self._publish_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # enumeration
@@ -73,19 +79,38 @@ class ModelRegistry:
         return sorted(found)
 
     def latest(self, name: str) -> str:
-        """The version the ``LATEST`` tag points at."""
+        """The version the ``LATEST`` tag points at.
+
+        Fails closed with a descriptive :class:`ArtifactError` on every
+        torn state a reader can observe: an empty or garbled tag, a tag
+        naming a version whose file was deleted, or a directory with no
+        published versions at all.  A reader racing a concurrent
+        :meth:`publish` sees either the old tag or the new one -- both
+        valid -- because the version file always lands before the tag
+        moves.
+        """
         d = self.root / _check_name(name)
         tag = d / _LATEST
         versions = self.versions(name)
         if tag.exists():
-            v = tag.read_text().strip()
+            try:
+                v = tag.read_text().strip()
+            except OSError as e:
+                raise ArtifactError(
+                    f"{name}: cannot read LATEST tag: {e}"
+                ) from None
             if v in versions:
                 return v
             raise ArtifactError(
                 f"{name}: LATEST tag points at {v!r} but published "
-                f"versions are {versions}"
+                f"versions are {versions} (torn tag, or the version "
+                f"file was deleted)"
             )
         # Tag missing (e.g. hand-pruned registry): newest published wins.
+        if not versions:
+            raise ArtifactError(
+                f"{name}: no published versions in {self.root}"
+            )
         return versions[-1]
 
     # ------------------------------------------------------------------
@@ -101,11 +126,12 @@ class ModelRegistry:
         """
         d = self.root / _check_name(name)
         d.mkdir(parents=True, exist_ok=True)
-        existing = self._versions_in(d)
-        next_num = 1 + (int(existing[-1][1:]) if existing else 0)
-        version = f"v{next_num:06d}"
-        save_artifact(artifact, d / f"{version}.json")
-        atomic_write_text(d / _LATEST, version + "\n")
+        with self._publish_lock:
+            existing = self._versions_in(d)
+            next_num = 1 + (int(existing[-1][1:]) if existing else 0)
+            version = f"v{next_num:06d}"
+            save_artifact(artifact, d / f"{version}.json")
+            atomic_write_text(d / _LATEST, version + "\n")
         return version
 
     def path(self, name: str, version: "str | None" = None) -> Path:

@@ -1,0 +1,415 @@
+"""Hot model reload with a circuit breaker and automatic rollback.
+
+The train -> publish -> serve loop only works unattended if the serving
+tier picks up new artifacts on its own *and* survives bad ones.  The
+:class:`ModelReloader` closes that loop:
+
+- **Watch**: each poll (:meth:`check_once`, or the background thread
+  started by :meth:`start`) reads every watched name's ``LATEST`` tag.
+- **Load off the hot path**: a changed tag is loaded and validated in
+  the watcher, never in a request thread -- checksum verification via
+  :func:`~repro.serve.artifacts.load_artifact`, then a smoke
+  ``select_many``/``predict_many`` against a pinned probe set on a
+  scratch service sharing the feature cache.
+- **Atomic swap**: a validated artifact replaces the served one with a
+  single slot assignment; in-flight batches keep the artifact object
+  they already resolved, so no request ever observes a half-swap.
+- **Circuit breaker**: repeated bad loads (corrupt publish, torn tag,
+  failed smoke test) trip the per-name breaker ``closed -> open``; the
+  last-good model stays pinned, load attempts stop for ``cooldown_s``,
+  then one ``half-open`` probe decides between ``closed`` (good
+  publish landed) and ``open`` again.  Breaker state is surfaced in
+  ``/stats`` under ``reload``.
+- **Rollback**: after a swap the reloader watches the service's
+  degradation counters (fallbacks + model failures + errors); if the
+  rate over the post-swap window jumps past the policy bar, the
+  previous artifact is reinstalled, the new version is marked rejected
+  (never auto-retried), and the breaker records the failure.
+
+Every decision is driven by an injectable clock, so breaker timing and
+rollback windows are deterministic under test.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..errors import ArtifactError, ReproError
+from ..gpu.specs import GPU_ORDER
+from ..optimizations.params import ParamSetting
+from ..stencil import library
+from .artifacts import ModelArtifact
+from .registry import ModelRegistry
+
+#: Default pinned probe stencils per dimensionality: small, always in
+#: the library, and cheap to featurize.  A candidate artifact must
+#: answer all of them through the real service path before it swaps in.
+DEFAULT_PROBES = {
+    2: ("star2d1r", "star2d2r", "box2d1r"),
+    3: ("star3d1r", "box3d1r"),
+}
+
+
+@dataclass(frozen=True)
+class ReloadPolicy:
+    """Breaker and rollback parameters.
+
+    ``failure_threshold`` consecutive bad loads open the breaker;
+    ``cooldown_s`` later one half-open probe is allowed.  After a
+    successful swap the reloader waits for ``min_window`` requests and
+    rolls back if the degraded-answer rate (fallbacks + model failures
+    + errors, as a fraction of requests) exceeds
+    ``max_degraded_rate``.
+    """
+
+    failure_threshold: int = 3
+    cooldown_s: float = 30.0
+    min_window: int = 20
+    max_degraded_rate: float = 0.5
+
+
+class CircuitBreaker:
+    """Classic closed / open / half-open breaker on an injected clock."""
+
+    def __init__(self, policy: ReloadPolicy, clock=time.monotonic):
+        self.policy = policy
+        self.clock = clock
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.opened_at: "float | None" = None
+        self.opens = 0
+
+    def allow(self) -> bool:
+        """May a load be attempted now?  (open -> half-open on cooldown)"""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if self.clock() - self.opened_at >= self.policy.cooldown_s:
+                self.state = "half_open"
+                return True
+            return False
+        # half_open: a probe is already in flight this poll cycle.
+        return True
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if (
+            self.state == "half_open"
+            or self.consecutive_failures >= self.policy.failure_threshold
+        ):
+            if self.state != "open":
+                self.opens += 1
+            self.state = "open"
+            self.opened_at = self.clock()
+
+    def record_success(self) -> None:
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.opened_at = None
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "opens": self.opens,
+        }
+
+
+@dataclass
+class _NameState:
+    """Per-artifact-name reloader bookkeeping."""
+
+    breaker: CircuitBreaker
+    version: "str | None" = None
+    artifact: "ModelArtifact | None" = None
+    label: str = ""
+    last_good_version: "str | None" = None
+    last_good_artifact: "ModelArtifact | None" = None
+    rejected: set = field(default_factory=set)
+    swaps: int = 0
+    rollbacks: int = 0
+    load_failures: int = 0
+    last_error: "str | None" = None
+    swap_mark: "dict | None" = None  # stats totals at swap time
+
+
+def _degradation_mark(stats) -> dict:
+    """Stats totals the rollback monitor diffs against."""
+    snap = stats.snapshot()
+    return {
+        "requests": snap["requests_total"],
+        "degraded": (
+            snap["fallbacks"] + snap["model_failures"] + snap["errors_total"]
+        ),
+    }
+
+
+class ModelReloader:
+    """Keep a :class:`PredictionService` on the latest *good* artifacts.
+
+    Parameters
+    ----------
+    service:
+        The live service; swaps go through ``service.install``.
+    registry:
+        The registry to watch (any :class:`ModelRegistry`).
+    names:
+        Artifact names to watch; default: every name in the registry at
+        each poll (new names are picked up automatically).
+    policy:
+        :class:`ReloadPolicy` breaker/rollback parameters.
+    probes:
+        ``{ndim: (stencil_name, ...)}`` smoke-test inputs (default
+        :data:`DEFAULT_PROBES`).
+    clock:
+        Monotonic clock for breaker cooldowns (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        service,
+        registry: ModelRegistry,
+        names: "list[str] | None" = None,
+        policy: "ReloadPolicy | None" = None,
+        probes: "dict | None" = None,
+        clock=time.monotonic,
+    ):
+        self.service = service
+        self.registry = registry
+        self.names = list(names) if names is not None else None
+        self.policy = policy or ReloadPolicy()
+        self.probes = dict(DEFAULT_PROBES if probes is None else probes)
+        self.clock = clock
+        self._states: dict[str, _NameState] = {}
+        self._lock = threading.Lock()
+        self._thread: "threading.Thread | None" = None
+        self._stop = threading.Event()
+        service.reloader = self
+
+    # ------------------------------------------------------------------
+    # polling
+    # ------------------------------------------------------------------
+    def _watched_names(self) -> "list[str]":
+        if self.names is not None:
+            return self.names
+        try:
+            return self.registry.names()
+        except OSError:
+            return list(self._states)
+
+    def _state(self, name: str) -> _NameState:
+        st = self._states.get(name)
+        if st is None:
+            st = self._states[name] = _NameState(
+                breaker=CircuitBreaker(self.policy, self.clock)
+            )
+        return st
+
+    def prime(self) -> "list[dict]":
+        """Initial load of every watched name (same path as a reload)."""
+        return self.check_once()
+
+    def check_once(self) -> "list[dict]":
+        """One synchronous poll; returns the list of event documents.
+
+        Event ``action`` values: ``swapped``, ``rollback``,
+        ``load-failed``, ``poll-failed``, ``breaker-open``.  A poll
+        with nothing to do returns no events.
+        """
+        events: "list[dict]" = []
+        with self._lock:
+            for name in self._watched_names():
+                st = self._state(name)
+                events.extend(self._check_health(name, st))
+                events.extend(self._check_version(name, st))
+        return events
+
+    # ------------------------------------------------------------------
+    def _check_health(self, name: str, st: _NameState) -> "list[dict]":
+        """Post-swap rollback monitor: degraded-rate over the window."""
+        if st.swap_mark is None or st.last_good_artifact is None:
+            return []
+        now = _degradation_mark(self.service.stats)
+        window = now["requests"] - st.swap_mark["requests"]
+        if window < self.policy.min_window:
+            return []
+        rate = (now["degraded"] - st.swap_mark["degraded"]) / window
+        if rate <= self.policy.max_degraded_rate:
+            # The swapped-in version held up over the window; it becomes
+            # the new last-good and monitoring stops.
+            st.last_good_version = st.version
+            st.last_good_artifact = st.artifact
+            st.swap_mark = None
+            return []
+        bad_version, bad_rate = st.version, rate
+        self.service.install(
+            st.last_good_artifact, f"{name}@{st.last_good_version}"
+        )
+        st.rejected.add(bad_version)
+        st.version = st.last_good_version
+        st.artifact = st.last_good_artifact
+        st.label = f"{name}@{st.last_good_version}"
+        st.swap_mark = None
+        st.rollbacks += 1
+        st.last_error = (
+            f"rolled back {bad_version}: degraded-answer rate "
+            f"{bad_rate:.2f} over {window} requests"
+        )
+        st.breaker.record_failure()
+        return [{
+            "name": name,
+            "action": "rollback",
+            "from": bad_version,
+            "to": st.version,
+            "degraded_rate": bad_rate,
+        }]
+
+    def _check_version(self, name: str, st: _NameState) -> "list[dict]":
+        try:
+            latest = self.registry.latest(name)
+        except (ArtifactError, OSError) as e:
+            # A torn/empty tag or unreadable directory: fail closed on
+            # the pinned artifact and count it against the breaker.
+            st.load_failures += 1
+            st.last_error = str(e)
+            st.breaker.record_failure()
+            return [{"name": name, "action": "poll-failed", "error": str(e)}]
+        if latest == st.version or latest in st.rejected:
+            return []
+        if not st.breaker.allow():
+            return [{
+                "name": name,
+                "action": "breaker-open",
+                "skipped": latest,
+            }]
+        try:
+            artifact = self.registry.load(name, latest)
+            self._validate(artifact)
+        except (ReproError, OSError) as e:
+            st.load_failures += 1
+            st.last_error = str(e)
+            st.breaker.record_failure()
+            return [{
+                "name": name,
+                "action": "load-failed",
+                "version": latest,
+                "error": str(e),
+                "breaker": st.breaker.state,
+            }]
+        # Swap: a single install is atomic for request threads (they
+        # resolve the slot once per batch).
+        previous = (st.version, st.artifact)
+        self.service.install(artifact, f"{name}@{latest}")
+        if st.artifact is not None:
+            st.last_good_version, st.last_good_artifact = previous
+            st.swap_mark = _degradation_mark(self.service.stats)
+        else:
+            # First install: nothing to roll back to yet.
+            st.last_good_version, st.last_good_artifact = latest, artifact
+            st.swap_mark = None
+        st.version, st.artifact, st.label = latest, artifact, f"{name}@{latest}"
+        st.swaps += 1
+        st.breaker.record_success()
+        return [{"name": name, "action": "swapped", "version": latest}]
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def _validate(self, artifact: ModelArtifact) -> None:
+        """Smoke-test a candidate against the pinned probe set.
+
+        Runs the *real* service paths on a scratch service (sharing the
+        feature cache, so probes also pre-warm it for live traffic) and
+        fails closed with :class:`ArtifactError` on any answer that is
+        not a clean model answer.
+        """
+        from .service import (
+            PredictionService,
+            PredictRequest,
+            SelectRequest,
+        )
+        from .admission import AdmissionPolicy
+
+        names = self.probes.get(artifact.ndim, ())
+        probes = [library.get(n) for n in names]
+        if not probes:
+            raise ArtifactError(
+                f"no probe stencils configured for {artifact.ndim}d "
+                f"artifacts; cannot smoke-test {artifact.describe()}"
+            )
+        scratch = PredictionService(
+            feature_cache=self.service.cache,
+            max_order=artifact.max_order,
+            admission=AdmissionPolicy(max_queue=0),
+        )
+        scratch.install(artifact, "candidate")
+        if artifact.kind == "selector":
+            results = scratch.select_many(
+                [SelectRequest(p, artifact.gpu) for p in probes]
+            )
+            bad = [r for r in results if r.source != "model"]
+            if bad:
+                raise ArtifactError(
+                    f"smoke validation failed: {len(bad)}/{len(results)} "
+                    f"probe selections did not come from the model "
+                    f"(model error or out-of-range class)"
+                )
+        else:
+            gpu = artifact.gpu or GPU_ORDER[0]
+            times = scratch.predict_many(
+                [PredictRequest(p, "naive", ParamSetting(), gpu) for p in probes]
+            )
+            import math
+
+            if not all(math.isfinite(t) for t in times):
+                raise ArtifactError(
+                    f"smoke validation failed: non-finite probe "
+                    f"predictions {times}"
+                )
+
+    # ------------------------------------------------------------------
+    # background watching
+    # ------------------------------------------------------------------
+    def start(self, interval_s: float = 2.0) -> None:
+        """Poll every ``interval_s`` on a daemon thread until `stop`."""
+        if self._thread is not None:
+            raise RuntimeError("reloader already started")
+        self._stop.clear()
+
+        def _loop() -> None:
+            while not self._stop.wait(interval_s):
+                try:
+                    self.check_once()
+                except Exception:  # noqa: BLE001 - watcher must survive
+                    pass
+
+        self._thread = threading.Thread(
+            target=_loop, name="model-reloader", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Per-name reload/breaker state (the ``/stats`` ``reload`` key)."""
+        with self._lock:
+            return {
+                name: {
+                    "installed": st.version,
+                    "last_good": st.last_good_version,
+                    "swaps": st.swaps,
+                    "rollbacks": st.rollbacks,
+                    "load_failures": st.load_failures,
+                    "rejected": sorted(st.rejected),
+                    "last_error": st.last_error,
+                    "breaker": st.breaker.snapshot(),
+                }
+                for name, st in sorted(self._states.items())
+            }

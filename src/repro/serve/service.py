@@ -26,13 +26,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..config import MAX_ORDER
-from ..errors import ArtifactError, ServiceError
+from ..errors import ArtifactError, OverloadError, ServiceError
 from ..gpu.specs import GPU_ORDER, hardware_features
 from ..ml.preprocess import LogTimeTransform
 from ..optimizations.combos import OC_BY_NAME
 from ..optimizations.params import PARAM_NAMES, ParamSetting
 from ..profiling.dataset import oc_flags
 from ..stencil.stencil import Stencil
+from .admission import _UNSET, AdmissionController, AdmissionPolicy
 from .artifacts import ModelArtifact
 from .batching import MicroBatcher
 from .fallback import HeuristicSelector
@@ -114,6 +115,8 @@ class PredictionService:
         max_order: int = MAX_ORDER,
         max_batch: int = 64,
         max_wait_s: float = 0.002,
+        admission: "AdmissionPolicy | None" = None,
+        clock=None,
     ):
         self.stats = stats or ServiceStats()
         self.cache = feature_cache or FeatureCache(max_order)
@@ -122,17 +125,27 @@ class PredictionService:
         self._selectors: dict[tuple[int, str], _Installed] = {}
         self._predictors: dict[int, _Installed] = {}
         self.degraded: list[dict] = []
+        #: Attached by :class:`repro.serve.reload.ModelReloader`; its
+        #: breaker/swap state then shows up in :meth:`stats_snapshot`.
+        self.reloader = None
+        self.admission = AdmissionController(
+            admission or AdmissionPolicy(),
+            stats=self.stats,
+            clock=clock or time.monotonic,
+        )
         self._select_batcher = MicroBatcher(
             self.select_many,
             max_batch=max_batch,
             max_wait_s=max_wait_s,
             on_batch=self.stats.count_batch,
+            admission=self.admission,
         )
         self._predict_batcher = MicroBatcher(
             self.predict_many,
             max_batch=max_batch,
             max_wait_s=max_wait_s,
             on_batch=self.stats.count_batch,
+            admission=self.admission,
         )
         if registry is not None:
             self.load_registry(registry)
@@ -184,12 +197,24 @@ class PredictionService:
     # ------------------------------------------------------------------
     # selection
     # ------------------------------------------------------------------
-    def select(self, stencil: Stencil, gpu: str) -> SelectResult:
+    def select(self, stencil: Stencil, gpu: str, budget_s=_UNSET) -> SelectResult:
         """One selection, through the micro-batcher (the service's
-        per-request front door)."""
+        per-request front door).
+
+        ``budget_s`` is this request's deadline budget: unset uses the
+        admission policy default, ``None`` disables the deadline.  May
+        raise :class:`~repro.errors.OverloadError` (shed, not failed).
+        """
         t0 = time.perf_counter()
         try:
-            result = self._select_batcher.submit(SelectRequest(stencil, gpu))
+            result = self._select_batcher.submit(
+                SelectRequest(stencil, gpu),
+                deadline=self.admission.deadline_for(budget_s),
+            )
+        except OverloadError:
+            # Sheds are overload protection working as designed; they
+            # are counted by the admission controller, not as errors.
+            raise
         except Exception:
             self.stats.count_error("select")
             raise
@@ -233,16 +258,29 @@ class PredictionService:
                     out[i] = SelectResult(oc=oc, source="fallback")
                 continue
             art = slot.artifact
-            X = (
-                self.cache.tensors(stencils)
-                if art.method in _TENSOR_METHODS
-                else self.cache.features(stencils)
-            )
-            classes = np.asarray(art.model.predict(X), dtype=np.int64)
+            try:
+                X = (
+                    self.cache.tensors(stencils)
+                    if art.method in _TENSOR_METHODS
+                    else self.cache.features(stencils)
+                )
+                classes = np.asarray(art.model.predict(X), dtype=np.int64)
+                decoded = [art.representatives[int(c)] for c in classes]
+            except Exception:  # noqa: BLE001 - degrade, never 500
+                # A model that misbehaves at answer time (garbage
+                # classes, shape drift after a bad publish, ...) is a
+                # degradation, not an outage: the heuristic answers and
+                # the failure is counted so the reloader's health check
+                # can roll the artifact back.
+                self.stats.count_model_failure(len(idxs))
+                self.stats.count_fallback(len(idxs))
+                for i, oc in zip(idxs, self.fallback.select_many(stencils, gpu)):
+                    out[i] = SelectResult(oc=oc, source="fallback")
+                continue
             self.stats.count_model_hit(len(idxs))
-            for i, cls in zip(idxs, classes):
+            for i, cls, oc in zip(idxs, classes, decoded):
                 out[i] = SelectResult(
-                    oc=art.representatives[int(cls)],
+                    oc=oc,
                     source="model",
                     cls=int(cls),
                     artifact=slot.label,
@@ -253,14 +291,18 @@ class PredictionService:
     # time prediction
     # ------------------------------------------------------------------
     def predict(
-        self, stencil: Stencil, oc: str, setting: ParamSetting, gpu: str
+        self, stencil: Stencil, oc: str, setting: ParamSetting, gpu: str,
+        budget_s=_UNSET,
     ) -> float:
         """One time prediction through the micro-batcher."""
         t0 = time.perf_counter()
         try:
             result = self._predict_batcher.submit(
-                PredictRequest(stencil, oc, setting, gpu)
+                PredictRequest(stencil, oc, setting, gpu),
+                deadline=self.admission.deadline_for(budget_s),
             )
+        except OverloadError:
+            raise
         except Exception:
             self.stats.count_error("predict")
             raise
@@ -336,8 +378,26 @@ class PredictionService:
         return out
 
     # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """The ``/healthz`` body: alive, but possibly ``overloaded``.
+
+        ``status`` degrades to ``"overloaded"`` once the admission
+        queue crosses its threshold -- before requests are hard-shed --
+        so load balancers see trouble coming while the service still
+        answers.
+        """
+        adm = self.admission.snapshot()
+        return {
+            "ok": True,
+            "status": adm["status"],
+            "queue_depth": adm["queue_depth"],
+        }
+
     def stats_snapshot(self) -> dict:
         """Counters + capabilities, the ``/stats`` response body."""
         doc = self.stats.snapshot(cache_info=self.cache.info())
         doc["capabilities"] = self.capabilities()
+        doc["admission"] = self.admission.snapshot()
+        if self.reloader is not None:
+            doc["reload"] = self.reloader.snapshot()
         return doc

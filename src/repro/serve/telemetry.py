@@ -97,6 +97,9 @@ class ServiceStats:
         self.errors: dict[str, int] = {}
         self.fallbacks = 0
         self.model_hits = 0
+        self.model_failures = 0
+        self.shed = 0
+        self.deadline_misses = 0
         self.batches = 0
         self.batched_requests = 0
         self.max_batch = 0
@@ -118,6 +121,21 @@ class ServiceStats:
     def count_model_hit(self, n: int = 1) -> None:
         with self._lock:
             self.model_hits += n
+
+    def count_model_failure(self, n: int = 1) -> None:
+        """A loaded model failed at answer time (served by fallback)."""
+        with self._lock:
+            self.model_failures += n
+
+    def count_shed(self, n: int = 1) -> None:
+        """Requests rejected at admission (queue full -> 503)."""
+        with self._lock:
+            self.shed += n
+
+    def count_deadline_miss(self, n: int = 1) -> None:
+        """Requests shed after queueing (deadline expired -> 503)."""
+        with self._lock:
+            self.deadline_misses += n
 
     def count_batch(self, size: int) -> None:
         with self._lock:
@@ -141,6 +159,9 @@ class ServiceStats:
             errors = dict(self.errors)
             fallbacks = self.fallbacks
             model_hits = self.model_hits
+            model_failures = self.model_failures
+            shed = self.shed
+            deadline_misses = self.deadline_misses
             batches = self.batches
             batched = self.batched_requests
             max_batch = self.max_batch
@@ -152,6 +173,9 @@ class ServiceStats:
             "errors_total": sum(errors.values()),
             "fallbacks": fallbacks,
             "model_hits": model_hits,
+            "model_failures": model_failures,
+            "shed": shed,
+            "deadline_misses": deadline_misses,
             "batches": {
                 "count": batches,
                 "requests": batched,

@@ -1,0 +1,165 @@
+"""Client-side retry: transient vs fatal, backoff, Retry-After, jitter.
+
+All tests inject a fake opener and sleep -- no sockets, no real waits.
+The taxonomy mirrors the PR 1 measurement guard: connection errors and
+503 sheds are transient (bounded retries with exponential backoff);
+4xx/500 are deterministic and surface immediately.
+"""
+
+import io
+import json
+import urllib.error
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.serve.client import (
+    ClientRetryPolicy,
+    ServeClient,
+    _jitter_scale,
+)
+
+
+class _Response:
+    def __init__(self, payload: dict):
+        self._body = json.dumps(payload).encode()
+
+    def read(self) -> bytes:
+        return self._body
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *a):
+        return False
+
+
+def _http_error(code: int, headers: "dict | None" = None):
+    import email.message
+
+    msg = email.message.Message()
+    for k, v in (headers or {}).items():
+        msg[k] = v
+    return urllib.error.HTTPError(
+        "http://x", code, "nope", msg, io.BytesIO(b'{"error": "boom"}')
+    )
+
+
+class _Opener:
+    """Scripted responses: exceptions raise, dicts return."""
+
+    def __init__(self, script: list):
+        self.script = list(script)
+        self.calls = 0
+
+    def __call__(self, req, timeout=None):
+        self.calls += 1
+        step = self.script.pop(0)
+        if isinstance(step, BaseException):
+            raise step
+        return _Response(step)
+
+
+def make_client(script, **policy_kw):
+    sleeps = []
+    policy = ClientRetryPolicy(**policy_kw) if policy_kw else None
+    opener = _Opener(script)
+    client = ServeClient(
+        "http://test", retry=policy, sleep=sleeps.append, opener=opener
+    )
+    return client, opener, sleeps
+
+
+class TestRetry:
+    def test_connection_error_retried_then_succeeds(self):
+        client, opener, sleeps = make_client(
+            [
+                urllib.error.URLError("refused"),
+                urllib.error.URLError("refused"),
+                {"ok": True},
+            ]
+        )
+        assert client.healthz() == {"ok": True}
+        assert opener.calls == 3
+        assert client.retries_used == 2
+        assert len(sleeps) == 2
+        assert sleeps[1] > sleeps[0]  # exponential backoff
+
+    def test_503_retried(self):
+        client, opener, _ = make_client([_http_error(503), {"ok": True}])
+        assert client.healthz() == {"ok": True}
+        assert opener.calls == 2
+
+    def test_retry_after_header_honored(self):
+        client, _, sleeps = make_client(
+            [_http_error(503, {"Retry-After": "0.777"}), {"ok": True}]
+        )
+        client.healthz()
+        assert sleeps == [pytest.approx(0.777)]
+
+    def test_retry_after_capped_at_backoff_max(self):
+        client, _, sleeps = make_client(
+            [_http_error(503, {"Retry-After": "3600"}), {"ok": True}],
+            backoff_max_s=1.5,
+        )
+        client.healthz()
+        assert sleeps == [pytest.approx(1.5)]
+
+    def test_400_is_fatal_no_retry(self):
+        client, opener, sleeps = make_client([_http_error(400)])
+        with pytest.raises(ServiceError, match="HTTP 400: boom"):
+            client.healthz()
+        assert opener.calls == 1 and sleeps == []
+
+    def test_500_is_fatal_no_retry(self):
+        client, opener, _ = make_client([_http_error(500)])
+        with pytest.raises(ServiceError, match="HTTP 500"):
+            client.healthz()
+        assert opener.calls == 1
+
+    def test_exhaustion_raises_service_error(self):
+        client, opener, _ = make_client(
+            [urllib.error.URLError("down")] * 4, max_retries=3
+        )
+        with pytest.raises(ServiceError, match="gave up after 4 attempts"):
+            client.healthz()
+        assert opener.calls == 4
+
+    def test_retries_disabled(self):
+        client, opener, _ = make_client(
+            [urllib.error.URLError("down")], max_retries=0
+        )
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.healthz()
+        assert opener.calls == 1
+
+    def test_backoff_schedule_is_deterministic(self):
+        script = [urllib.error.URLError("x")] * 3 + [{"ok": True}]
+        client_a, _, sleeps_a = make_client(list(script))
+        client_b, _, sleeps_b = make_client(list(script))
+        client_a.healthz()
+        client_b.healthz()
+        # Same path, same attempts -> bit-identical delays (no RNG).
+        assert sleeps_a == sleeps_b and len(sleeps_a) == 3
+
+
+class TestJitter:
+    def test_deterministic(self):
+        assert _jitter_scale("/v1/select", 0, 0.25) == _jitter_scale(
+            "/v1/select", 0, 0.25
+        )
+
+    def test_bounded(self):
+        for attempt in range(8):
+            s = _jitter_scale("/v1/predict", attempt, 0.25)
+            assert 0.75 <= s <= 1.25
+
+    def test_decorrelates_paths(self):
+        scales = {
+            _jitter_scale(path, 1, 0.25)
+            for path in ("/a", "/b", "/c", "/d", "/e")
+        }
+        assert len(scales) > 1
+
+    def test_zero_jitter(self):
+        assert _jitter_scale("/a", 3, 0.0) == 1.0

@@ -58,7 +58,9 @@ class TestParseStencil:
 class TestEndpoints:
     def test_healthz(self, live):
         client, _ = live
-        assert client.healthz() == {"ok": True}
+        assert client.healthz() == {
+            "ok": True, "status": "ok", "queue_depth": 0
+        }
 
     def test_select_by_name(self, live):
         client, service = live
@@ -153,9 +155,189 @@ class TestErrors:
         assert "missing request body" in body["error"]
 
     def test_cannot_reach_dead_server(self):
-        client = ServeClient("http://127.0.0.1:9", timeout_s=1)
+        from repro.serve.client import ClientRetryPolicy
+
+        client = ServeClient(
+            "http://127.0.0.1:9",
+            timeout_s=1,
+            retry=ClientRetryPolicy(max_retries=0),
+        )
         with pytest.raises(ServiceError, match="cannot reach"):
             client.healthz()
+
+
+class TestBodyBounds:
+    """Content-Length policing happens before any body byte is read."""
+
+    def _raw(self, live, headers: "dict[str, str]"):
+        """POST /v1/select with hand-rolled headers; (status, body)."""
+        import http.client
+
+        client, _ = live
+        host, port = client.base_url.rsplit("//", 1)[1].split(":")
+        conn = http.client.HTTPConnection(host, int(port), timeout=5)
+        try:
+            conn.putrequest("POST", "/v1/select")
+            for k, v in headers.items():
+                conn.putheader(k, v)
+            conn.endheaders()
+            resp = conn.getresponse()
+            return resp.status, json.loads(resp.read().decode())
+        finally:
+            conn.close()
+
+    def test_missing_content_length_is_413(self, live):
+        status, body = self._raw(live, {"Content-Type": "application/json"})
+        assert status == 413
+        assert "Content-Length" in body["error"]
+
+    def test_malformed_content_length_is_400(self, live):
+        status, body = self._raw(live, {"Content-Length": "banana"})
+        assert status == 400
+        assert "malformed Content-Length" in body["error"]
+
+    def test_oversized_content_length_is_413(self, live):
+        from repro.serve.http import MAX_BODY_BYTES
+
+        status, body = self._raw(
+            live, {"Content-Length": str(MAX_BODY_BYTES + 1)}
+        )
+        assert status == 413
+        assert "exceeds" in body["error"]
+
+
+class TestOverloadHTTP:
+    """A full-queue shed surfaces as 503 + Retry-After on the wire."""
+
+    @pytest.fixture()
+    def overloaded(self, selector_artifact):
+        import threading
+
+        from repro.serve import AdmissionPolicy
+
+        service = PredictionService(
+            admission=AdmissionPolicy(max_queue=1, retry_after_s=0.123),
+            max_wait_s=0.0,
+        )
+        service.install(selector_artifact, "sel@ovl")
+        stall = threading.Event()
+        inner = service._select_batcher.batch_fn
+
+        def stalled(values):
+            stall.wait(10.0)
+            return inner(values)
+
+        service._select_batcher.batch_fn = stalled
+        server = make_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            yield f"http://{host}:{port}", service, stall
+        finally:
+            stall.set()
+            server.shutdown()
+            server.server_close()
+
+    def test_shed_is_503_with_retry_after(self, overloaded):
+        import threading
+        import time
+
+        base, service, stall = overloaded
+        body = json.dumps({"stencil": "star2d1r", "gpu": "V100"}).encode()
+
+        def fire():
+            req = urllib.request.Request(
+                base + "/v1/select", data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            urllib.request.urlopen(req, timeout=10)
+
+        first = threading.Thread(target=fire, daemon=True)
+        first.start()
+        deadline = time.monotonic() + 5.0
+        while service.admission.depth == 0 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        req = urllib.request.Request(
+            base + "/v1/select", data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(req, timeout=10)
+        assert exc.value.code == 503
+        assert exc.value.headers["Retry-After"] == "0.123"
+        payload = json.loads(exc.value.read().decode())
+        assert payload["kind"] == "queue_full"
+        stall.set()
+        first.join(timeout=10.0)
+
+    def test_healthz_reports_overloaded(self, overloaded):
+        base, service, _ = overloaded
+        service.admission.admit()
+        try:
+            doc = ServeClient(base).healthz()
+            assert doc["status"] == "overloaded" and doc["ok"] is True
+        finally:
+            service.admission.release()
+
+    def test_client_retry_rides_out_shed(self, overloaded):
+        from repro.serve.client import ClientRetryPolicy
+
+        base, service, stall = overloaded
+        service.admission.admit()  # queue full: first attempt sheds
+
+        sleeps = []
+
+        def sleep_and_free(s):
+            sleeps.append(s)
+            service.admission.release()  # capacity returns mid-backoff
+
+        client = ServeClient(
+            base,
+            retry=ClientRetryPolicy(max_retries=3),
+            sleep=sleep_and_free,
+        )
+        stall.set()  # the worker itself is healthy for this test
+        r = client.select("star2d1r", "V100")
+        assert r["source"] == "model"
+        assert sleeps == [pytest.approx(0.123)]  # honored Retry-After
+
+
+class TestDrain:
+    def test_drain_waits_for_in_flight(self, selector_artifact):
+        import threading
+        import time
+
+        from repro.serve.http import drain
+
+        service = PredictionService(max_wait_s=0.0)
+        service.install(selector_artifact, "sel@drain")
+        inner = service._select_batcher.batch_fn
+
+        def slow(values):
+            time.sleep(0.2)
+            return inner(values)
+
+        service._select_batcher.batch_fn = slow
+        server = make_server(service)
+        host, port = server.server_address[:2]
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        results = []
+
+        def fire():
+            client = ServeClient(f"http://{host}:{port}")
+            results.append(client.select("star2d1r", "V100"))
+
+        t = threading.Thread(target=fire, daemon=True)
+        t.start()
+        deadline = time.monotonic() + 5.0
+        while server.in_flight == 0 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        assert drain(server, timeout_s=5.0) is True
+        t.join(timeout=5.0)
+        # The in-flight request completed despite the shutdown.
+        assert results and results[0]["source"] == "model"
+        assert server.in_flight == 0
 
 
 class TestStats:

@@ -1,0 +1,104 @@
+"""Registry under races and torn states: every read fails closed.
+
+A reader racing a publisher must see either the old tag or the new one
+(both valid); a torn tag, a tag naming a deleted version file, or an
+empty registry must raise a descriptive :class:`ArtifactError`, never
+return garbage or crash with a raw OSError.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import ArtifactError
+from repro.profiling.storage import atomic_write_text
+from repro.serve import ModelRegistry
+
+
+@pytest.fixture()
+def registry(tmp_path, selector_artifact):
+    reg = ModelRegistry(tmp_path / "models")
+    reg.publish(selector_artifact, "sel")
+    return reg
+
+
+class TestConcurrentPublish:
+    def test_parallel_publishes_get_distinct_versions(
+        self, tmp_path, selector_artifact
+    ):
+        reg = ModelRegistry(tmp_path / "models")
+        versions = []
+        lock = threading.Lock()
+
+        def publish():
+            v = reg.publish(selector_artifact, "sel")
+            with lock:
+                versions.append(v)
+
+        pool = [
+            threading.Thread(target=publish, daemon=True) for _ in range(8)
+        ]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join(timeout=30.0)
+        assert sorted(versions) == [f"v{i:06d}" for i in range(1, 9)]
+        assert reg.latest("sel") == "v000008"
+
+    def test_latest_during_concurrent_publish_is_always_valid(
+        self, registry, selector_artifact
+    ):
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    v = registry.latest("sel")
+                    # A valid version resolves to a loadable path.
+                    assert registry.path("sel", v).exists()
+                except BaseException as e:  # noqa: BLE001
+                    failures.append(e)
+                    return
+
+        t = threading.Thread(target=reader, daemon=True)
+        t.start()
+        for _ in range(10):
+            registry.publish(selector_artifact, "sel")
+        stop.set()
+        t.join(timeout=30.0)
+        assert failures == []
+
+
+class TestTornStates:
+    def test_empty_tag_is_descriptive_error(self, registry):
+        atomic_write_text(registry.root / "sel" / "LATEST", "")
+        with pytest.raises(ArtifactError, match="torn tag"):
+            registry.latest("sel")
+
+    def test_garbage_tag_is_descriptive_error(self, registry):
+        atomic_write_text(registry.root / "sel" / "LATEST", "v999999\n")
+        with pytest.raises(ArtifactError, match="LATEST tag points at"):
+            registry.latest("sel")
+
+    def test_tag_to_deleted_version_file(self, registry, selector_artifact):
+        v2 = registry.publish(selector_artifact, "sel")
+        (registry.root / "sel" / f"{v2}.json").unlink()
+        with pytest.raises(ArtifactError, match="deleted"):
+            registry.latest("sel")
+
+    def test_directory_with_no_versions(self, registry):
+        d = registry.root / "empty"
+        d.mkdir()
+        atomic_write_text(d / "LATEST", "v000001\n")
+        with pytest.raises(ArtifactError):
+            registry.latest("empty")
+
+    def test_missing_name_fails_closed(self, registry):
+        with pytest.raises(ArtifactError, match="no artifact named"):
+            registry.latest("nope")
+
+    def test_load_of_torn_registry_fails_closed(self, registry):
+        atomic_write_text(registry.root / "sel" / "LATEST", "")
+        with pytest.raises(ArtifactError):
+            registry.load("sel")

@@ -476,3 +476,61 @@ class TestLintCommand:
 
         rc = main(argv + ["--baseline", str(baseline)])
         assert rc == 0
+
+
+class TestServeShutdown:
+    def test_sigterm_drains_and_exits_zero(self):
+        """`repro serve` stops accepting on SIGTERM, drains, flushes
+        final stats to stderr, and exits 0."""
+        import json
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+        import urllib.request
+        from pathlib import Path
+
+        import repro
+
+        src = Path(repro.__file__).resolve().parents[1]
+        env = {**os.environ, "PYTHONPATH": str(src)}
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--drain-timeout", "5"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            env=env, text=True,
+        )
+        try:
+            line = proc.stdout.readline()
+            assert "serving on http://" in line, line
+            url = line.split("serving on ", 1)[1].split(" ")[0].strip()
+            with urllib.request.urlopen(f"{url}/healthz", timeout=10) as r:
+                assert json.loads(r.read())["ok"] is True
+            proc.send_signal(signal.SIGTERM)
+            rc = proc.wait(timeout=30)
+            stderr = proc.stderr.read()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+        assert rc == 0
+        assert "shutting down" in stderr and "draining" in stderr
+        # The last stderr line is the final stats snapshot.
+        stats = json.loads(stderr.strip().splitlines()[-1])
+        assert stats["requests"] == {}  # healthz is not a counted endpoint
+        assert "admission" in stats
+
+    def test_parser_accepts_robustness_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--max-queue", "32", "--budget-ms", "50",
+             "--reload-interval", "2", "--drain-timeout", "1.5"]
+        )
+        assert args.max_queue == 32
+        assert args.budget_ms == 50.0
+        assert args.reload_interval == 2.0
+        assert args.drain_timeout == 1.5
+
+    def test_serve_chaos_in_parser(self):
+        args = build_parser().parse_args(["serve-chaos", "--quick"])
+        assert args.command == "serve-chaos" and args.quick is True

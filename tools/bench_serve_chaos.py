@@ -1,0 +1,122 @@
+"""Serving chaos recorder (developer / CI tool).
+
+Trains small selector/predictor artifacts, runs the scripted chaos
+scenario from ``repro.serve.chaos`` (overload burst, corrupt publish,
+torn tag, live-traffic hot swap, poisoned-model rollback), and merges
+an availability summary into ``BENCH_serve.json`` at the repo root
+under the ``"chaos"`` key -- read-modify-write, so the throughput
+numbers recorded by ``tools/bench_serve.py`` survive.
+
+Run: python tools/bench_serve_chaos.py [--quick] [--seed N]
+         [-o PATH] [--report PATH]
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+from repro.serve.bench import train_bench_artifacts
+from repro.serve.chaos import ChaosConfig, chaos_passed, run_chaos
+
+
+def chaos_summary(report: dict) -> dict:
+    """The durable slice of a chaos report for the JSON trail."""
+    return {
+        "quick": report["config"]["quick"],
+        "seed": report["config"]["seed"],
+        "requests": report["totals"]["requests"],
+        "availability": report["availability"],
+        "availability_excluding_shed": report["availability_excluding_shed"],
+        "non_503_errors": report["non_503_errors"],
+        "p99_under_overload_ms": report["p99_under_overload_ms"],
+        "shed": report["totals"]["shed"],
+        "deadline": report["totals"]["deadline"],
+        "breaker": report["breaker"],
+        "reload": report["reload"],
+        "zero_failed_during_swap": report["zero_failed_during_swap"],
+    }
+
+
+def merge_into(path: str, summary: dict) -> None:
+    """Add ``summary`` as the ``chaos`` key of an existing bench doc."""
+    doc = {}
+    if os.path.exists(path):
+        with open(path) as f:
+            doc = json.load(f)
+    doc["chaos"] = summary
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workload for CI smoke runs",
+    )
+    ap.add_argument("--seed", type=int, default=7, help="scenario seed")
+    ap.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_serve.json",
+        help="bench doc to merge the chaos summary into",
+    )
+    ap.add_argument(
+        "--report",
+        default=None,
+        help="also write the full chaos report (events, phases) here",
+    )
+    args = ap.parse_args(argv)
+
+    selector, predictor = train_bench_artifacts(
+        quick=args.quick, seed=args.seed
+    )
+    cfg = ChaosConfig.make(quick=args.quick, seed=args.seed)
+    with tempfile.TemporaryDirectory() as workdir:
+        report = run_chaos(selector, predictor, cfg, workdir)
+
+    if args.report:
+        with open(args.report, "w") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+    summary = chaos_summary(report)
+    merge_into(args.output, summary)
+
+    t = report["totals"]
+    print(
+        f"serve chaos ({t['requests']} requests, seed {cfg.seed}, "
+        f"{'quick' if cfg.quick else 'full'})"
+    )
+    print(
+        f"  availability {summary['availability']:.4f} "
+        f"(excluding shed {summary['availability_excluding_shed']:.4f}), "
+        f"non-503 errors {summary['non_503_errors']}"
+    )
+    print(
+        f"  overload: {t['shed']} shed, {t['deadline']} deadline, "
+        f"p99 {summary['p99_under_overload_ms']:.1f} ms"
+    )
+    b = report["breaker"]
+    print(
+        f"  breaker: opened={b['opened']} pinned={b['pinned_last_good']} "
+        f"recovered={b['recovered']} final={b['final_state']}"
+    )
+    r = report["reload"]
+    print(
+        f"  reload: {r['swaps']} swaps, {r['rollbacks']} rollbacks, "
+        f"rejected {r['rejected']}"
+    )
+    print(f"wrote {args.output}")
+
+    problems = chaos_passed(report)
+    for p in problems:
+        print(f"FAIL: {p}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
