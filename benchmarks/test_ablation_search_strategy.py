@@ -1,8 +1,13 @@
-"""Ablation: parameter-search strategy (refined random vs csTuner-style GA).
+"""Ablation: parameter-search strategies at equal measurement budget.
 
-The paper's profiling uses random search; the authors' csTuner [25] uses a
-re-designed genetic algorithm.  This bench compares the tuned time each
-strategy finds per OC at comparable measurement budgets.
+The paper's profiling uses random search; the authors' csTuner [25] uses
+a re-designed genetic algorithm.  The first bench compares those two at
+comparable budgets through the legacy interfaces.  The second runs the
+whole ``repro.tuning`` strategy zoo through the unified ``tune()`` front
+door at an equal fidelity-weighted budget and asserts that informed
+strategies beat the random baseline on best-time-found.  The third
+measures the persistent tuning cache's cold-vs-warm replay speedup over
+the parallel dispatch substrate.
 """
 
 import numpy as np
@@ -11,6 +16,7 @@ from repro.gpu import GPUSimulator
 from repro.optimizations import OC
 from repro.profiling import RandomSearch
 from repro.tuning import GeneticSearch
+from repro.tuning.bench import run_cache_bench, run_strategy_bench
 from repro.stencil import generate_population
 
 from conftest import print_table
@@ -55,3 +61,74 @@ def test_ablation_search_strategy(scale, benchmark):
     benchmark.pedantic(
         lambda: ga.tune_oc(stencils[0], OC.parse("ST")), rounds=1, iterations=1
     )
+
+
+def test_strategy_zoo_equal_budget(scale, benchmark):
+    quick = scale.name == "small"
+    doc = run_strategy_bench(quick=quick)
+
+    rows = [
+        [
+            name,
+            row["geomean_vs_random"],
+            "yes" if row["beats_random"] else "no",
+            row["mean_trials"],
+            row["mean_cost"],
+            row["wall_s"],
+        ]
+        for name, row in sorted(
+            doc["strategies"].items(),
+            key=lambda kv: kv[1]["geomean_vs_random"],
+        )
+    ]
+    print_table(
+        f"Strategy zoo at equal budget ({doc['budget']} evals, "
+        f"{doc['n_stencils']} stencils x {len(doc['ocs'])} OCs x "
+        f"{'+'.join(doc['gpus'])})",
+        ["strategy", "geomean vs random", "beats", "trials", "cost", "wall (s)"],
+        rows,
+    )
+
+    # Every strategy solves every cell and respects the budget (halving
+    # spends its allowance on cheap low-fidelity trials, so its trial
+    # count is the one allowed above the budget).
+    n_cells = doc["n_stencils"] * len(doc["ocs"]) * len(doc["gpus"])
+    for name, row in doc["strategies"].items():
+        assert row["cells_solved"] == n_cells, name
+        if name != "halving":
+            assert row["mean_trials"] <= doc["budget"] + 4, name
+
+    # The point of the zoo: informed search beats random sampling at
+    # equal spend.  At least three of the new strategies must win.
+    winners = [
+        name
+        for name, row in doc["strategies"].items()
+        if name != doc["baseline"] and row["beats_random"]
+    ]
+    assert len(winners) >= 3, winners
+
+    benchmark.pedantic(
+        lambda: run_strategy_bench(quick=True), rounds=1, iterations=1
+    )
+
+
+def test_tuning_cache_replay_speedup(scale):
+    quick = scale.name == "small"
+    doc = run_cache_bench(quick=quick)
+
+    print_table(
+        f"Persistent tuning cache ({doc['substrate']}, {doc['cells']} "
+        f"cells, budget {doc['budget']})",
+        ["phase", "wall (s)", "hits", "misses"],
+        [
+            ["cold", doc["cold_s"], doc["cold"]["hits"], doc["cold"]["misses"]],
+            ["warm", doc["warm_s"], doc["warm"]["hits"], doc["warm"]["misses"]],
+        ],
+    )
+
+    # The warm replay never consults the substrate...
+    assert doc["cold"]["hits"] == 0
+    assert doc["warm"]["misses"] == 0
+    assert doc["warm"]["hits"] == doc["cold"]["misses"]
+    # ...and repeated tune() against the warm cache is >= 5x faster.
+    assert doc["speedup"] >= 5.0, doc

@@ -149,6 +149,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(s)
 
+    tu = sub.add_parser(
+        "tune",
+        help="tune one (stencil, OC) pair through the unified front door",
+    )
+    tu.add_argument("--stencil", required=True, help="named stencil, e.g. star2d2r")
+    tu.add_argument("--oc", required=True, help="optimization combination, e.g. ST_RT")
+    tu.add_argument("--gpu", required=True, choices=list(GPU_ORDER))
+    tu.add_argument(
+        "--strategy",
+        default="random",
+        help="zoo member: random, coordinate, genetic, annealing, bayes, "
+        "halving (see docs/tuning.md)",
+    )
+    tu.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="evaluation allowance in full-fidelity units (strategies "
+        "size themselves to it; default: per-strategy defaults)",
+    )
+    tu.add_argument(
+        "--restrictions",
+        nargs="*",
+        default=(),
+        metavar="EXPR",
+        help="constraint expressions over parameter names, kernel_tuner "
+        "style (e.g. 'block_x * block_y <= 1024')",
+    )
+    tu.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent tuning cache directory (settled results are "
+        "replayed across runs; see docs/tuning.md)",
+    )
+    tu.add_argument(
+        "--backend",
+        default="vector",
+        choices=("scalar", "vector", "cached", "parallel"),
+        help="measurement backend (results are equivalent; vector is "
+        "the fast default)",
+    )
+    tu.add_argument(
+        "--trials",
+        action="store_true",
+        help="also print every observed trial in consumption order",
+    )
+    _add_common(tu)
+
     e = sub.add_parser(
         "evaluate",
         help="cross-validate selection/prediction mechanisms (Figs. 9, 12)",
@@ -614,6 +662,53 @@ def cmd_select(args) -> int:
     return 0
 
 
+def cmd_tune(args) -> int:
+    from .errors import TuningError
+    from .optimizations import OC_BY_NAME
+    from .stencil import get
+    from .tuning import available_strategies, tune
+
+    if args.strategy not in available_strategies():
+        print(
+            f"unknown strategy {args.strategy!r} "
+            f"(available: {', '.join(available_strategies())})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.oc not in OC_BY_NAME:
+        print(
+            f"unknown OC {args.oc!r} "
+            f"(available: {', '.join(sorted(OC_BY_NAME))})",
+            file=sys.stderr,
+        )
+        return 2
+    stencil = get(args.stencil)
+    try:
+        result = tune(
+            stencil,
+            oc=OC_BY_NAME[args.oc],
+            gpu=args.gpu,
+            backend=args.backend,
+            strategy=args.strategy,
+            budget=args.budget,
+            seed=args.seed,
+            restrictions=tuple(args.restrictions),
+            cache_dir=args.cache_dir,
+        )
+    except TuningError as e:
+        print(f"tune: {e}", file=sys.stderr)
+        return 2
+    if args.trials:
+        for i, rec in enumerate(result.trial_log):
+            t = "crash" if rec.crashed else f"{rec.time_ms:.4f} ms"
+            print(f"  [{i:4d}] x{rec.fidelity:<6g} {t:>12}  {dict(rec.setting)}")
+    print(f"{stencil.name} / {result.oc} on {result.gpu}:")
+    print(f"  {result.describe()}")
+    if not result.ok:
+        return 1
+    return 0
+
+
 def _load_cli_artifact(path: str, kind: str):
     """Load a serve artifact for --model flags; None + message on failure."""
     from .errors import ArtifactError
@@ -1010,6 +1105,7 @@ _COMMANDS = {
     "generate": cmd_generate,
     "profile": cmd_profile,
     "select": cmd_select,
+    "tune": cmd_tune,
     "evaluate": cmd_evaluate,
     "predict": cmd_predict,
     "codegen": cmd_codegen,

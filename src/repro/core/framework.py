@@ -344,26 +344,61 @@ class StencilMART:
     # end-to-end tuning (Figs. 10-11)
     # ------------------------------------------------------------------
     def tune(
-        self, stencil: Stencil, gpu: str, method: str = "gbdt"
+        self,
+        stencil: Stencil,
+        gpu: str,
+        method: str = "gbdt",
+        strategy: str = "random",
+        budget: "float | None" = None,
+        **strategy_options,
     ) -> tuple[OC, ParamSetting, float]:
         """Tune *stencil* on *gpu* using the predicted OC only.
 
-        Runs the same random-search budget the baselines get, but spends it
-        entirely on the OC the classifier selected.  Falls back to the next
-        most likely class if the predicted OC cannot run at all.
+        Runs the same search budget the baselines get, but spends it
+        entirely on the OC the classifier selected.  Falls back to the
+        next most likely class if the predicted OC cannot run at all.
+
+        ``strategy`` picks a member of the tuning zoo (see
+        :func:`repro.tuning.available_strategies`), with ``budget`` and
+        ``**strategy_options`` forwarded to :func:`repro.tuning.tune`.
+        The default (``"random"`` with no options) is the paper's tuner
+        and reproduces the pre-front-door results bit for bit.
         """
         oc = self.predict_best_oc(stencil, gpu, method)
-        search = RandomSearch(
-            GPUSimulator(gpu, sigma=self.sigma), self.n_settings, self.seed
-        )
-        result, _ = search.tune_oc(stencil, -1, oc)
+        if strategy == "random" and budget is None and not strategy_options:
+            # The paper's path, via the legacy-pinned wrapper.
+            search = RandomSearch(
+                GPUSimulator(gpu, sigma=self.sigma), self.n_settings, self.seed
+            )
+
+            def run_oc(oc: OC):
+                result, _ = search.tune_oc(stencil, -1, oc)
+                return result
+
+        else:
+            from .. import tuning
+
+            def run_oc(oc: OC):
+                result = tuning.tune(
+                    stencil,
+                    oc=oc,
+                    gpu=gpu,
+                    sigma=self.sigma,
+                    strategy=strategy,
+                    budget=budget if budget is not None else self.n_settings,
+                    seed=self.seed,
+                    **strategy_options,
+                )
+                return result if result.ok else None
+
+        result = run_oc(oc)
         if result is None:
             reps = self._selector_reps.get((method, gpu))
             if reps is None:
                 self._require_dataset()
                 reps = self.grouping.representatives
             for rep in reps:
-                result, _ = search.tune_oc(stencil, -1, OC_BY_NAME[rep])
+                result = run_oc(OC_BY_NAME[rep])
                 if result is not None:
                     oc = OC_BY_NAME[rep]
                     break

@@ -97,6 +97,15 @@ class DatasetError(ReproError):
     """Malformed or inconsistent profiling dataset."""
 
 
+class TuningError(ReproError):
+    """Tuning front-door misuse (:mod:`repro.tuning`).
+
+    Raised for malformed restriction expressions, unknown strategies or
+    parameters, unsatisfiable restricted spaces, and unusable persistent
+    tuning-cache documents.
+    """
+
+
 class ModelError(ReproError):
     """Machine-learning model misuse (predict before fit, shape mismatch)."""
 

@@ -112,6 +112,24 @@ class ParamSetting(Mapping[str, int]):
         # once up front.
         object.__setattr__(self, "_tuple", tuple(full[n] for n in PARAM_NAMES))
 
+    @classmethod
+    def _trusted(
+        cls, full: "dict[str, int]", tup: "tuple[int, ...]"
+    ) -> "ParamSetting":
+        """Construct from pre-validated values, skipping the checks.
+
+        *full* must be a fresh dict covering every parameter in
+        ``PARAM_NAMES`` order with values from the choice lists (or
+        defaults), and *tup* its layout-order tuple.  Only callers that
+        uphold this invariant (space sampling, :meth:`replace`) may use
+        it -- settings built here are indistinguishable from validated
+        ones.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "_values", MappingProxyType(full))
+        object.__setattr__(self, "_tuple", tup)
+        return self
+
     def __getitem__(self, key: str) -> int:
         return self._values[key]
 
@@ -138,10 +156,27 @@ class ParamSetting(Mapping[str, int]):
         return self._tuple
 
     def replace(self, **changes: int) -> "ParamSetting":
-        """A copy with some parameters changed."""
+        """A copy with some parameters changed.
+
+        Only the *changes* are validated -- the carried-over values were
+        checked when this setting was built.  replace() sits on the hot
+        path of every coordinate-descent frontier, so this matters.
+        """
         merged = dict(self._values)
-        merged.update(changes)
-        return ParamSetting(**merged)
+        for name, value in changes.items():
+            spec = _SPEC_BY_NAME.get(name)
+            if spec is None:
+                raise OptimizationError(f"unknown parameter {name!r}")
+            v = int(value)
+            if v != spec.default and v not in spec.choices:
+                raise OptimizationError(
+                    f"{name}={v} not in choices {spec.choices} "
+                    f"(default {spec.default})"
+                )
+            merged[name] = v
+        return ParamSetting._trusted(
+            merged, tuple(merged[n] for n in PARAM_NAMES)
+        )
 
     def encode(self) -> np.ndarray:
         """Fixed-width feature vector (log2 numeric, raw bool/enum)."""

@@ -8,12 +8,15 @@ setting at all is reported as crashed for that stencil/GPU, matching the
 paper's note that "there are some cases where OC crashes under certain
 stencils".
 
-Measurement goes through the batched evaluation engine
-(:mod:`repro.engine`): the tuner describes whole frontiers of candidate
-settings as :class:`~repro.engine.EvalRequest` batches and the configured
-:class:`~repro.engine.Backend` measures them -- vectorized, cached or
-per-point depending on the backend -- with crash results carried as data
-so one crashing setting never aborts the rest of a batch.
+Since the unified front door landed, this module is a *compatibility
+wrapper*: the actual search lives in
+:class:`repro.tuning.RandomStrategy` (a bit-identical port of the walk +
+coordinate-refinement tuner this module used to implement) and runs
+through :func:`repro.tuning.tune`, which owns backend resolution, the
+ask/evaluate/tell loop and result packaging.  ``RandomSearch`` keeps the
+historical surface -- ``tune_oc`` returning ``(OCResult, measurements)``
+and ``profile_stencil`` -- that the campaign runner, baselines and
+framework still speak.
 
 **RNG stream-key convention.**  Each (stencil, OC) tuning batch owns one
 independent random stream, derived as::
@@ -21,34 +24,23 @@ independent random stream, derived as::
     SeedSequence((seed, stencil_id & 0x7FFFFFFF, zlib.crc32(oc.name)))
 
 and drawn from exactly once, up front, when the tuning batch is
-assembled: ``tune_oc`` materializes all ``n_settings *
-_ATTEMPTS_PER_SETTING`` candidate draws before any measurement happens.
-Because the stream is keyed by content (seed, stencil id, OC name) --
-never by evaluation order -- and consumed in one place, profiles are
-identical no matter how the backend batches, caches or reorders the
-measurements, and identical across processes (``zlib.crc32`` is stable,
-unlike builtin ``hash``).  The mask keeps ad-hoc ``stencil_id=-1`` calls
-within SeedSequence's non-negative entropy domain.
+assembled (see :func:`repro.tuning.stream_rng`).  Because the stream is
+keyed by content -- never by evaluation order -- profiles are identical
+no matter how the backend batches, caches or reorders measurements, and
+identical across processes.  Campaign digests are pinned to this exact
+stream, which is why :class:`~repro.tuning.RandomStrategy` keys it with
+no strategy-name component.
 """
 
 from __future__ import annotations
 
-import zlib
-
-import numpy as np
-
-from ..engine import EvalRequest, as_backend
+from ..engine import as_backend
 from ..optimizations.combos import ALL_OCS, OC
-from ..optimizations.params import (
-    ParamSetting,
-    relevant_params,
-    sample_setting,
-)
-from ..optimizations.params import _choices_for  # search owns refinement
 from ..stencil.stencil import Stencil
 from .records import Measurement, OCResult, StencilProfile
 
-#: Sampling attempts allowed per requested valid setting.
+#: Sampling attempts allowed per requested valid setting (re-exported
+#: from the strategy, which owns the value now).
 _ATTEMPTS_PER_SETTING = 12
 
 #: Coordinate-descent passes after random sampling.
@@ -72,13 +64,13 @@ class RandomSearch:
         profiles are independent of evaluation order (see the module
         docstring for the stream-key convention).
     refine:
-        When true (default), the best random sample is polished by
-        coordinate descent over each relevant parameter's choices.  Pure
-        best-of-N over this parameter space is high-variance (narrow
-        optima next to crash cliffs), which would make best-OC labels
-        depend on sampling luck rather than the stencil; the deterministic
-        refinement step recovers the per-OC optimum the paper's larger
-        profiling budget effectively reaches.
+        When true (default), the best random sample of each
+        (use_smem, stream_dim, temporal_steps) basin is polished by
+        coordinate descent.  Pure best-of-N over this parameter space is
+        high-variance (narrow optima next to crash cliffs), which would
+        make best-OC labels depend on sampling luck rather than the
+        stencil; the deterministic refinement step recovers the per-OC
+        optimum the paper's larger profiling budget effectively reaches.
     """
 
     def __init__(
@@ -96,187 +88,50 @@ class RandomSearch:
         self.seed = int(seed)
         self.refine = bool(refine)
 
-    # ------------------------------------------------------------------
-    def _rng(self, stencil_id: int, oc: OC) -> np.random.Generator:
-        oc_key = zlib.crc32(oc.name.encode())
-        return np.random.default_rng(
-            np.random.SeedSequence((self.seed, stencil_id & 0x7FFFFFFF, oc_key))
-        )
-
-    def _chunk_size(self, need: int) -> int:
-        """Settings to evaluate per engine call while ``need`` are missing.
-
-        A vectorized (or caching-over-vectorized) backend amortizes fixed
-        batch overhead, so it gets generous frontiers; the scalar path
-        pays per point either way, so it evaluates exactly as many unique
-        settings as the sequential tuner would have.
-        """
-        info = self.backend.info
-        if info.vectorized or info.caching:
-            return max(4 * need, 32)
-        return max(need, 1)
-
     def tune_oc(
         self, stencil: Stencil, stencil_id: int, oc: OC
-    ) -> tuple[OCResult | None, list[Measurement]]:
+    ) -> "tuple[OCResult | None, list[Measurement]]":
         """Measure up to ``n_settings`` valid settings of *oc*.
 
         Returns ``(None, [])`` when every attempted setting crashes.
         """
-        rng = self._rng(stencil_id, oc)
-        max_attempts = self.n_settings * _ATTEMPTS_PER_SETTING
-        # The whole tuning batch's randomness is drawn here, once; see the
-        # module docstring.  Draws past the stopping point are discarded
-        # unobserved, which is exactly what the incremental sampler did.
-        draws = [sample_setting(oc, stencil.ndim, rng) for _ in range(max_attempts)]
+        from ..tuning import RandomStrategy, tune
 
-        # Unique settings in first-draw order; the sampling walk below
-        # consumes them strictly in this order, so batches can be
-        # evaluated ahead of the walk without changing its outcome.
-        order: list[ParamSetting] = []
-        first_seen: set[tuple[int, ...]] = set()
-        for s in draws:
-            k = s.as_tuple()
-            if k not in first_seen:
-                first_seen.add(k)
-                order.append(s)
-
-        results: dict[tuple[int, ...], "object"] = {}
-        frontier = 0  # index into `order` of the first unevaluated setting
-
-        measurements: list[Measurement] = []
-        seen: set[tuple[int, ...]] = set()
-        crashed = 0
-        attempts = 0
-        gpu_name = self.backend.spec.name
-        while len(measurements) < self.n_settings and attempts < max_attempts:
-            setting = draws[attempts]
-            attempts += 1
-            key = setting.as_tuple()
-            if key in seen:
-                continue
-            seen.add(key)
-            if key not in results:
-                end = min(
-                    len(order),
-                    frontier + self._chunk_size(self.n_settings - len(measurements)),
-                )
-                batch = order[frontier:end]
-                for s, res in zip(
-                    batch,
-                    self.backend.evaluate_batch(
-                        [EvalRequest(stencil, oc, s) for s in batch]
-                    ),
-                ):
-                    results[s.as_tuple()] = res
-                frontier = end
-            res = results[key]
-            if res.crashed:
-                crashed += 1
-                continue
-            measurements.append(
-                Measurement(
-                    stencil_id=stencil_id,
-                    oc=oc.name,
-                    setting=setting,
-                    gpu=gpu_name,
-                    time_ms=res.value(),
-                )
-            )
-        if not measurements:
-            return None, []
-        best = min(measurements, key=lambda m: m.time_ms)
-        best_setting, best_time = best.setting, best.time_ms
-        if self.refine:
-            # Basin-covering multi-start: the landscape's major basins are
-            # indexed by the discrete mode switches (shared memory on/off,
-            # stream axis, temporal degree); coordinate descent from the
-            # best sample of each basin makes the per-OC optimum nearly
-            # independent of sampling luck, so best-OC labels reflect the
-            # stencil rather than the seed.
-            basins: dict[tuple[int, int, int], Measurement] = {}
-            for meas in measurements:
-                key = (
-                    meas.setting["use_smem"],
-                    meas.setting["stream_dim"],
-                    meas.setting["temporal_steps"],
-                )
-                cur = basins.get(key)
-                if cur is None or meas.time_ms < cur.time_ms:
-                    basins[key] = cur = meas
-            for start in sorted(basins.values(), key=lambda m: m.time_ms):
-                if start.time_ms > 4.0 * best_time:
-                    continue  # hopeless basin; descent cannot recover 4x
-                setting, t, extra = self._coordinate_descent(
-                    stencil, stencil_id, oc, start.setting, start.time_ms, seen
-                )
-                measurements.extend(extra)
-                if t < best_time:
-                    best_setting, best_time = setting, t
-        result = OCResult(
-            oc=oc.name,
-            best_setting=best_setting,
-            best_time_ms=best_time,
-            n_settings=len(measurements),
-            crashed=crashed,
+        strategy = RandomStrategy(
+            n_settings=self.n_settings,
+            refine=self.refine,
+            attempts_per_setting=_ATTEMPTS_PER_SETTING,
+            refine_passes=_REFINE_PASSES,
         )
-        return result, measurements
-
-    def _coordinate_descent(
-        self,
-        stencil: Stencil,
-        stencil_id: int,
-        oc: OC,
-        setting: ParamSetting,
-        time_ms: float,
-        seen: set[tuple[int, ...]],
-    ) -> tuple[ParamSetting, float, list[Measurement]]:
-        """Polish *setting* one parameter at a time until a fixed point.
-
-        Each parameter's whole candidate frontier (every alternative
-        choice) is evaluated as one batch; acceptance then walks the
-        results in choice order, so the descent trajectory is identical
-        to evaluating candidates one by one.
-        """
-        extra: list[Measurement] = []
-        names = relevant_params(oc, stencil.ndim)
+        result = tune(
+            stencil,
+            oc=oc,
+            backend=self.backend,
+            strategy=strategy,
+            seed=self.seed,
+            stencil_id=stencil_id,
+        )
+        if not result.ok:
+            return None, []
         gpu_name = self.backend.spec.name
-        for _ in range(_REFINE_PASSES):
-            improved = False
-            for name in names:
-                base_value = setting[name]
-                candidates = [
-                    setting.replace(**{name: value})
-                    for value in _choices_for(name, stencil.ndim)
-                    if value != base_value
-                ]
-                if not candidates:
-                    continue
-                res_list = self.backend.evaluate_batch(
-                    [EvalRequest(stencil, oc, c) for c in candidates]
-                )
-                for candidate, res in zip(candidates, res_list):
-                    if res.crashed:
-                        continue
-                    t = res.value()
-                    key = candidate.as_tuple()
-                    if key not in seen:
-                        seen.add(key)
-                        extra.append(
-                            Measurement(
-                                stencil_id=stencil_id,
-                                oc=oc.name,
-                                setting=candidate,
-                                gpu=gpu_name,
-                                time_ms=t,
-                            )
-                        )
-                    if t < time_ms:
-                        setting, time_ms = candidate, t
-                        improved = True
-            if not improved:
-                break
-        return setting, time_ms, extra
+        measurements = [
+            Measurement(
+                stencil_id=stencil_id,
+                oc=oc.name,
+                setting=setting,
+                gpu=gpu_name,
+                time_ms=time_ms,
+            )
+            for setting, time_ms in strategy.measurements
+        ]
+        oc_result = OCResult(
+            oc=oc.name,
+            best_setting=result.best_setting,
+            best_time_ms=result.best_time_ms,
+            n_settings=len(measurements),
+            crashed=strategy.walk_crashed,
+        )
+        return oc_result, measurements
 
     # ------------------------------------------------------------------
     def profile_stencil(

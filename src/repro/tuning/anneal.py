@@ -1,0 +1,121 @@
+"""Simulated annealing over a ParameterSpace.
+
+A short random initial design seeds several independent chains at the
+best points found (warm-start annealing -- cold random starts waste most
+of a small budget climbing out of crash cliffs), then the chains anneal
+in lockstep so every step is one engine batch (the batched backends
+price a frontier of K proposals barely above a single point).  Moves
+flip one parameter to a different choice; acceptance follows Metropolis
+on *relative* slowdown, so the temperature schedule is scale-free across
+stencils and GPUs.  Crashing proposals are always rejected.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .strategy import AskBatch, GeneratorStrategy, StrategyContext, register_strategy
+
+__all__ = ["AnnealingStrategy"]
+
+_INF = float("inf")
+
+
+@register_strategy
+class AnnealingStrategy(GeneratorStrategy):
+    """Metropolis annealing with warm-started parallel chains.
+
+    Parameters
+    ----------
+    chains:
+        Independent chains stepped together (one batch per step).
+    init:
+        Random initial-design evaluations; the best ``chains`` of them
+        become the chain starts.  Defaults to ``6 * chains`` (at most
+        half the budget) -- a short design buys better starts than the
+        same spend on extra annealing steps.
+    steps:
+        Annealing steps; defaults to ``(budget - init) / chains`` so a
+        budgeted run spends its whole allowance.
+    t0 / t1:
+        Initial / final temperature of the geometric cooling schedule,
+        in units of relative slowdown (``t0=0.3``: a move 30% slower
+        than the incumbent is accepted with probability ``1/e`` at the
+        start).
+    """
+
+    name = "annealing"
+
+    def __init__(
+        self,
+        chains: int = 2,
+        init: "int | None" = None,
+        steps: "int | None" = None,
+        t0: float = 0.3,
+        t1: float = 0.02,
+    ):
+        super().__init__()
+        if chains < 1:
+            raise ValueError(f"chains must be >= 1, got {chains}")
+        if not 0.0 < t1 <= t0:
+            raise ValueError(f"need 0 < t1 <= t0, got t0={t0}, t1={t1}")
+        self.chains = int(chains)
+        self.init = None if init is None else int(init)
+        self.steps = None if steps is None else int(steps)
+        self.t0 = float(t0)
+        self.t1 = float(t1)
+
+    def _neighbor(self, setting, space, rng):
+        """One random single-parameter move (restriction-respecting)."""
+        names = space.names
+        for _ in range(8):  # bounded retries under restrictions
+            name = names[rng.integers(len(names))]
+            choices = [c for c in space.choices(name) if c != setting[name]]
+            if not choices:
+                continue
+            candidate = setting.replace(
+                **{name: int(choices[rng.integers(len(choices))])}
+            )
+            if not space.restrictions or space.allows(candidate):
+                return candidate
+        return setting
+
+    def run(self, ctx: StrategyContext):
+        rng = ctx.rng
+        space = ctx.space
+        k = self.chains
+        total = int(ctx.budget) if ctx.budget else 30 * k
+        n_init = self.init
+        if n_init is None:
+            n_init = max(k, min(6 * k, total // 2))
+
+        # Warm start: best initial-design points seed the chains.
+        pool = space.sample_many(n_init, rng)
+        if not pool:
+            return
+        results = yield AskBatch(pool)
+        scored = [(self.observe(s, r), s) for s, r in zip(pool, results)]
+        scored.sort(key=lambda ts: ts[0])
+        chains = [(s, t) for t, s in scored[:k]]
+        while len(chains) < k:
+            chains.append(chains[len(chains) % len(scored)])
+
+        steps = self.steps
+        if steps is None:
+            steps = max(1, (total - n_init) // k)
+        for step in range(steps):
+            frac = step / max(1, steps - 1)
+            temp = self.t0 * (self.t1 / self.t0) ** frac
+            proposals = [self._neighbor(s, space, rng) for s, _ in chains]
+            results = yield AskBatch(proposals)
+            for i, (proposal, res) in enumerate(zip(proposals, results)):
+                t = self.observe(proposal, res)
+                cur_setting, cur_time = chains[i]
+                if t == _INF:
+                    continue  # crashed move: reject
+                if cur_time == _INF or t < cur_time:
+                    chains[i] = (proposal, t)
+                    continue
+                slowdown = (t - cur_time) / cur_time
+                if rng.random() < math.exp(-slowdown / temp):
+                    chains[i] = (proposal, t)

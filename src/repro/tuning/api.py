@@ -1,0 +1,229 @@
+"""The unified autotuning front door: :func:`tune`.
+
+Every parameter search in the repo -- the paper's random walk with
+coordinate refinement, the csTuner-style genetic algorithm, the zoo's
+annealing / Bayesian / successive-halving strategies -- runs through
+this one function.  ``tune()`` owns everything that is *not* search
+logic:
+
+- resolving the tuning space (a :class:`~repro.stencil.stencil.Stencil`
+  plus OC, or an explicit :class:`~repro.tuning.ParameterSpace` with
+  ``restrictions=``),
+- resolving the measurement substrate (a backend instance, a backend
+  kind name, or a GPU to build one for) and optionally wrapping it in
+  the persistent :class:`~repro.tuning.TuningCache`,
+- deriving the strategy's named RNG stream from
+  ``(seed, stencil_id, oc, strategy)`` so results are deterministic for
+  a fixed (strategy, seed, budget) regardless of backend flavor or
+  worker count,
+- the ask/evaluate/tell loop with fidelity-weighted budget enforcement,
+- packaging the outcome as a :class:`~repro.tuning.TuneResult`.
+
+The loop's only contract with the strategy is the ask/tell protocol;
+whole frontiers go to the backend as single batches, so vectorized,
+cached, and multi-process backends amortize exactly as they do under
+the campaign runner.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..engine import Backend, EvalRequest, as_backend, make_backend
+from ..errors import TuningError
+from ..optimizations.combos import OC
+from ..stencil.stencil import Stencil
+from .cache import TuningCache
+from .result import TuneResult
+from .rng import stream_rng
+from .space import ParameterSpace
+from .strategy import Strategy, StrategyContext, make_strategy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from pathlib import Path
+
+__all__ = ["tune"]
+
+
+def _resolve_space(space_or_stencil, oc, restrictions):
+    if isinstance(space_or_stencil, Stencil):
+        if oc is None:
+            raise TuningError("tune(stencil, ...) needs an oc= to pick the space")
+        return ParameterSpace.for_oc(
+            oc, space_or_stencil.ndim, restrictions or None
+        ), space_or_stencil
+    if isinstance(space_or_stencil, ParameterSpace):
+        if restrictions:
+            raise TuningError(
+                "pass restrictions to the ParameterSpace constructor, "
+                "not to tune(), when supplying an explicit space"
+            )
+        return space_or_stencil, None
+    raise TuningError(
+        f"tune() wants a Stencil or ParameterSpace, got "
+        f"{type(space_or_stencil).__name__}"
+    )
+
+
+def _resolve_backend(backend, gpu, sigma) -> Backend:
+    if backend is None:
+        if gpu is None:
+            raise TuningError("tune() needs backend= or gpu= to measure on")
+        return make_backend("vector", gpu, sigma=sigma)
+    if isinstance(backend, str):
+        if gpu is None:
+            raise TuningError(f"backend={backend!r} needs gpu= to target")
+        return make_backend(backend, gpu, sigma=sigma)
+    return as_backend(backend)
+
+
+def _resolve_strategy(strategy, options) -> Strategy:
+    if isinstance(strategy, str):
+        return make_strategy(strategy, **options)
+    if options:
+        raise TuningError(
+            "strategy options are only accepted with a strategy *name*; "
+            "configure the instance directly instead"
+        )
+    if not isinstance(strategy, Strategy):
+        raise TuningError(
+            f"{type(strategy).__name__} does not implement the Strategy "
+            "protocol (name/stream_components/prepare/ask/tell/finish)"
+        )
+    return strategy
+
+
+def tune(
+    space_or_stencil: "Stencil | ParameterSpace",
+    *,
+    oc: "OC | None" = None,
+    stencil: "Stencil | None" = None,
+    gpu=None,
+    backend: "Backend | str | None" = None,
+    strategy: "Strategy | str" = "random",
+    budget: "float | None" = None,
+    seed: int = 0,
+    stencil_id: int = -1,
+    restrictions=(),
+    grid: "tuple[int, ...] | None" = None,
+    cache_dir: "str | Path | None" = None,
+    sigma: float = 0.03,
+    rng_streams: "tuple | None" = None,
+    **strategy_options,
+) -> TuneResult:
+    """Tune one (stencil, OC) pair and return the best setting found.
+
+    Parameters
+    ----------
+    space_or_stencil:
+        A :class:`Stencil` (its OC-relevant parameter space is derived
+        via ``restrictions=``) or an explicit :class:`ParameterSpace`
+        (then ``stencil=`` must name what to measure).
+    oc:
+        The optimization combination whose parameters are being tuned.
+    gpu / backend / sigma:
+        The measurement substrate: an existing backend (or simulator),
+        a backend kind from :data:`repro.engine.BACKEND_KINDS` plus a
+        GPU, or just a GPU (a vector backend is built).
+    strategy:
+        Zoo name (see :func:`repro.tuning.available_strategies`) with
+        ``**strategy_options`` forwarded to its constructor, or a
+        ready-made :class:`Strategy` instance.
+    budget:
+        Evaluation allowance in full-fidelity units.  Strategies size
+        themselves to it (random samples ``budget`` settings, annealing
+        derives its step count, ...) and the driver enforces it as a
+        hard cap between frontiers; reduced-grid evaluations of the
+        multi-fidelity strategies charge their grid-cell fraction.
+        ``None`` (default) lets the strategy use its own defaults.
+    seed / stencil_id / rng_streams:
+        Entropy: the strategy's RNG stream is keyed by
+        ``strategy.stream_components(seed, stencil_id, oc)`` (the named
+        stream convention), or by ``rng_streams`` verbatim when given --
+        the escape hatch legacy wrappers use to pin pre-refactor
+        streams.
+    grid:
+        Evaluation grid override (``None``: the paper default for the
+        stencil's dimensionality).
+    cache_dir:
+        When set, wrap the backend in a persistent
+        :class:`~repro.tuning.TuningCache` rooted there; hit/miss
+        accounting lands in the result.
+    """
+    space, inferred = _resolve_space(space_or_stencil, oc, restrictions)
+    stencil = stencil if stencil is not None else inferred
+    if stencil is None:
+        raise TuningError(
+            "tune(ParameterSpace, ...) needs stencil= to know what to measure"
+        )
+    if oc is None:
+        raise TuningError("tune() needs an oc= to measure")
+    if budget is not None and budget <= 0:
+        raise TuningError(f"budget must be positive, got {budget!r}")
+
+    strat = _resolve_strategy(strategy, strategy_options)
+    base = _resolve_backend(backend, gpu, sigma)
+    cache: "TuningCache | None" = None
+    if cache_dir is not None:
+        cache = TuningCache(base, cache_dir)
+    elif isinstance(base, TuningCache):
+        cache = base
+    substrate = cache if cache is not None else base
+    hits0 = cache.hits if cache is not None else 0
+    misses0 = cache.misses if cache is not None else 0
+
+    components = (
+        rng_streams
+        if rng_streams is not None
+        else strat.stream_components(seed, stencil_id, oc)
+    )
+    ctx = StrategyContext(
+        stencil=stencil,
+        stencil_id=stencil_id,
+        oc=oc,
+        space=space,
+        rng=stream_rng(*components),
+        seed=seed,
+        budget=budget,
+        backend_info=substrate.info,
+        grid=grid,
+    )
+
+    try:
+        strat.prepare(ctx)
+        while True:
+            batch = strat.ask()
+            if batch is None:
+                break
+            requests = [
+                EvalRequest(stencil, oc, s, grid=batch.grid or grid)
+                for s in batch.settings
+            ]
+            results = substrate.evaluate_batch(requests) if requests else []
+            strat.tell(batch, results)
+            if budget is not None and getattr(strat, "cost", 0.0) >= budget:
+                break
+        outcome = strat.finish()
+    finally:
+        if cache is not None:
+            cache.flush()
+
+    trials = int(getattr(strat, "observed", len(outcome.trial_log)))
+    cost = float(getattr(strat, "cost", trials))
+    return TuneResult(
+        strategy=strat.name,
+        best_setting=outcome.best_setting,
+        best_time_ms=outcome.best_time_ms,
+        trials=trials,
+        cost=cost,
+        crashed=outcome.crashed,
+        seed=seed,
+        budget=budget,
+        oc=oc.name,
+        stencil=getattr(stencil, "name", None),
+        gpu=substrate.spec.name,
+        cache_hits=(cache.hits - hits0) if cache is not None else 0,
+        cache_misses=(cache.misses - misses0) if cache is not None else 0,
+        trial_log=outcome.trial_log,
+        extras=dict(outcome.extras),
+    )

@@ -1,0 +1,159 @@
+"""Model-based (Bayesian) optimization with a GBDT surrogate.
+
+SMAC-style sequential model-based optimization on the existing
+:class:`repro.ml.gbdt.GBRegressor`: after a random initial design, each
+round fits the surrogate to every observation so far (``log`` time over
+the standard parameter feature encoding), scores a random candidate
+pool, and submits the pool's most promising members -- with an
+epsilon fraction of random picks keeping the model honest -- as one
+engine batch.  Crashes are fed back to the surrogate at a large penalty
+so it learns the crash cliffs instead of re-proposing them.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .strategy import AskBatch, GeneratorStrategy, StrategyContext, register_strategy
+
+__all__ = ["BayesStrategy"]
+
+_INF = float("inf")
+
+#: Surrogate target for crashed points: slower than anything real.
+_CRASH_PENALTY_FACTOR = 30.0
+
+
+@register_strategy
+class BayesStrategy(GeneratorStrategy):
+    """GBDT-surrogate Bayesian optimization.
+
+    Parameters
+    ----------
+    init:
+        Random initial-design evaluations before the surrogate kicks in.
+    batch:
+        Proposals per surrogate round (one engine batch).
+    pool:
+        Candidate pool sampled per round for the surrogate to score.
+    explore:
+        Fraction of each round's proposals drawn at random instead of
+        by predicted rank (exploration against surrogate bias).
+    """
+
+    name = "bayes"
+
+    def __init__(
+        self,
+        init: int = 8,
+        batch: int = 4,
+        pool: int = 128,
+        explore: float = 0.25,
+        surrogate_rounds: int = 60,
+    ):
+        super().__init__()
+        if init < 2:
+            raise ValueError(f"init must be >= 2, got {init}")
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        if not 0.0 <= explore <= 1.0:
+            raise ValueError(f"explore must be in [0, 1], got {explore}")
+        self.init = int(init)
+        self.batch = int(batch)
+        self.pool = int(pool)
+        self.explore = float(explore)
+        self.surrogate_rounds = int(surrogate_rounds)
+
+    def run(self, ctx: StrategyContext):
+        from ..ml.gbdt import GBRegressor
+
+        rng = ctx.rng
+        space = ctx.space
+        budget = ctx.budget if ctx.budget is not None else self.init + 10 * self.batch
+
+        evaluated: set[tuple[int, ...]] = set()
+        X_rows: list[np.ndarray] = []
+        y_rows: list[float] = []
+
+        def consume(settings, results):
+            best_finite = None
+            for s, res in zip(settings, results):
+                t = self.observe(s, res)
+                evaluated.add(s.as_tuple())
+                if t != _INF:
+                    X_rows.append(s.encode())
+                    y_rows.append(math.log(t))
+                    best_finite = t if best_finite is None else min(best_finite, t)
+            return best_finite
+
+        n_init = min(self.init, int(budget))
+        init_settings = space.sample_many(n_init, rng)
+        if not init_settings:
+            return
+        results = yield AskBatch(init_settings)
+        consume(init_settings, results)
+
+        while self.cost < budget:
+            # Crashed-only history: the surrogate has nothing to fit, so
+            # keep sampling at random until something runs.
+            if len(y_rows) < 2:
+                fresh = [
+                    s
+                    for s in space.sample_many(self.batch * 4, rng)
+                    if s.as_tuple() not in evaluated
+                ][: self.batch]
+                if not fresh:
+                    return
+                results = yield AskBatch(fresh)
+                consume(fresh, results)
+                continue
+
+            # Crash cliffs enter the training set at a large penalty so
+            # the surrogate steers around them.
+            penalty = math.log(
+                _CRASH_PENALTY_FACTOR * math.exp(max(y_rows))
+            )
+            X = np.array(X_rows, dtype=np.float64)
+            y = np.array(y_rows, dtype=np.float64)
+            n_crashed = self.observed - len(y_rows)
+            if n_crashed:
+                crashed_X = [
+                    rec.setting.encode()
+                    for rec in self._log
+                    if rec.crashed
+                ]
+                X = np.vstack([X] + [np.array(crashed_X)])
+                y = np.concatenate([y, np.full(len(crashed_X), penalty)])
+            surrogate = GBRegressor(
+                n_rounds=self.surrogate_rounds,
+                max_depth=3,
+                learning_rate=0.15,
+                seed=ctx.seed,
+            ).fit(X, y)
+
+            candidates = [
+                s
+                for s in space.sample_many(self.pool, rng)
+                if s.as_tuple() not in evaluated
+            ]
+            if not candidates:
+                return  # space exhausted
+            scores = surrogate.predict(
+                np.array([c.encode() for c in candidates])
+            )
+            ranked = [candidates[i] for i in np.argsort(scores, kind="stable")]
+            n_take = min(self.batch, len(ranked), max(1, int(budget - self.cost)))
+            picked = ranked[:n_take]
+            # Epsilon exploration: swap the tail picks for random pool
+            # members the surrogate ranked lower.
+            n_explore = int(round(n_take * self.explore))
+            if n_explore and len(ranked) > n_take:
+                rest = ranked[n_take:]
+                for j in range(n_explore):
+                    swap = rest[int(rng.integers(len(rest)))]
+                    if swap not in picked:
+                        picked[n_take - 1 - j] = swap
+            results = yield AskBatch(picked)
+            consume(picked, results)

@@ -1,0 +1,269 @@
+"""The paper's random search and coordinate descent as strategies.
+
+``RandomStrategy`` is a *bit-identical* port of the pre-refactor
+``RandomSearch.tune_oc`` (Section IV-A: best-of-N random sampling with
+crash resampling, optionally polished by basin-covering coordinate
+descent).  Its RNG stream, draw sequence, walk order, chunked frontier
+sizes, ``seen``-set discipline and measurement log all match the legacy
+code exactly -- profiling campaign digests are pinned to this strategy,
+so any behavioral change here is a format break (see
+``tests/tuning/test_equivalence.py``).
+
+``CoordinateDescentStrategy`` exposes the same descent loop as a
+standalone zoo member: multi-start greedy descent over one parameter at
+a time, each parameter's whole candidate frontier evaluated as a single
+engine batch.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .strategy import AskBatch, GeneratorStrategy, StrategyContext, register_strategy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..optimizations.params import ParamSetting
+
+__all__ = ["CoordinateDescentStrategy", "RandomStrategy", "coordinate_descent"]
+
+#: Sampling attempts allowed per requested valid setting (legacy value).
+ATTEMPTS_PER_SETTING = 12
+
+#: Coordinate-descent passes after random sampling (legacy value).
+REFINE_PASSES = 3
+
+
+def coordinate_descent(
+    strategy: GeneratorStrategy,
+    ctx: StrategyContext,
+    setting: "ParamSetting",
+    time_ms: float,
+    seen: "set[tuple[int, ...]]",
+    measurements: "list[tuple[ParamSetting, float]]",
+    passes: int = REFINE_PASSES,
+):
+    """Polish *setting* one parameter at a time until a fixed point.
+
+    A sub-generator shared by :class:`RandomStrategy` (refinement) and
+    :class:`CoordinateDescentStrategy` (standalone): yields one
+    :class:`AskBatch` per parameter frontier and walks the results in
+    choice order, so the descent trajectory is identical to evaluating
+    candidates one by one -- the exact legacy
+    ``RandomSearch._coordinate_descent`` loop.
+    """
+    for _ in range(passes):
+        improved = False
+        for name in ctx.space.names:
+            candidates = ctx.space.neighbors(setting, name)
+            if not candidates:
+                continue
+            results = yield AskBatch(candidates)
+            for candidate, res in zip(candidates, results):
+                t = strategy.observe(candidate, res)
+                if res.crashed:
+                    continue
+                key = candidate.as_tuple()
+                if key not in seen:
+                    seen.add(key)
+                    measurements.append((candidate, t))
+                if t < time_ms:
+                    setting, time_ms = candidate, t
+                    improved = True
+        if not improved:
+            break
+    return setting, time_ms
+
+
+@register_strategy
+class RandomStrategy(GeneratorStrategy):
+    """Best-of-N random sampling with optional coordinate refinement.
+
+    Parameters
+    ----------
+    n_settings:
+        Valid (non-crashing) settings to measure before refinement.
+        Defaults to the tune() budget when one is set (so plain
+        ``tune(..., strategy="random", budget=B)`` spends B observations
+        sampling), else 8.
+    refine:
+        Polish the best sample of each (use_smem, stream_dim,
+        temporal_steps) basin by coordinate descent -- the legacy
+        default, which makes per-OC optima nearly independent of
+        sampling luck.
+    """
+
+    name = "random"
+
+    def __init__(
+        self,
+        n_settings: "int | None" = None,
+        refine: bool = True,
+        attempts_per_setting: int = ATTEMPTS_PER_SETTING,
+        refine_passes: int = REFINE_PASSES,
+    ):
+        super().__init__()
+        self.n_settings = None if n_settings is None else int(n_settings)
+        self.refine = bool(refine)
+        self.attempts_per_setting = int(attempts_per_setting)
+        self.refine_passes = int(refine_passes)
+        #: Walk-phase crash count (the legacy ``OCResult.crashed`` field;
+        #: refinement crashes are *not* counted here, matching history).
+        self.walk_crashed = 0
+        #: Legacy measurement log: walk acceptances then per-descent
+        #: extras, in exactly the pre-refactor order.
+        self.measurements: list[tuple["ParamSetting", float]] = []
+
+    def stream_components(self, seed: int, stencil_id: int, oc) -> tuple:
+        # The pre-zoo stream: no strategy component.  Campaign digests
+        # depend on this exact key (see the module docstring).
+        return (seed, stencil_id, oc.name)
+
+    def _chunk_size(self, need: int) -> int:
+        """Settings per engine call while ``need`` are missing.
+
+        Vectorized / caching backends amortize fixed batch overhead, so
+        they get generous frontiers; the scalar path pays per point
+        either way, so it evaluates exactly the sequential point set.
+        """
+        info = self.ctx.backend_info
+        if info.vectorized or info.caching:
+            return max(4 * need, 32)
+        return max(need, 1)
+
+    def run(self, ctx: StrategyContext):
+        n_settings = self.n_settings
+        if n_settings is None:
+            n_settings = int(ctx.budget) if ctx.budget else 8
+        rng = ctx.rng
+        max_attempts = n_settings * self.attempts_per_setting
+        # The whole tuning batch's randomness is drawn here, once; draws
+        # past the stopping point are discarded unobserved, which is
+        # exactly what the incremental sampler did.  sample_block is
+        # bit-identical to that many sample() calls but vectorizes the
+        # RNG work, which dominates a cache-served replay.
+        draws = ctx.space.sample_block(max_attempts, rng)
+
+        # Unique settings in first-draw order; the sampling walk below
+        # consumes them strictly in this order, so batches can be
+        # evaluated ahead of the walk without changing its outcome.
+        order: list["ParamSetting"] = []
+        first_seen: set[tuple[int, ...]] = set()
+        for s in draws:
+            k = s.as_tuple()
+            if k not in first_seen:
+                first_seen.add(k)
+                order.append(s)
+
+        results: dict[tuple[int, ...], object] = {}
+        frontier = 0  # index into `order` of the first unevaluated setting
+        measurements = self.measurements
+        seen: set[tuple[int, ...]] = set()
+        attempts = 0
+        while len(measurements) < n_settings and attempts < max_attempts:
+            setting = draws[attempts]
+            attempts += 1
+            key = setting.as_tuple()
+            if key in seen:
+                continue
+            seen.add(key)
+            if key not in results:
+                end = min(
+                    len(order),
+                    frontier + self._chunk_size(n_settings - len(measurements)),
+                )
+                batch = order[frontier:end]
+                batch_results = yield AskBatch(batch)
+                for s, res in zip(batch, batch_results):
+                    results[s.as_tuple()] = res
+                frontier = end
+            res = results[key]
+            t = self.observe(setting, res)
+            if res.crashed:
+                self.walk_crashed += 1
+                continue
+            measurements.append((setting, t))
+
+        if not measurements:
+            return  # every attempted setting crashed
+        if not self.refine:
+            return
+        # Basin-covering multi-start: the landscape's major basins are
+        # indexed by the discrete mode switches (shared memory on/off,
+        # stream axis, temporal degree); coordinate descent from the
+        # best sample of each basin makes the per-OC optimum nearly
+        # independent of sampling luck.
+        basins: dict[tuple[int, int, int], tuple["ParamSetting", float]] = {}
+        for setting, t in measurements:
+            key = (
+                setting["use_smem"],
+                setting["stream_dim"],
+                setting["temporal_steps"],
+            )
+            cur = basins.get(key)
+            if cur is None or t < cur[1]:
+                basins[key] = (setting, t)
+        for start_setting, start_time in sorted(
+            basins.values(), key=lambda m: m[1]
+        ):
+            if start_time > 4.0 * self.best_time_ms:
+                continue  # hopeless basin; descent cannot recover 4x
+            yield from coordinate_descent(
+                self,
+                ctx,
+                start_setting,
+                start_time,
+                seen,
+                measurements,
+                self.refine_passes,
+            )
+
+
+@register_strategy
+class CoordinateDescentStrategy(GeneratorStrategy):
+    """Multi-start greedy coordinate descent.
+
+    Each round samples a fresh start (first round may be pinned via
+    ``start``) and descends one parameter frontier at a time until a
+    fixed point; rounds repeat until the budget is spent (one round when
+    no budget is set).
+    """
+
+    name = "coordinate"
+
+    def __init__(
+        self,
+        start: "ParamSetting | None" = None,
+        passes: int = REFINE_PASSES,
+    ):
+        super().__init__()
+        self.start = start
+        self.passes = int(passes)
+
+    def run(self, ctx: StrategyContext):
+        seen: set[tuple[int, ...]] = set()
+        measurements: list[tuple["ParamSetting", float]] = []
+        first = True
+        while first or (ctx.budget is not None and self.cost < ctx.budget):
+            if first and self.start is not None:
+                start = self.start
+            else:
+                start = ctx.space.sample(ctx.rng)
+            first = False
+            key = start.as_tuple()
+            if key not in seen:
+                seen.add(key)
+                results = yield AskBatch([start])
+                t = self.observe(start, results[0])
+                if not results[0].crashed:
+                    measurements.append((start, t))
+            else:
+                t = dict(
+                    (s.as_tuple(), tm) for s, tm in measurements
+                ).get(key, float("inf"))
+            if t == float("inf"):
+                continue  # crashed start: resample
+            yield from coordinate_descent(
+                self, ctx, start, t, seen, measurements, self.passes
+            )
+            if ctx.budget is None:
+                break

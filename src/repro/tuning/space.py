@@ -1,0 +1,342 @@
+"""Declarative tuning spaces with kernel_tuner-style restrictions.
+
+A :class:`ParameterSpace` names the parameters a tuner may vary, the
+choices each may take, and optional *restrictions* -- boolean constraint
+expressions over the parameter names (the shape of kernel_tuner's
+``restrictions=`` argument)::
+
+    space = ParameterSpace.for_oc(
+        oc, ndim=2,
+        restrictions=["block_x * block_y <= 1024", "merge_factor <= block_x"],
+    )
+
+Restriction expressions use a small, safe grammar: parameter names,
+integer/float/boolean literals, arithmetic (``+ - * / // % **``),
+comparisons (chained allowed), ``and / or / not``, parentheses, and the
+``min`` / ``max`` / ``abs`` functions.  They are parsed once (AST
+whitelist -- no attribute access, no subscripts, no arbitrary calls) and
+evaluated per candidate setting.  A callable predicate taking the
+setting mapping is accepted wherever an expression string is.
+
+Spaces derived from an OC (:meth:`ParameterSpace.for_oc`) sample with
+the exact per-parameter draw sequence of the legacy
+:func:`repro.optimizations.params.sample_setting`, so an unrestricted
+space reproduces pre-refactor tuning streams bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import ast
+import itertools
+from typing import Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import TuningError
+from ..optimizations.combos import OC
+from ..optimizations.params import (
+    PARAM_NAMES,
+    PARAM_SPECS,
+    ParamSetting,
+    _choices_for,
+    relevant_params,
+)
+
+__all__ = ["ParameterSpace", "Restriction", "compile_restriction"]
+
+#: Attempts per requested sample before a restricted space is declared
+#: too tight to sample by rejection.
+_SAMPLE_ATTEMPTS = 200
+
+_ALLOWED_NODES = (
+    ast.Expression,
+    ast.BoolOp, ast.And, ast.Or,
+    ast.UnaryOp, ast.Not, ast.USub, ast.UAdd,
+    ast.BinOp, ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv,
+    ast.Mod, ast.Pow,
+    ast.Compare, ast.Eq, ast.NotEq, ast.Lt, ast.LtE, ast.Gt, ast.GtE,
+    ast.Call, ast.Name, ast.Load, ast.Constant,
+)
+
+_ALLOWED_FUNCS = {"min": min, "max": max, "abs": abs}
+
+
+class Restriction:
+    """One compiled constraint: the source text plus its predicate."""
+
+    __slots__ = ("source", "_predicate")
+
+    def __init__(self, source: str, predicate: Callable[[Mapping[str, int]], bool]):
+        self.source = source
+        self._predicate = predicate
+
+    def __call__(self, values: Mapping[str, int]) -> bool:
+        return bool(self._predicate(values))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Restriction({self.source!r})"
+
+
+def compile_restriction(
+    expr: "str | Callable[[Mapping[str, int]], bool]",
+    names: "Sequence[str]" = PARAM_NAMES,
+) -> Restriction:
+    """Compile one restriction (expression string or callable).
+
+    Raises :class:`~repro.errors.TuningError` on syntax errors, grammar
+    violations, or references to parameters outside *names*.
+    """
+    if callable(expr):
+        label = getattr(expr, "__name__", None) or repr(expr)
+        return Restriction(f"<callable {label}>", expr)
+    try:
+        tree = ast.parse(expr, mode="eval")
+    except SyntaxError as e:
+        raise TuningError(f"bad restriction {expr!r}: {e.msg}") from None
+    known = set(names)
+    for node in ast.walk(tree):
+        if not isinstance(node, _ALLOWED_NODES):
+            raise TuningError(
+                f"restriction {expr!r}: {type(node).__name__} is not part "
+                "of the restriction grammar"
+            )
+        if isinstance(node, ast.Call):
+            if not isinstance(node.func, ast.Name) or node.func.id not in _ALLOWED_FUNCS:
+                raise TuningError(
+                    f"restriction {expr!r}: only "
+                    f"{sorted(_ALLOWED_FUNCS)} may be called"
+                )
+            if node.keywords:
+                raise TuningError(
+                    f"restriction {expr!r}: keyword arguments are not allowed"
+                )
+        elif isinstance(node, ast.Name):
+            if node.id not in known and node.id not in _ALLOWED_FUNCS:
+                raise TuningError(
+                    f"restriction {expr!r}: unknown parameter {node.id!r} "
+                    f"(known: {', '.join(names)})"
+                )
+        elif isinstance(node, ast.Constant):
+            if not isinstance(node.value, (int, float, bool)):
+                raise TuningError(
+                    f"restriction {expr!r}: literal {node.value!r} is not "
+                    "numeric"
+                )
+    code = compile(tree, "<restriction>", "eval")
+
+    def predicate(values: Mapping[str, int]) -> bool:
+        scope = dict(_ALLOWED_FUNCS)
+        scope.update(values)
+        return bool(eval(code, {"__builtins__": {}}, scope))
+
+    return Restriction(expr, predicate)
+
+
+class ParameterSpace:
+    """An ordered set of tunable parameters, their choices, restrictions.
+
+    Parameters
+    ----------
+    params:
+        Ordered ``name -> choices`` mapping.  Iteration order is the
+        sampling order (one RNG draw per parameter, in order), so two
+        spaces with the same mapping produce identical draw sequences.
+    restrictions:
+        Constraint expressions or callables; a setting belongs to the
+        space only if every restriction holds.
+    """
+
+    def __init__(
+        self,
+        params: "Mapping[str, Sequence[int]]",
+        restrictions: "Sequence[str | Callable] | None" = None,
+    ):
+        if not params:
+            raise TuningError("a ParameterSpace needs at least one parameter")
+        clean: dict[str, tuple[int, ...]] = {}
+        for name, choices in params.items():
+            if name not in PARAM_NAMES:
+                raise TuningError(
+                    f"unknown parameter {name!r} (known: {', '.join(PARAM_NAMES)})"
+                )
+            choices = tuple(int(c) for c in choices)
+            if not choices:
+                raise TuningError(f"parameter {name!r} has no choices")
+            clean[name] = choices
+        # Fixed layout order regardless of mapping insertion order keeps
+        # the draw sequence content-determined.
+        order = {n: i for i, n in enumerate(PARAM_NAMES)}
+        self._params: dict[str, tuple[int, ...]] = {
+            n: clean[n] for n in sorted(clean, key=order.__getitem__)
+        }
+        self.restrictions: tuple[Restriction, ...] = tuple(
+            compile_restriction(r, tuple(self._params)) for r in (restrictions or ())
+        )
+        # Sampling hot-path precomputation: per-parameter draw bounds,
+        # the full-vector default templates, and each space parameter's
+        # slot in the global layout.  Settings drawn from the space are
+        # valid by construction, so they take ParamSetting's trusted
+        # fast path instead of re-validating every value.
+        self._bounds = np.array([len(c) for c in self._params.values()])
+        self._choice_lists = tuple(self._params.values())
+        self._slots = tuple(PARAM_NAMES.index(n) for n in self._params)
+        self._full_template = {s.name: s.default for s in PARAM_SPECS}
+        self._tuple_template = tuple(
+            self._full_template[n] for n in PARAM_NAMES
+        )
+
+    def _make(self, values: "dict[str, int]") -> ParamSetting:
+        """Trusted setting from space-drawn values (defaults elsewhere)."""
+        full = dict(self._full_template)
+        full.update(values)
+        tup = list(self._tuple_template)
+        for slot, name in zip(self._slots, self._params):
+            tup[slot] = full[name]
+        return ParamSetting._trusted(full, tuple(tup))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_oc(
+        cls,
+        oc: OC,
+        ndim: int,
+        restrictions: "Sequence[str | Callable] | None" = None,
+    ) -> "ParameterSpace":
+        """The OC's relevant parameters with their standard choice lists."""
+        space = cls(
+            {n: _choices_for(n, ndim) for n in relevant_params(oc, ndim)},
+            restrictions,
+        )
+        return space
+
+    # ------------------------------------------------------------------
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._params)
+
+    def choices(self, name: str) -> tuple[int, ...]:
+        try:
+            return self._params[name]
+        except KeyError:
+            raise TuningError(f"parameter {name!r} is not in this space") from None
+
+    @property
+    def size(self) -> int:
+        """Cartesian cardinality (restrictions not discounted)."""
+        n = 1
+        for choices in self._params.values():
+            n *= len(choices)
+        return n
+
+    def allows(self, setting: "ParamSetting | Mapping[str, int]") -> bool:
+        """True when *setting* satisfies every restriction."""
+        return all(r(setting) for r in self.restrictions)
+
+    # ------------------------------------------------------------------
+    def sample(self, rng: np.random.Generator) -> ParamSetting:
+        """Draw one setting uniformly per parameter (rejection under
+        restrictions).
+
+        The unrestricted draw sequence -- one ``rng.integers(len(choices))``
+        per parameter in layout order -- is exactly the legacy
+        ``sample_setting`` sequence, which the profiling stream-key
+        convention (and every campaign digest) depends on.
+        """
+        for _ in range(_SAMPLE_ATTEMPTS):
+            values = {
+                name: int(choices[rng.integers(len(choices))])
+                for name, choices in self._params.items()
+            }
+            if not self.restrictions or self.allows(values):
+                return self._make(values)
+        raise TuningError(
+            f"could not sample a setting satisfying "
+            f"{[r.source for r in self.restrictions]} in "
+            f"{_SAMPLE_ATTEMPTS} attempts"
+        )
+
+    def sample_block(
+        self, count: int, rng: np.random.Generator
+    ) -> list[ParamSetting]:
+        """Exactly ``count`` :meth:`sample` calls' worth of settings.
+
+        Bit-identical to ``[self.sample(rng) for _ in range(count)]`` --
+        numpy's bounded draw with an array of bounds consumes the
+        generator stream exactly like the equivalent scalar sequence --
+        but the whole block costs one RNG call.  Restricted spaces fall
+        back to the scalar rejection loop (their stream is already
+        setting-dependent).
+        """
+        if count <= 0:
+            return []
+        if self.restrictions:
+            return [self.sample(rng) for _ in range(count)]
+        idx = rng.integers(np.tile(self._bounds, (count, 1)))
+        names = tuple(self._params)
+        choice_lists = self._choice_lists
+        # Repeated rows share one (immutable) instance; random search
+        # redraws the same settings constantly in small spaces.
+        built: dict[tuple[int, ...], ParamSetting] = {}
+        out = []
+        for row in map(tuple, idx.tolist()):
+            setting = built.get(row)
+            if setting is None:
+                setting = self._make(
+                    {
+                        name: choice_lists[j][i]
+                        for j, (name, i) in enumerate(zip(names, row))
+                    }
+                )
+                built[row] = setting
+            out.append(setting)
+        return out
+
+    def sample_many(
+        self, count: int, rng: np.random.Generator
+    ) -> list[ParamSetting]:
+        """*count* distinct settings (deduplicated, bounded retries)."""
+        out: list[ParamSetting] = []
+        seen: set[tuple[int, ...]] = set()
+        attempts = 0
+        while len(out) < count and attempts < count * 40:
+            attempts += 1
+            s = self.sample(rng)
+            if s.as_tuple() in seen:
+                continue
+            seen.add(s.as_tuple())
+            out.append(s)
+        return out
+
+    def enumerate(self) -> Iterator[ParamSetting]:
+        """Every setting of the space, restrictions applied, layout order."""
+        names = self.names
+        for combo in itertools.product(*(self._params[n] for n in names)):
+            values = dict(zip(names, combo))
+            if not self.restrictions or self.allows(values):
+                yield self._make(values)
+
+    def neighbors(self, setting: ParamSetting, name: str) -> list[ParamSetting]:
+        """Coordinate frontier: *setting* with *name* set to each other
+        allowed choice (choice-list order -- the descent walk order)."""
+        base = setting[name]
+        out = []
+        for value in self.choices(name):
+            if value == base:
+                continue
+            candidate = setting.replace(**{name: value})
+            if not self.restrictions or self.allows(candidate):
+                out.append(candidate)
+        return out
+
+    def __contains__(self, setting: ParamSetting) -> bool:
+        for name, choices in self._params.items():
+            if setting[name] not in choices:
+                return False
+        return self.allows(setting)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{n}:{len(c)}" for n, c in self._params.items())
+        return (
+            f"ParameterSpace({parts}; size={self.size}, "
+            f"{len(self.restrictions)} restriction(s))"
+        )

@@ -1,0 +1,89 @@
+"""Tuning strategy-zoo recorder (developer / CI tool).
+
+Runs every registered strategy through ``repro.tuning.tune`` on the
+bench slice at equal fidelity-weighted budget (see
+``repro.tuning.bench``) and reports each strategy's geometric-mean
+best-time ratio against the random baseline, then measures the
+persistent tuning cache's cold-vs-warm replay speedup over the parallel
+dispatch substrate.  Both sections are written as one JSON document --
+``BENCH_tuning.json`` at the repo root by convention, so the strategy
+zoo's quality trajectory is machine-readable across PRs.
+
+Run: python tools/bench_tuning.py [--quick] [--budget N] [--seed N]
+         [-o PATH] [--skip-cache]
+"""
+
+import argparse
+import json
+import sys
+
+from repro.tuning.bench import BENCH_BUDGET, run_cache_bench, run_strategy_bench
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workload for CI smoke runs (fewer stencils, one GPU)",
+    )
+    ap.add_argument(
+        "--budget",
+        type=int,
+        default=BENCH_BUDGET,
+        help="full-fidelity evaluation budget per (stencil, OC, GPU) cell",
+    )
+    ap.add_argument("--seed", type=int, default=11, help="tuning seed")
+    ap.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_tuning.json",
+        help="where to write the JSON document",
+    )
+    ap.add_argument(
+        "--skip-cache",
+        action="store_true",
+        help="only run the strategy comparison",
+    )
+    args = ap.parse_args(argv)
+
+    doc = {
+        "strategies": run_strategy_bench(
+            quick=args.quick, budget=args.budget, seed=args.seed
+        )
+    }
+    strat = doc["strategies"]
+    print(
+        f"strategy zoo (budget {strat['budget']}, "
+        f"{strat['n_stencils']} stencils x {len(strat['ocs'])} OCs x "
+        f"{len(strat['gpus'])} GPUs)"
+    )
+    for name, row in sorted(
+        strat["strategies"].items(), key=lambda kv: kv[1]["geomean_vs_random"]
+    ):
+        marker = "<" if row["beats_random"] else " "
+        print(
+            f"  {name:10s} {row['geomean_vs_random']:.4f}x random {marker} "
+            f"({row['mean_trials']:.1f} trials, {row['wall_s']:.2f}s)"
+        )
+
+    if not args.skip_cache:
+        doc["cache"] = run_cache_bench(
+            quick=args.quick, budget=args.budget, seed=args.seed
+        )
+        cache = doc["cache"]
+        print(
+            f"persistent cache ({cache['substrate']}, "
+            f"{cache['cells']} cells): cold {cache['cold_s']:.3f}s, "
+            f"warm {cache['warm_s']:.3f}s -> {cache['speedup']:.1f}x"
+        )
+
+    with open(args.output, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
