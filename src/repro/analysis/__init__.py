@@ -9,9 +9,13 @@ The subsystem has three layers:
   the pass pipeline, rule metadata, findings with suppression and
   baseline support;
 - the rule passes (``rules_*``) and the sweep driver
-  (:mod:`repro.analysis.lint`) behind the ``repro lint`` CLI.
+  (:mod:`repro.analysis.lint`) behind the ``repro lint`` CLI;
+- the analytical performance model
+  (:mod:`repro.analysis.perfmodel`) behind ``repro estimate``: metric
+  extraction plus a roofline time estimate from generated source.
 """
 
+from .backend import AnalyticalBackend
 from .findings import Baseline, Finding, Report, Severity, Suppressions
 from .framework import (
     AnalysisContext,
@@ -20,7 +24,10 @@ from .framework import (
     RuleInfo,
     all_rules,
     build_context,
+    clear_parse_cache,
     default_passes,
+    parse_cache_info,
+    parse_unit_cached,
 )
 from .ir import ParseError, parse_unit
 from .lint import (
@@ -30,25 +37,47 @@ from .lint import (
     lint_kernel,
     lint_sweep,
 )
+from .perfmodel import (
+    ANALYTICAL_FEATURE_NAMES,
+    EstimateError,
+    KernelMetrics,
+    PerfEstimate,
+    analytical_features,
+    estimate_kernel,
+    estimate_source,
+    extract_metrics,
+)
 
 __all__ = [
+    "ANALYTICAL_FEATURE_NAMES",
     "AnalysisContext",
+    "AnalyticalBackend",
     "AnalysisPass",
     "Analyzer",
     "Baseline",
+    "EstimateError",
     "Finding",
+    "KernelMetrics",
     "LintRecord",
     "LintSummary",
     "ParseError",
+    "PerfEstimate",
     "Report",
     "RuleInfo",
     "Severity",
     "Suppressions",
     "all_rules",
+    "analytical_features",
     "build_context",
+    "clear_parse_cache",
     "default_passes",
+    "estimate_kernel",
+    "estimate_source",
+    "extract_metrics",
     "feasible_settings",
     "lint_kernel",
     "lint_sweep",
+    "parse_cache_info",
     "parse_unit",
+    "parse_unit_cached",
 ]

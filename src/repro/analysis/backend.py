@@ -1,0 +1,80 @@
+"""Estimator-driven measurement backend: static autotuning.
+
+:class:`AnalyticalBackend` implements the engine's :class:`Backend
+<repro.engine.Backend>` protocol on top of
+:func:`~repro.analysis.perfmodel.estimate_kernel` instead of a
+simulator.  Every search strategy in :mod:`repro.tuning` -- the paper's
+random walk with coordinate refinement, the genetic / annealing /
+Bayesian zoo -- can therefore run *without a single measurement*:
+``tune(stencil, oc=oc, backend=AnalyticalBackend(gpu))`` autotunes the
+parameter space purely from generated source.
+
+Semantics mirror the simulator-backed backends:
+
+- a configuration the code generator rejects or the model knows cannot
+  launch surfaces as a crash result (:class:`KernelLaunchError` carried
+  as data), so one bad point never aborts a frontier;
+- a kernel the static analyzer cannot parse or price is *also* reported
+  as a crash result rather than an exception -- from the search's point
+  of view the point is simply unusable, and strategies already know how
+  to route around crashes;
+- estimates are deterministic and noise-free (``sigma == 0``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..engine.core import BackendBase, BackendInfo, EvalRequest, EvalResult
+from ..errors import KernelLaunchError, OptimizationError
+from ..gpu.specs import get_gpu
+
+__all__ = ["AnalyticalBackend"]
+
+
+class AnalyticalBackend(BackendBase):
+    """Batched evaluation backed by the static performance model.
+
+    Parameters
+    ----------
+    gpu:
+        GPU name or :class:`~repro.gpu.specs.GPUSpec` whose machine
+        parameters the roofline composition uses.
+    """
+
+    def __init__(self, gpu):
+        self._spec = get_gpu(gpu) if isinstance(gpu, str) else gpu
+
+    @property
+    def spec(self):
+        return self._spec
+
+    @property
+    def sigma(self) -> float:
+        return 0.0
+
+    @property
+    def info(self) -> BackendInfo:
+        # Metric extraction is memoized per configuration inside
+        # perfmodel, so repeats are near-free even across batches.
+        return BackendInfo(name="analytical", caching=True)
+
+    def evaluate_batch(self, requests: Sequence[EvalRequest]) -> list[EvalResult]:
+        from .ir import ParseError
+        from .perfmodel import EstimateError, estimate_kernel
+
+        out: list[EvalResult] = []
+        for req in requests:
+            try:
+                est = estimate_kernel(
+                    req.stencil, req.oc, req.setting, self._spec.name, grid=req.grid
+                )
+            except KernelLaunchError as e:
+                out.append(EvalResult(error=e))
+            except (OptimizationError, EstimateError, ParseError) as e:
+                out.append(
+                    EvalResult(error=KernelLaunchError(f"analytical: {e}"))
+                )
+            else:
+                out.append(EvalResult(time_ms=est.time_ms))
+        return out

@@ -13,13 +13,76 @@ runs over golden snippets and over the full generated sweep.
 
 from __future__ import annotations
 
+import hashlib
+import threading
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..errors import KernelLaunchError, OptimizationError
 from ..optimizations import kernelmodel
 from . import ir
 from .findings import Baseline, Finding, Report, Severity, Suppressions
+
+# ----------------------------------------------------------------------
+# content-keyed parse memoization
+# ----------------------------------------------------------------------
+#: Maximum cached translation units; a full library sweep is a few
+#: hundred sources, so this never evicts in practice.
+PARSE_CACHE_CAPACITY = 4096
+
+_parse_lock = threading.Lock()
+_parse_cache: "OrderedDict[str, ir.TranslationUnit]" = OrderedDict()
+_parse_hits = 0
+_parse_misses = 0
+
+
+def parse_unit_cached(source: str) -> ir.TranslationUnit:
+    """Parse *source*, memoized on a content digest.
+
+    Lint and the performance-model extraction walk the same emitted
+    sources; keying on a BLAKE2b digest of the text means each distinct
+    unit parses once per process regardless of which pass asks first.
+    Callers treat the returned unit as read-only (every pass does).
+    """
+    global _parse_hits, _parse_misses
+    key = hashlib.blake2b(source.encode("utf-8"), digest_size=16).hexdigest()
+    with _parse_lock:
+        unit = _parse_cache.get(key)
+        if unit is not None:
+            _parse_hits += 1
+            _parse_cache.move_to_end(key)
+            return unit
+    parsed = ir.parse_unit(source)  # parse outside the lock: it can raise
+    with _parse_lock:
+        _parse_misses += 1
+        _parse_cache[key] = parsed
+        _parse_cache.move_to_end(key)
+        while len(_parse_cache) > PARSE_CACHE_CAPACITY:
+            _parse_cache.popitem(last=False)
+    return parsed
+
+
+def parse_cache_info() -> dict:
+    """Hit/miss counters, mirroring ``CachingBackend.cache_info``."""
+    with _parse_lock:
+        total = _parse_hits + _parse_misses
+        return {
+            "hits": _parse_hits,
+            "misses": _parse_misses,
+            "size": len(_parse_cache),
+            "capacity": PARSE_CACHE_CAPACITY,
+            "hit_rate": _parse_hits / total if total else 0.0,
+        }
+
+
+def clear_parse_cache() -> None:
+    """Drop every cached unit and reset the counters."""
+    global _parse_hits, _parse_misses
+    with _parse_lock:
+        _parse_cache.clear()
+        _parse_hits = 0
+        _parse_misses = 0
 
 
 @dataclass(frozen=True)
@@ -81,7 +144,7 @@ def build_context(
     raising: an infeasible configuration (e.g. a temporal halo consuming
     the tile) is a property of the triple, not a lint crash.
     """
-    unit = ir.parse_unit(source)
+    unit = parse_unit_cached(source)
     profile = None
     profile_error = None
     if stencil is not None and oc is not None and setting is not None:

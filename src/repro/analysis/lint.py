@@ -190,7 +190,12 @@ def lint_sweep(
 
 
 def worst_severity(summary: LintSummary) -> "Severity | None":
+    """Most severe finding in *summary* (``None`` for a clean sweep).
+
+    Severity ranks ascend from most to least severe (error=0), so the
+    worst finding is the *minimum* rank.
+    """
     findings = summary.all_findings()
     if not findings:
         return None
-    return max((f.severity for f in findings), key=lambda s: s.rank)
+    return min((f.severity for f in findings), key=lambda s: s.rank)

@@ -9,6 +9,7 @@ Subcommands mirror the pipeline stages::
         --oc ST_RT --gpu A100                              # time prediction
     python -m repro codegen  --stencil star2d2r --oc ST_RT  # emit CUDA
     python -m repro lint                                   # verify kernels
+    python -m repro estimate --stencil star2d2r            # static time model
     python -m repro train --campaign c.json --gpu V100 \
         --registry models/                                 # persist a model
     python -m repro serve --registry models/ --port 8340   # HTTP service
@@ -266,7 +267,9 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--stencil", required=True)
     t.add_argument("--oc", required=True, help="OC name, e.g. ST_RT")
     t.add_argument("--gpu", required=True, choices=list(GPU_ORDER))
-    t.add_argument("--method", default="gbr", choices=("gbr", "mlp", "convmlp"))
+    t.add_argument(
+        "--method", default="gbr", choices=("gbr", "mlp", "convmlp", "hybrid")
+    )
     t.add_argument(
         "--model",
         help="predictor artifact JSON (see `repro train`); skips "
@@ -325,6 +328,14 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--format", default="text", choices=("text", "json"), dest="fmt"
     )
+    lint.add_argument(
+        "--fail-on",
+        default="error",
+        choices=("error", "warning", "info", "never"),
+        help="lowest severity that fails the lint (default: error; "
+        "'never' always exits 0). Exit codes: 0 = no finding at or "
+        "above the threshold, 1 = at least one, 2 = usage error",
+    )
     lint.add_argument("--baseline", help="accept findings recorded in this file")
     lint.add_argument(
         "--write-baseline",
@@ -337,6 +348,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--rules", action="store_true", help="print the rule catalog and exit"
     )
     _add_common(lint)
+
+    est = sub.add_parser(
+        "estimate",
+        help="statically estimate kernel execution time from generated "
+        "source (analytical performance model; no campaign, no training)",
+    )
+    est.add_argument(
+        "--stencil",
+        action="append",
+        dest="stencils",
+        metavar="NAME",
+        help="named stencil (repeatable; default: star2d1r)",
+    )
+    est.add_argument(
+        "--oc",
+        action="append",
+        dest="ocs",
+        metavar="NAME",
+        help="restrict to OCs (repeatable; default: the analytical "
+        "selector's candidate set)",
+    )
+    est.add_argument(
+        "--gpu",
+        action="append",
+        dest="gpus",
+        choices=list(GPU_ORDER),
+        help="target GPUs (repeatable; default: all)",
+    )
+    est.add_argument(
+        "--n-settings", type=int, default=1,
+        help="sampled feasible parameter settings per (stencil, OC)",
+    )
+    est.add_argument(
+        "--format", default="text", choices=("text", "json"), dest="fmt"
+    )
+    est.add_argument(
+        "--metrics",
+        action="store_true",
+        help="include the full extracted kernel metrics (JSON only)",
+    )
+    _add_common(est)
 
     tr = sub.add_parser(
         "train",
@@ -353,8 +405,8 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument(
         "--method",
         default=None,
-        help="gbdt/convnet/fcnet for select, gbr/mlp/convmlp for predict "
-        "(defaults: gbdt / gbr)",
+        help="gbdt/convnet/fcnet/analytical for select, "
+        "gbr/mlp/convmlp/hybrid for predict (defaults: gbdt / gbr)",
     )
     tr.add_argument(
         "--gpu",
@@ -835,7 +887,10 @@ def cmd_codegen(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    from .analysis import Baseline, all_rules, lint_sweep
+    import json
+
+    from .analysis import Baseline, Severity, all_rules, lint_sweep
+    from .analysis.lint import worst_severity
     from .optimizations import OC_BY_NAME
     from .stencil import get
 
@@ -875,11 +930,102 @@ def cmd_lint(args) -> int:
         )
         return 0
 
+    worst = worst_severity(summary)
     if args.fmt == "json":
-        print(summary.to_json())
+        doc = summary.to_dict()
+        doc["worst_severity"] = worst.value if worst else None
+        doc["fail_on"] = args.fail_on
+        print(json.dumps(doc, indent=2, sort_keys=True))
     else:
         print(summary.format_text(verbose=args.verbose))
-    return 0 if summary.ok else 1
+    if args.fail_on == "never" or worst is None:
+        return 0
+    # Ranks ascend from most severe (error=0): fail when the worst
+    # finding is at or above the requested threshold.
+    return 1 if worst.rank <= Severity(args.fail_on).rank else 0
+
+
+def cmd_estimate(args) -> int:
+    import json
+
+    from .analysis.ir import ParseError
+    from .analysis.lint import feasible_settings
+    from .analysis.perfmodel import EstimateError, estimate_kernel
+    from .errors import KernelLaunchError
+    from .ml.analytical import DEFAULT_CANDIDATES
+    from .optimizations import OC_BY_NAME
+    from .stencil import get
+
+    stencils = [get(n) for n in (args.stencils or ["star2d1r"])]
+    oc_names = args.ocs or list(DEFAULT_CANDIDATES)
+    ocs = []
+    for name in oc_names:
+        oc = OC_BY_NAME.get(name)
+        if oc is None:
+            print(f"unknown OC {name!r}", file=sys.stderr)
+            return 2
+        ocs.append(oc)
+    gpus = args.gpus or list(GPU_ORDER)
+
+    estimates: "list[dict]" = []
+    skipped: "list[list[str]]" = []
+    crashed = 0
+    for stencil in stencils:
+        for oc in ocs:
+            settings = feasible_settings(stencil, oc, args.n_settings, args.seed)
+            if not settings:
+                skipped.append([stencil.name or "anonymous", oc.name])
+                continue
+            for k, setting in enumerate(settings):
+                for gpu in gpus:
+                    row = {
+                        "stencil": stencil.name or "anonymous",
+                        "oc": oc.name,
+                        "setting": dict(setting),
+                        "setting_index": k,
+                    }
+                    try:
+                        est = estimate_kernel(stencil, oc, setting, gpu)
+                    except (KernelLaunchError, EstimateError, ParseError) as e:
+                        crashed += 1
+                        row.update({"gpu": gpu, "crashed": str(e)})
+                    else:
+                        row.update(est.to_dict(), crashed=None)
+                        if args.metrics:
+                            row["metrics"] = est.metrics.to_dict()
+                    estimates.append(row)
+
+    if args.fmt == "json":
+        print(json.dumps(
+            {
+                "estimates": estimates,
+                "skipped": skipped,
+                "crashed": crashed,
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+    else:
+        for row in estimates:
+            head = f"{row['stencil']} x {row['oc']} [s{row['setting_index']}] on {row['gpu']}"
+            if row["crashed"]:
+                print(f"{head}: cannot launch ({row['crashed']})")
+                continue
+            ph = row["phases_ms"]
+            print(
+                f"{head}: {row['time_ms']:.4f} ms/step  "
+                f"(dram {ph['dram']:.4f}, l2 {ph['l2']:.4f}, "
+                f"smem {ph['smem']:.4f}, compute {ph['compute']:.4f}, "
+                f"occupancy {row['occupancy']:.2f})"
+            )
+        for stencil, oc in skipped:
+            print(f"{stencil} x {oc}: skipped (no feasible setting)")
+        n_ok = len(estimates) - crashed
+        print(
+            f"{len(estimates)} variant(s) estimated: {n_ok} ok, "
+            f"{crashed} cannot launch, {len(skipped)} skipped"
+        )
+    return 0 if any(not r["crashed"] for r in estimates) else 1
 
 
 def cmd_train(args) -> int:
@@ -1090,7 +1236,7 @@ def cmd_query(args) -> int:
             )
         else:
             r = client.select(args.stencil, args.gpu)
-            via = r["artifact"] or "heuristic fallback"
+            via = r["artifact"] or r.get("rung") or "fallback ladder"
             print(
                 f"best OC for {args.stencil} on {args.gpu}: {r['oc']} "
                 f"({r['source']} via {via})"
@@ -1110,6 +1256,7 @@ _COMMANDS = {
     "predict": cmd_predict,
     "codegen": cmd_codegen,
     "lint": cmd_lint,
+    "estimate": cmd_estimate,
     "train": cmd_train,
     "serve": cmd_serve,
     "serve-chaos": cmd_serve_chaos,

@@ -58,8 +58,9 @@ from ..stencil.tensorize import assign_tensor
 #: Classifier registry: name -> factory(n_classes, seed, **hyper).
 CLASSIFIERS = ("gbdt", "convnet", "fcnet")
 
-#: Regressor registry.
-REGRESSORS = ("gbr", "mlp", "convmlp")
+#: Regressor registry.  ``hybrid`` is a GBDT regressor over the standard
+#: features augmented with static analytical-perfmodel columns.
+REGRESSORS = ("gbr", "mlp", "convmlp", "hybrid")
 
 
 def make_classifier(method: str, n_classes: int, seed: int, **hyper):
@@ -94,7 +95,7 @@ def make_regressor(method: str, seed: int, **hyper):
     seed = hyper.pop("seed", seed)
     hyper.pop("workers", None)
     hyper.pop("pool_context", None)
-    if method == "gbr":
+    if method in ("gbr", "hybrid"):
         defaults = dict(n_rounds=80, learning_rate=0.15, max_depth=5)
         defaults.update(hyper)
         return GBRegressor(seed=seed, **defaults)
@@ -124,7 +125,8 @@ def _predictor_fold(data: dict, train: np.ndarray, test: np.ndarray) -> float:
             data["tensors"][train], data["aux"][train], data["times"][train]
         )
         pred = model.predict(data["tensors"][test], data["aux"][test])
-    elif method == "gbr":
+    elif method in ("gbr", "hybrid"):
+        # Hybrid rows arrive pre-augmented with analytical columns.
         model.fit(
             data["features"][train],
             LogTimeTransform.forward(data["times"][train]),
@@ -429,6 +431,9 @@ class StencilMART:
         model = self._make_regressor(method, **hyper)
         if method == "convmlp":
             model.fit(ds.tensors[rows], ds.aux[rows], ds.times_ms[rows])
+        elif method == "hybrid":
+            X = self._hybrid_features(ds)
+            model.fit(X[rows], LogTimeTransform.forward(ds.times_ms[rows]))
         elif method == "gbr":
             model.fit(
                 ds.features[rows], LogTimeTransform.forward(ds.times_ms[rows])
@@ -437,6 +442,13 @@ class StencilMART:
             model.fit(ds.features[rows], ds.times_ms[rows])
         self._predictors[method] = model
         return self
+
+    def _hybrid_features(self, ds: RegressionDataset) -> np.ndarray:
+        """Standard regression features + per-row analytical columns."""
+        from ..ml.preprocess import augment_features
+        from ..profiling.dataset import analytical_feature_matrix
+
+        return augment_features(ds.features, analytical_feature_matrix(self.campaign, ds))
 
     def _row_subset(self, n: int, max_rows: int | None) -> np.ndarray:
         if max_rows is None or n <= max_rows:
@@ -464,8 +476,15 @@ class StencilMART:
         if method == "convmlp":
             tensor = assign_tensor(stencil, self.max_order)[None, ...]
             return float(model.predict(tensor, aux[None, :])[0])
-        x = np.concatenate([feats, aux])[None, :]
-        if method == "gbr":
+        x = np.concatenate([feats, aux])
+        if method == "hybrid":
+            from ..analysis.perfmodel import analytical_features
+            from ..optimizations.combos import OC_BY_NAME
+
+            oc_obj = OC_BY_NAME[oc_name] if isinstance(oc, str) else oc
+            x = np.concatenate([x, analytical_features(stencil, oc_obj, setting, gpu)])
+        x = x[None, :]
+        if method in ("gbr", "hybrid"):
             return float(LogTimeTransform.inverse(model.predict(x))[0])
         return float(model.predict(x)[0])
 
@@ -488,7 +507,7 @@ class StencilMART:
         rows = self._row_subset(ds.n_samples, max_rows)
         data = {
             "method": method,
-            "features": ds.features,
+            "features": self._hybrid_features(ds) if method == "hybrid" else ds.features,
             "tensors": ds.tensors if method == "convmlp" else None,
             "aux": ds.aux if method == "convmlp" else None,
             "times": ds.times_ms,

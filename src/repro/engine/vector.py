@@ -234,6 +234,16 @@ class VectorBackend(BackendBase):
         su = np.maximum(su, 1)
         stl = np.maximum(stl, 1)
 
+        # Merging along the stream axis cannot be expressed: codegen
+        # drops the merge loop, so the emitted kernel is plain streaming
+        # (mirrors build_profile).
+        phantom = merging & streaming & (merge_axis == stream_axis)
+        merging = merging & ~phantom
+        block_merge = block_merge & ~phantom
+        m = np.where(phantom, 1, m)
+        merge_axis = np.where(phantom, -1, merge_axis)
+        ma_pos = np.where(merge_axis < 0, merge_axis + ndim, merge_axis)
+
         # --- launch geometry ------------------------------------------
         # Streaming lanes launch planes: block_x/block_y land on the
         # first/second surviving axes (all axes survive for axis -1);
@@ -257,6 +267,12 @@ class VectorBackend(BackendBase):
         threads = bd[0].copy()
         for a in range(1, ndim):
             threads = threads * bd[a]
+
+        # Cyclic merging with a unit block dimension along the merge
+        # axis strides the outputs by 1, i.e. adjacent (block) merging
+        # (mirrors build_profile).
+        bd_ma = np.stack(bd)[ma_pos, np.arange(n)]
+        block_merge = block_merge | (merging & (bd_ma == 1))
 
         cov = []
         for a in range(ndim):

@@ -1,16 +1,24 @@
-"""Machine-learning substrate: metrics, GBDT and neural models."""
+"""Machine-learning substrate: metrics, GBDT, neural and analytical models."""
 
 from . import nn
+from .analytical import (
+    AnalyticalPredictor,
+    AnalyticalRecommendation,
+    AnalyticalSelector,
+)
 from .gbdt import GBDTClassifier, GBRegressor
 from .metrics import accuracy, confusion_matrix, kendall_tau, mape, pcc, top_k_accuracy
 from .nn import ConvMLPRegressor, ConvNetClassifier, FcNetClassifier, MLPRegressor
-from .preprocess import LogTimeTransform, MaxNormalizer, one_hot
+from .preprocess import LogTimeTransform, MaxNormalizer, augment_features, one_hot
 from .serialize import model_from_state, model_state
 from .tree import RegressionTree
 
 __all__ = [
     "model_from_state",
     "model_state",
+    "AnalyticalPredictor",
+    "AnalyticalRecommendation",
+    "AnalyticalSelector",
     "ConvMLPRegressor",
     "ConvNetClassifier",
     "FcNetClassifier",
@@ -21,6 +29,7 @@ __all__ = [
     "MaxNormalizer",
     "RegressionTree",
     "accuracy",
+    "augment_features",
     "confusion_matrix",
     "kendall_tau",
     "mape",

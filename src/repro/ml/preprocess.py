@@ -72,6 +72,26 @@ class LogTimeTransform:
         return np.exp2(np.asarray(log_times, dtype=np.float64))
 
 
+def augment_features(X: np.ndarray, extra: np.ndarray) -> np.ndarray:
+    """Column-concatenate a base feature matrix with extra features.
+
+    The hybrid predictor path: analytical metrics from
+    :func:`repro.analysis.perfmodel.analytical_features` ride along as
+    additional columns of the standard regression features.  Shapes are
+    validated here so a row mismatch fails loudly at build time, not as
+    a silent mis-alignment inside the model.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    extra = np.asarray(extra, dtype=np.float64)
+    if extra.ndim == 1:
+        extra = extra.reshape(-1, 1)
+    if X.shape[0] != extra.shape[0]:
+        raise ValueError(
+            f"augment_features: {X.shape[0]} base rows != {extra.shape[0]} extra rows"
+        )
+    return np.concatenate([X, extra], axis=1)
+
+
 def one_hot(labels: np.ndarray, n_classes: int) -> np.ndarray:
     """``(n, n_classes)`` one-hot float64 encoding."""
     y = np.asarray(labels, dtype=np.int64).ravel()

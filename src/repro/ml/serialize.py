@@ -26,6 +26,7 @@ import base64
 import numpy as np
 
 from ..errors import ModelError
+from .analytical import AnalyticalPredictor, AnalyticalSelector
 from .gbdt import GBDTClassifier, GBRegressor
 from .nn import (
     ConvMLPRegressor,
@@ -47,6 +48,8 @@ MODEL_CLASSES = {
         ConvMLPRegressor,
         ConvNetClassifier,
         FcNetClassifier,
+        AnalyticalPredictor,
+        AnalyticalSelector,
     )
 }
 

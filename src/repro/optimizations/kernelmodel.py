@@ -190,6 +190,15 @@ def build_profile(
     if streaming and stream_axis >= ndim:
         raise OptimizationError(f"stream_dim={setting['stream_dim']} on {ndim}-D grid")
 
+    # Merging along the stream axis cannot be expressed: the stream loop
+    # already walks that axis, so codegen emits a plain streaming kernel
+    # (see ``CudaEmitter._merge_loop``).  Price what is actually emitted.
+    if merging and streaming and merge_axis == stream_axis:
+        merging = False
+        block_merge = False
+        m = 1
+        merge_axis = -1
+
     # TB kernels stage time planes in shared memory regardless of the
     # use_smem parameter (see module docstring).
     use_smem = bool(setting["use_smem"]) or temporal
@@ -210,6 +219,13 @@ def build_profile(
         block_dims += [1] * (ndim - len(block_dims))
 
     threads_per_block = math.prod(block_dims)
+
+    # Cyclic merging strides the merged outputs by the block extent; a
+    # unit block dimension degenerates the stride to 1, which is exactly
+    # adjacent (block) merging -- price the register/overlap structure
+    # the emitted kernel actually has.
+    if merging and not block_merge and block_dims[merge_axis] == 1:
+        block_merge = True
 
     coverage = list(block_dims)
     if merging and merge_axis != stream_axis:
@@ -245,31 +261,19 @@ def build_profile(
     # ------------------------------------------------------------------
     # registers per thread
     # ------------------------------------------------------------------
-    regs = 24.0 + 3.0 * math.sqrt(nnz)
-    if merging:
-        per_point = 5.0 + 1.1 * math.sqrt(nnz)
-        regs += (m - 1) * per_point * (1.1 if block_merge else 0.85)
-    if streaming:
-        unroll = setting["stream_unroll"]
-        queue = (2 * extents[stream_axis] + 1) * unroll * 2.2
-        if use_smem:
-            queue *= 0.35
-        if retiming:
-            queue *= 0.45
-            regs += 6.0
-        regs += queue * (1.0 if use_smem else 1.6)
-        regs += (unroll - 1) * 5.0
-        if prefetch:
-            regs += 8.0 * unroll + 6.0
-    if temporal:
-        if streaming:
-            regs += 10.0 * t
-        else:
-            regs *= 1.0 + 0.4 * (t - 1)
-
-    regs_needed = int(round(regs))
-    spilled = max(0, regs_needed - 255)
-    regs_per_thread = min(regs_needed, 255)
+    regs_per_thread, spilled = register_estimate(
+        nnz,
+        merge_factor=m if merging else 1,
+        block_merge=block_merge,
+        streaming=streaming,
+        use_smem=use_smem,
+        retiming=retiming,
+        stream_extent=extents[stream_axis] if streaming else 0,
+        unroll=setting["stream_unroll"] if streaming else 1,
+        prefetch=prefetch,
+        temporal_steps=t,
+        temporal=temporal,
+    )
 
     # ------------------------------------------------------------------
     # shared memory per block
@@ -340,16 +344,15 @@ def build_profile(
     # merging reuses overlapping taps across the merged outputs.
     smem_bytes = 0.0
     if use_smem:
-        taps = float(nnz)
-        if retiming and streaming:
-            # Retiming turns stream-axis taps into register accumulations:
-            # each staged value is consumed once as the plane queue rolls,
-            # leaving only the in-plane taps plus the rolling update.
-            off_stream = sum(1 for p in stencil.offsets if p[stream_axis] == 0)
-            taps = float(off_stream) + 2.0
-        if block_merge:
-            taps /= _bm_overlap_factor(stencil, merge_axis, m)
-        smem_bytes = (taps + 2.0) * WORD * points * t * redundancy
+        taps = smem_traffic_taps(
+            stencil.offsets,
+            stream_axis=stream_axis if streaming else None,
+            retiming=retiming,
+            block_merge=block_merge,
+            merge_axis=merge_axis,
+            merge_factor=m,
+        )
+        smem_bytes = taps * WORD * points * t * redundancy
 
     # Register spills round-trip through L1/L2 (and partly DRAM).
     if spilled:
@@ -404,8 +407,88 @@ def build_profile(
     )
 
 
+def register_estimate(
+    nnz: int,
+    *,
+    merge_factor: int = 1,
+    block_merge: bool = False,
+    streaming: bool = False,
+    use_smem: bool = False,
+    retiming: bool = False,
+    stream_extent: int = 0,
+    unroll: int = 1,
+    prefetch: bool = False,
+    temporal_steps: int = 1,
+    temporal: "bool | None" = None,
+) -> "tuple[int, int]":
+    """Per-thread register pressure from the kernel's *structure* alone.
+
+    Returns ``(regs_per_thread, spilled)`` with the per-thread count
+    capped at the hardware's 255.  This is the single register model of
+    the repo: :func:`build_profile` calls it with intent-derived
+    arguments, and the static analyzer's register pass calls it with the
+    same facts recovered from generated source, so both sides price
+    occupancy identically.
+    """
+    regs = 24.0 + 3.0 * math.sqrt(nnz)
+    if merge_factor > 1:
+        per_point = 5.0 + 1.1 * math.sqrt(nnz)
+        regs += (merge_factor - 1) * per_point * (1.1 if block_merge else 0.85)
+    if streaming:
+        queue = (2 * stream_extent + 1) * unroll * 2.2
+        if use_smem:
+            queue *= 0.35
+        if retiming:
+            queue *= 0.45
+            regs += 6.0
+        regs += queue * (1.0 if use_smem else 1.6)
+        regs += (unroll - 1) * 5.0
+        if prefetch:
+            regs += 8.0 * unroll + 6.0
+    if temporal is None:
+        temporal = temporal_steps > 1
+    if temporal:
+        if streaming:
+            regs += 10.0 * temporal_steps
+        else:
+            regs *= 1.0 + 0.4 * (temporal_steps - 1)
+
+    regs_needed = int(round(regs))
+    return min(regs_needed, 255), max(0, regs_needed - 255)
+
+
+def smem_traffic_taps(
+    taps: "tuple[tuple[int, ...], ...]",
+    *,
+    stream_axis: "int | None" = None,
+    retiming: bool = False,
+    block_merge: bool = False,
+    merge_axis: "int | None" = None,
+    merge_factor: int = 1,
+) -> float:
+    """Shared-memory reads per output point for a tiled kernel.
+
+    Tiled kernels re-read each accessed neighbor from shared memory
+    (plus ~2 accesses for the store/rotate bookkeeping), so dense
+    stencils become smem-bandwidth-bound.  Retiming accumulates
+    stream-axis taps in registers, leaving only the in-plane taps plus
+    the rolling update; block merging serves overlapping taps of the
+    merged outputs from registers.  Shared between :func:`build_profile`
+    (stencil offsets) and the analyzer's volume pass (extracted taps).
+    """
+    eff = float(len(taps))
+    if retiming and stream_axis is not None:
+        off_stream = sum(1 for p in taps if p[stream_axis] == 0)
+        eff = float(off_stream) + 2.0
+    if block_merge and merge_axis is not None and merge_factor > 1:
+        eff /= tap_overlap_factor(tuple(taps), merge_axis, merge_factor)
+    return eff + 2.0
+
+
 @lru_cache(maxsize=65536)
-def _bm_overlap_factor(stencil: Stencil, axis: int, m: int) -> float:
+def tap_overlap_factor(
+    taps: "tuple[tuple[int, ...], ...]", axis: int, m: int
+) -> float:
     """Tap-reuse factor of block merging *m* outputs along *axis*.
 
     Adjacent outputs share exactly the taps whose translates along the
@@ -415,11 +498,14 @@ def _bm_overlap_factor(stencil: Stencil, axis: int, m: int) -> float:
     the axis gain nothing (and then cyclic merging's lower register cost
     wins instead).
     """
-    taps = set(stencil.offsets)
     union: set = set()
     for k in range(m):
         union.update(tuple(c + k if d == axis else c for d, c in enumerate(p)) for p in taps)
     return m * len(taps) / len(union)
+
+
+def _bm_overlap_factor(stencil: Stencil, axis: int, m: int) -> float:
+    return tap_overlap_factor(stencil.offsets, axis, m)
 
 
 @lru_cache(maxsize=65536)

@@ -118,7 +118,9 @@ class RegressionDataset:
     ``aux``: ``(n, F - n_stencil_features)`` the non-stencil part alone
     (the MLP branch of ConvMLP);
     ``times_ms``: measured execution times;
-    ``stencil_ids`` / ``gpus``: provenance for grouped splits.
+    ``stencil_ids`` / ``gpus``: provenance for grouped splits;
+    ``ocs`` / ``settings``: the raw per-row configuration, kept so
+    hybrid models can derive analytical features for each measurement.
     """
 
     features: np.ndarray
@@ -127,6 +129,8 @@ class RegressionDataset:
     times_ms: np.ndarray
     stencil_ids: np.ndarray
     gpus: list[str]
+    ocs: list[str] = field(default_factory=list)
+    settings: list = field(default_factory=list)
 
     @property
     def n_samples(self) -> int:
@@ -166,6 +170,8 @@ def build_regression_dataset(
     times: list[float] = []
     ids: list[int] = []
     provenance: list[str] = []
+    ocs: list[str] = []
+    settings: list = []
     for gpu in use_gpus:
         for m in campaign.measurements(gpu):
             aux = np.concatenate([oc_flags(m.oc), m.setting.encode(), hw[gpu]])
@@ -175,6 +181,8 @@ def build_regression_dataset(
             times.append(m.time_ms)
             ids.append(m.stencil_id)
             provenance.append(gpu)
+            ocs.append(m.oc)
+            settings.append(m.setting)
     if not rows:
         raise DatasetError("campaign contains no measurements")
     return RegressionDataset(
@@ -184,4 +192,31 @@ def build_regression_dataset(
         times_ms=np.array(times),
         stencil_ids=np.array(ids, dtype=np.int64),
         gpus=provenance,
+        ocs=ocs,
+        settings=settings,
     )
+
+
+def analytical_feature_matrix(campaign: ProfileCampaign, ds: RegressionDataset) -> np.ndarray:
+    """Per-row analytical features for a regression dataset.
+
+    The hybrid predictor's extra columns: one static-perfmodel feature
+    vector per measurement, derived from the row's raw (stencil, OC,
+    setting, GPU).  Requires the dataset to carry its raw configuration
+    (``ocs`` / ``settings``), which :func:`build_regression_dataset`
+    always records.
+    """
+    from ..analysis.perfmodel import analytical_features
+
+    if len(ds.ocs) != ds.n_samples or len(ds.settings) != ds.n_samples:
+        raise DatasetError(
+            "dataset lacks per-row oc/setting provenance; rebuild it with "
+            "build_regression_dataset to use the hybrid method"
+        )
+    rows = [
+        analytical_features(
+            campaign.stencils[sid], OC_BY_NAME[oc], setting, gpu
+        )
+        for sid, oc, setting, gpu in zip(ds.stencil_ids, ds.ocs, ds.settings, ds.gpus)
+    ]
+    return np.array(rows, dtype=np.float64)

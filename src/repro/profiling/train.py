@@ -17,8 +17,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import DEFAULT_SEED, MAX_ORDER, N_MERGED_CLASSES
-from ..ml.preprocess import LogTimeTransform
-from .dataset import build_classification_dataset, build_regression_dataset
+from ..ml.analytical import AnalyticalPredictor, AnalyticalSelector
+from ..ml.preprocess import LogTimeTransform, augment_features
+from .dataset import analytical_feature_matrix, build_classification_dataset, build_regression_dataset
 from .merge import merge_ocs
 from .profiler import ProfileCampaign
 
@@ -53,6 +54,28 @@ def train_selector_artifact(
     """
     from ..core.framework import make_classifier
     from ..serve.artifacts import ModelArtifact
+
+    if method == "analytical":
+        # No training: the selector ranks candidates with the static
+        # performance model.  Representatives are the candidate OC names
+        # themselves, so serve-side class decoding works unchanged.
+        candidates = tuple(oc.name for oc in campaign.ocs)
+        model = AnalyticalSelector(
+            candidates=candidates,
+            n_settings=int(hyper.pop("n_settings", 2)),
+            seed=seed,
+            **hyper,
+        )
+        return ModelArtifact(
+            kind="selector",
+            method="analytical",
+            ndim=campaign.stencils[0].ndim,
+            gpu=gpu,
+            max_order=max_order,
+            representatives=list(candidates),
+            model=model,
+            meta={**_campaign_meta(campaign), "train_rows": 0},
+        )
 
     grouping = merge_ocs(campaign, n_classes=n_classes)
     ds = build_classification_dataset(campaign, grouping, gpu, max_order)
@@ -99,6 +122,19 @@ def train_predictor_artifact(
     from ..core.framework import make_regressor
     from ..serve.artifacts import ModelArtifact
 
+    if method == "analytical":
+        # No training: the predictor estimates from generated source.
+        model = AnalyticalPredictor(**hyper)
+        return ModelArtifact(
+            kind="predictor",
+            method="analytical",
+            ndim=campaign.stencils[0].ndim,
+            gpu=None,
+            max_order=max_order,
+            model=model,
+            meta={**_campaign_meta(campaign), "train_rows": 0,
+                  "train_gpus": list(gpus) if gpus is not None else list(campaign.gpus)},
+        )
     ds = build_regression_dataset(campaign, gpus, max_order)
     if max_rows is not None and ds.n_samples > max_rows:
         rng = np.random.default_rng(seed)
@@ -108,6 +144,9 @@ def train_predictor_artifact(
     model = make_regressor(method, seed, **hyper)
     if method == "convmlp":
         model.fit(ds.tensors[rows], ds.aux[rows], ds.times_ms[rows])
+    elif method == "hybrid":
+        X = augment_features(ds.features, analytical_feature_matrix(campaign, ds))
+        model.fit(X[rows], LogTimeTransform.forward(ds.times_ms[rows]))
     elif method == "gbr":
         model.fit(
             ds.features[rows], LogTimeTransform.forward(ds.times_ms[rows])

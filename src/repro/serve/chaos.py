@@ -26,9 +26,10 @@ Scenario (one :func:`run_chaos` call, seven phases):
    delay) while live traffic runs; the half-open breaker probes,
    validates, swaps atomically -- zero failed requests.
 6. **poison**: the swapped-in model is poisoned to throw at answer
-   time; answers degrade to the heuristic fallback (never 500), the
-   post-swap health window trips, and the reloader rolls back to the
-   previous version.
+   time; answers degrade down the fallback ladder (never 500) -- the
+   analytical rung must serve them, attributed per rung in ``/stats``
+   -- the post-swap health window trips, and the reloader rolls back
+   to the previous version.
 7. **recovery**: one more good publish swaps in and survives its health
    window; the breaker ends closed.
 
@@ -192,7 +193,8 @@ def _one_request(service: PredictionService, stencil, i: int, cfg: ChaosConfig,
     try:
         if select_only or i % 2 == 0:
             r = service.select(stencil, cfg.gpu, budget_s=budget_s)
-            out.record("ok", time.perf_counter() - t0, source=r.source)
+            src = f"{r.source}:{r.rung}" if r.rung else r.source
+            out.record("ok", time.perf_counter() - t0, source=src)
         else:
             service.predict(stencil, "naive", ParamSetting(), cfg.gpu,
                             budget_s=budget_s)
@@ -348,6 +350,10 @@ def run_chaos(selector, predictor, cfg: ChaosConfig, workdir) -> dict:
     rolled_back = any(
         e["phase"] == "poison" and e["action"] == "rollback" for e in events
     )
+    # While the model was poisoned, degraded answers must have come from
+    # the analytical rung (the heuristic ladder is only the last resort).
+    poison_sources = out("poison").summary()["sources"]
+    analytical_engaged = poison_sources.get("fallback:analytical", 0) > 0
 
     # Phase 7: one more good publish; swap in and survive the window.
     v_final = registry.publish(selector, SELECTOR_NAME)
@@ -395,6 +401,8 @@ def run_chaos(selector, predictor, cfg: ChaosConfig, workdir) -> dict:
             "load_failures": reload_snap["load_failures"],
         },
         "zero_failed_during_swap": zero_failed_during_swap,
+        "analytical_rung_engaged": analytical_engaged,
+        "fallback_rungs": service.stats_snapshot()["fallback_rungs"],
         "events": events,
         "stats": service.stats_snapshot(),
     }
@@ -418,4 +426,9 @@ def chaos_passed(report: dict) -> "list[str]":
         problems.append("requests failed during the hot swap")
     if report["reload"]["rollbacks"] < 1:
         problems.append("poisoned model was not rolled back")
+    if not report.get("analytical_rung_engaged", False):
+        problems.append(
+            "analytical fallback rung never served degraded requests "
+            "while the model was poisoned"
+        )
     return problems

@@ -116,6 +116,7 @@ def _select_result(r) -> dict:
         "source": r.source,
         "class": r.cls,
         "artifact": r.artifact,
+        "rung": r.rung,
     }
 
 

@@ -5,8 +5,10 @@ Raw stencils in, answers out:
 - **select**: which OC should this stencil use on this GPU?  Served by
   a selector artifact's classifier when one is installed for the
   (ndim, GPU) pair, decoded through the artifact's representative OCs;
-  otherwise the heuristic ladder answers and the event is counted as a
-  fallback.
+  otherwise the fallback ladder answers -- the analytical selector
+  (static perfmodel argmin) first, the heuristic ladder as the total
+  last rung -- and the event is counted as a fallback attributed to
+  its rung.
 - **predict**: how long will this (stencil, OC, setting) run on this
   GPU?  Served by a predictor artifact (cross-architecture: the GPU is
   a model input, so one artifact covers every known GPU).
@@ -28,7 +30,8 @@ import numpy as np
 from ..config import MAX_ORDER
 from ..errors import ArtifactError, OverloadError, ServiceError
 from ..gpu.specs import GPU_ORDER, hardware_features
-from ..ml.preprocess import LogTimeTransform
+from ..ml.analytical import AnalyticalSelector
+from ..ml.preprocess import LogTimeTransform, augment_features
 from ..optimizations.combos import OC_BY_NAME
 from ..optimizations.params import PARAM_NAMES, ParamSetting
 from ..profiling.dataset import oc_flags
@@ -72,6 +75,9 @@ class SelectResult:
     source: str  # "model" | "fallback"
     cls: "int | None" = None
     artifact: "str | None" = None
+    #: Which degradation-ladder rung answered a fallback request
+    #: ("analytical" | "heuristic-ladder"); ``None`` for model answers.
+    rung: "str | None" = None
 
 
 @dataclass
@@ -110,6 +116,7 @@ class PredictionService:
         self,
         registry: "ModelRegistry | None" = None,
         fallback: "HeuristicSelector | None" = None,
+        analytical: "AnalyticalSelector | None" = None,
         feature_cache: "FeatureCache | None" = None,
         stats: "ServiceStats | None" = None,
         max_order: int = MAX_ORDER,
@@ -121,6 +128,7 @@ class PredictionService:
         self.stats = stats or ServiceStats()
         self.cache = feature_cache or FeatureCache(max_order)
         self.fallback = fallback or HeuristicSelector()
+        self.analytical = analytical or AnalyticalSelector()
         self.max_order = int(max_order)
         self._selectors: dict[tuple[int, str], _Installed] = {}
         self._predictors: dict[int, _Installed] = {}
@@ -197,6 +205,28 @@ class PredictionService:
     # ------------------------------------------------------------------
     # selection
     # ------------------------------------------------------------------
+    def _fallback_select(
+        self, stencils: "list[Stencil]", gpu: str
+    ) -> "list[tuple[str, str]]":
+        """Degraded-path selection through the fallback ladder.
+
+        Two rungs below the ML model: the analytical selector (static
+        perfmodel argmin, no artifact needed) answers first; if its
+        estimation fails for a stencil, the heuristic ladder -- total by
+        construction -- answers last.  Each answer is attributed to its
+        rung in the stats, so ``/stats`` shows *how* degraded traffic
+        was served, not just that it was.
+        """
+        out: "list[tuple[str, str]]" = []
+        for s in stencils:
+            try:
+                pick = (self.analytical.select(s, gpu), "analytical")
+            except Exception:  # noqa: BLE001 - last rung must answer
+                pick = (self.fallback.select(s, gpu), self.fallback.name)
+            self.stats.count_fallback(rung=pick[1])
+            out.append(pick)
+        return out
+
     def select(self, stencil: Stencil, gpu: str, budget_s=_UNSET) -> SelectResult:
         """One selection, through the micro-batcher (the service's
         per-request front door).
@@ -253,29 +283,36 @@ class PredictionService:
             slot = self._selectors.get((ndim, gpu))
             stencils = [requests[i].stencil for i in idxs]
             if slot is None:
-                self.stats.count_fallback(len(idxs))
-                for i, oc in zip(idxs, self.fallback.select_many(stencils, gpu)):
-                    out[i] = SelectResult(oc=oc, source="fallback")
+                for i, (oc, rung) in zip(idxs, self._fallback_select(stencils, gpu)):
+                    out[i] = SelectResult(oc=oc, source="fallback", rung=rung)
                 continue
             art = slot.artifact
             try:
-                X = (
-                    self.cache.tensors(stencils)
-                    if art.method in _TENSOR_METHODS
-                    else self.cache.features(stencils)
-                )
-                classes = np.asarray(art.model.predict(X), dtype=np.int64)
-                decoded = [art.representatives[int(c)] for c in classes]
+                if art.method == "analytical":
+                    # The analytical family consumes raw stencils, not
+                    # feature matrices: extraction needs actual source.
+                    decoded = list(art.model.select_many(stencils, gpu))
+                    classes = np.array(
+                        [art.representatives.index(oc) for oc in decoded],
+                        dtype=np.int64,
+                    )
+                else:
+                    X = (
+                        self.cache.tensors(stencils)
+                        if art.method in _TENSOR_METHODS
+                        else self.cache.features(stencils)
+                    )
+                    classes = np.asarray(art.model.predict(X), dtype=np.int64)
+                    decoded = [art.representatives[int(c)] for c in classes]
             except Exception:  # noqa: BLE001 - degrade, never 500
                 # A model that misbehaves at answer time (garbage
                 # classes, shape drift after a bad publish, ...) is a
-                # degradation, not an outage: the heuristic answers and
-                # the failure is counted so the reloader's health check
-                # can roll the artifact back.
+                # degradation, not an outage: the fallback ladder
+                # answers and the failure is counted so the reloader's
+                # health check can roll the artifact back.
                 self.stats.count_model_failure(len(idxs))
-                self.stats.count_fallback(len(idxs))
-                for i, oc in zip(idxs, self.fallback.select_many(stencils, gpu)):
-                    out[i] = SelectResult(oc=oc, source="fallback")
+                for i, (oc, rung) in zip(idxs, self._fallback_select(stencils, gpu)):
+                    out[i] = SelectResult(oc=oc, source="fallback", rung=rung)
                 continue
             self.stats.count_model_hit(len(idxs))
             for i, cls, oc in zip(idxs, classes, decoded):
@@ -365,10 +402,28 @@ class PredictionService:
             if art.method == "convmlp":
                 tensors = self.cache.tensors(stencils)
                 times = art.model.predict(tensors, aux)
+            elif art.method == "analytical":
+                times = art.model.predict_requests(
+                    [(r.stencil, OC_BY_NAME[r.oc], r.setting, r.gpu) for r in sub]
+                )
             else:
                 feats = self.cache.features(stencils)
                 X = np.concatenate([feats, aux], axis=1)
-                if art.method == "gbr":
+                if art.method == "hybrid":
+                    from ..analysis.perfmodel import analytical_features
+
+                    X = augment_features(
+                        X,
+                        np.stack(
+                            [
+                                analytical_features(
+                                    r.stencil, OC_BY_NAME[r.oc], r.setting, r.gpu
+                                )
+                                for r in sub
+                            ]
+                        ),
+                    )
+                if art.method in ("gbr", "hybrid"):
                     times = LogTimeTransform.inverse(art.model.predict(X))
                 else:
                     times = art.model.predict(X)

@@ -96,6 +96,7 @@ class ServiceStats:
         self.requests: dict[str, int] = {}
         self.errors: dict[str, int] = {}
         self.fallbacks = 0
+        self.fallback_rungs: dict[str, int] = {}
         self.model_hits = 0
         self.model_failures = 0
         self.shed = 0
@@ -114,9 +115,12 @@ class ServiceStats:
         with self._lock:
             self.errors[endpoint] = self.errors.get(endpoint, 0) + 1
 
-    def count_fallback(self, n: int = 1) -> None:
+    def count_fallback(self, n: int = 1, rung: "str | None" = None) -> None:
+        """A degraded answer; *rung* names which ladder rung served it."""
         with self._lock:
             self.fallbacks += n
+            if rung is not None:
+                self.fallback_rungs[rung] = self.fallback_rungs.get(rung, 0) + n
 
     def count_model_hit(self, n: int = 1) -> None:
         with self._lock:
@@ -158,6 +162,7 @@ class ServiceStats:
             requests = dict(self.requests)
             errors = dict(self.errors)
             fallbacks = self.fallbacks
+            fallback_rungs = dict(self.fallback_rungs)
             model_hits = self.model_hits
             model_failures = self.model_failures
             shed = self.shed
@@ -172,6 +177,7 @@ class ServiceStats:
             "errors": errors,
             "errors_total": sum(errors.values()),
             "fallbacks": fallbacks,
+            "fallback_rungs": fallback_rungs,
             "model_hits": model_hits,
             "model_failures": model_failures,
             "shed": shed,

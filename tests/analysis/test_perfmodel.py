@@ -1,0 +1,277 @@
+"""The static performance model: metric extraction and time estimates.
+
+Golden fixtures pin hand-computed footprints, volumes and launch
+geometry for representative 2D/3D star and box kernels under the main
+scheme families (cache, register streaming, shared-memory streaming,
+temporal blocking).  The estimate itself must be a pure function of the
+source text: bit-identical across repeated runs and across process
+pools of any size.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.analysis import framework as afw
+from repro.analysis.lint import feasible_settings
+from repro.analysis.perfmodel import (
+    ANALYTICAL_FEATURE_NAMES,
+    analytical_features,
+    estimate_kernel,
+    estimate_source,
+    extract_metrics,
+)
+from repro.codegen.cuda import generate_cuda
+from repro.optimizations.combos import OC
+from repro.optimizations.params import ParamSetting
+from repro.stencil import get
+
+WORD = 8
+
+
+def _fixture(stencil_name: str, oc_name: str):
+    """Deterministic (stencil, oc, setting, source) for a fixture id."""
+    stencil = get(stencil_name)
+    oc = OC.parse(oc_name)
+    setting = feasible_settings(stencil, oc, 1, 0)[0]
+    return stencil, oc, setting, generate_cuda(stencil, oc, setting)
+
+
+# Hand-computed golden expectations for seed-0 feasible settings.  The
+# derivations: taps = the stencil's offset set; extents = per-axis
+# radius; write volume = one word per grid point; smem bytes =
+# queue_planes x footprint cells x word; launches = TIME_STEPS /
+# temporal_steps; footprint innermost = covered x-range + 2 x halo
+# (halo widens to extent x temporal depth under temporal blocking).
+GOLDEN = {
+    ("star2d1r", "naive"): dict(
+        taps=5, extents=(1, 1), scheme="cache", coverage=(32, 4),
+        launches=8, n_blocks=524288, threads_per_block=128,
+        smem_per_block=0, read_amplification=3.0, coalescing=1.0,
+    ),
+    ("star2d1r", "ST"): dict(
+        taps=5, extents=(1, 1), scheme="register-stream",
+        coverage=(8192, 256), stream_axis=0, stream_iters=4096,
+        launches=8, n_blocks=32, threads_per_block=256,
+        smem_per_block=0, read_amplification=1.0,
+    ),
+    ("star2d1r", "ST_RT"): dict(
+        taps=5, extents=(1, 1), scheme="smem-stream",
+        coverage=(128, 1024), stream_axis=1, stream_iters=256,
+        retimed=True, launches=8, n_blocks=512,
+        smem_queue_planes=2, smem_footprint=(130,),
+        smem_per_block=2 * 130 * WORD, coalescing=1.0,
+    ),
+    ("star2d1r", "ST_RT_TB"): dict(
+        taps=5, extents=(1, 1), scheme="smem-stream",
+        stream_axis=1, retimed=True, temporal_steps=2, launches=4,
+        smem_queue_planes=4, smem_footprint=(132,),
+        smem_per_block=4 * 132 * WORD,
+    ),
+    ("box2d1r", "naive"): dict(
+        taps=9, extents=(1, 1), scheme="cache", coverage=(256, 2),
+        launches=8, n_blocks=131072, threads_per_block=512,
+        smem_per_block=0, read_amplification=3.0, coalescing=1.0,
+    ),
+    ("box2d1r", "ST"): dict(
+        taps=9, extents=(1, 1), scheme="smem-stream",
+        stream_axis=1, stream_iters=4096, launches=8,
+        smem_queue_planes=3, smem_footprint=(258,),
+        smem_per_block=3 * 258 * WORD,
+    ),
+    ("box2d1r", "ST_RT"): dict(
+        taps=9, extents=(1, 1), scheme="register-stream",
+        stream_axis=0, retimed=True, launches=8, smem_per_block=0,
+    ),
+    ("box2d1r", "ST_RT_TB"): dict(
+        taps=9, extents=(1, 1), scheme="smem-stream",
+        stream_axis=0, retimed=True, temporal_steps=2, launches=4,
+        smem_queue_planes=4, smem_footprint=(20,),
+        smem_per_block=4 * 20 * WORD,
+    ),
+    ("star3d1r", "naive"): dict(
+        taps=7, extents=(1, 1, 1), scheme="cache", coverage=(16, 2, 8),
+        launches=8, n_blocks=524288, threads_per_block=256,
+        smem_per_block=0, read_amplification=3.0,
+    ),
+    ("star3d1r", "ST"): dict(
+        taps=7, extents=(1, 1, 1), scheme="smem-stream",
+        stream_axis=2, stream_iters=512, launches=8,
+        smem_queue_planes=3, smem_footprint=(258, 4),
+        smem_per_block=3 * 258 * 4 * WORD, coalescing=1.0,
+    ),
+    ("star3d1r", "ST_RT"): dict(
+        taps=7, extents=(1, 1, 1), scheme="register-stream",
+        stream_axis=1, retimed=True, launches=8, smem_per_block=0,
+    ),
+    ("star3d1r", "ST_RT_TB"): dict(
+        taps=7, extents=(1, 1, 1), scheme="smem-stream",
+        stream_axis=0, retimed=True, temporal_steps=2, launches=4,
+        smem_queue_planes=4, smem_footprint=(132, 8),
+        smem_per_block=4 * 132 * 8 * WORD,
+    ),
+}
+
+
+class TestGoldenMetrics:
+    @pytest.mark.parametrize(
+        "stencil_name,oc_name", sorted(GOLDEN), ids="-".join
+    )
+    def test_fixture(self, stencil_name, oc_name):
+        stencil, _, _, source = _fixture(stencil_name, oc_name)
+        m = extract_metrics(source)
+        expected = GOLDEN[(stencil_name, oc_name)]
+        for key, want in expected.items():
+            got = len(m.taps) if key == "taps" else getattr(m, key)
+            assert got == want, f"{key}: {got} != {want}"
+        # Cross-cutting invariants, derivable without the source:
+        # one word written per grid point, and the per-block coverage
+        # tiles the grid exactly.
+        points = 1.0
+        for d in m.dims:
+            points *= d
+        assert m.write_bytes == WORD * points
+        covered = m.n_blocks
+        for c in m.coverage:
+            covered *= c
+        assert covered == points
+
+    def test_taps_match_stencil_offsets(self):
+        for name in ("star2d1r", "box2d1r", "star3d1r"):
+            stencil, _, _, source = _fixture(name, "naive")
+            m = extract_metrics(source)
+            assert set(m.taps) == set(stencil.offsets)
+
+    def test_extents_are_per_axis_radii(self):
+        stencil = get("star2d3r")
+        source = generate_cuda(
+            stencil, OC.parse("naive"), ParamSetting(block_x=64, block_y=4)
+        )
+        m = extract_metrics(source)
+        assert m.extents == (3, 3)
+        assert m.scheme == "cache"
+        assert m.read_amplification == 1 + 2 * 3
+
+
+class TestEstimates:
+    def test_estimate_source_equals_estimate_kernel(self):
+        stencil, oc, setting, source = _fixture("star2d1r", "ST_RT")
+        a = estimate_source(source, "V100")
+        b = estimate_kernel(stencil, oc, setting, "V100")
+        assert a.time_ms == b.time_ms
+        assert a.to_dict() == b.to_dict()
+
+    def test_components_sum_into_time(self):
+        _, _, _, source = _fixture("star3d1r", "ST")
+        est = estimate_source(source, "A100")
+        assert est.time_ms > 0
+        # The roofline-style composition is bounded below by its
+        # slowest phase and above by the serial sum plus overheads.
+        phases = [est.dram_ms, est.l2_ms, est.smem_ms, est.compute_ms]
+        assert est.time_ms >= max(phases) * 0.9
+        assert 0.0 < est.occupancy <= 1.0
+
+    def test_gpu_ordering_is_sane(self):
+        stencil, oc, setting, _ = _fixture("star2d1r", "naive")
+        t = {
+            gpu: estimate_kernel(stencil, oc, setting, gpu).time_ms
+            for gpu in ("P100", "V100", "A100")
+        }
+        assert t["A100"] < t["V100"] < t["P100"]
+
+
+def _estimate_once(args):
+    """Module-level worker: spawn-picklable estimate for one fixture."""
+    stencil_name, oc_name, gpu = args
+    stencil, oc, setting, _ = _fixture(stencil_name, oc_name)
+    est = estimate_kernel(stencil, oc, setting, gpu)
+    return est.time_ms, est.to_dict()
+
+
+class TestDeterminism:
+    CONFIGS = [
+        ("star2d1r", "ST_RT", "V100"),
+        ("box2d1r", "naive", "A100"),
+        ("star3d1r", "ST_RT_TB", "P100"),
+    ]
+
+    def test_repeated_runs_are_bit_identical(self):
+        for cfg in self.CONFIGS:
+            first = _estimate_once(cfg)
+            for _ in range(3):
+                assert _estimate_once(cfg) == first
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_identical_across_worker_counts(self, workers):
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(workers) as pool:
+            results = pool.map(_estimate_once, self.CONFIGS)
+        expected = [_estimate_once(cfg) for cfg in self.CONFIGS]
+        assert results == expected
+
+
+class TestParseCache:
+    def test_hits_and_misses_count(self):
+        afw.clear_parse_cache()
+        _, _, _, source = _fixture("star2d1r", "naive")
+        u1 = afw.parse_unit_cached(source)
+        u2 = afw.parse_unit_cached(source)
+        assert u1 is u2
+        info = afw.parse_cache_info()
+        assert info["misses"] == 1 and info["hits"] == 1
+        assert info["size"] == 1
+        assert info["hit_rate"] == 0.5
+
+    def test_distinct_sources_miss(self):
+        afw.clear_parse_cache()
+        _, _, _, a = _fixture("star2d1r", "naive")
+        _, _, _, b = _fixture("box2d1r", "naive")
+        afw.parse_unit_cached(a)
+        afw.parse_unit_cached(b)
+        assert afw.parse_cache_info()["misses"] == 2
+
+    def test_capacity_evicts_oldest(self, monkeypatch):
+        afw.clear_parse_cache()
+        monkeypatch.setattr(afw, "PARSE_CACHE_CAPACITY", 2)
+        sources = [
+            _fixture(name, "naive")[3]
+            for name in ("star2d1r", "box2d1r", "star2d2r")
+        ]
+        for s in sources:
+            afw.parse_unit_cached(s)
+        assert afw.parse_cache_info()["size"] == 2
+        # The oldest entry was evicted: re-parsing it is a miss again.
+        afw.parse_unit_cached(sources[0])
+        assert afw.parse_cache_info()["misses"] == 4
+
+    def test_clear_resets(self):
+        afw.clear_parse_cache()
+        info = afw.parse_cache_info()
+        assert info == {
+            "hits": 0,
+            "misses": 0,
+            "size": 0,
+            "capacity": afw.PARSE_CACHE_CAPACITY,
+            "hit_rate": 0.0,
+        }
+
+
+class TestAnalyticalFeatures:
+    def test_vector_width_and_finiteness(self):
+        stencil, oc, setting, _ = _fixture("star2d1r", "ST_RT")
+        v = analytical_features(stencil, oc, setting, "V100")
+        assert len(v) == len(ANALYTICAL_FEATURE_NAMES)
+        assert all(x == x and abs(x) < 1e9 for x in v)
+        assert v[-1] == 0.0  # crash flag clear
+
+    def test_rejected_configuration_sets_crash_flag(self):
+        stencil = get("star2d3r")
+        oc = OC.parse("ST_RT_TB")
+        # Deep temporal halo over a tiny covered range: the launch
+        # check must reject it, and the feature vector flags it.
+        bad = ParamSetting(
+            block_x=16, use_smem=1, stream_dim=2, temporal_steps=4
+        )
+        v = analytical_features(stencil, oc, bad, "V100")
+        assert v[-1] == 1.0
+        assert all(x == 0.0 for x in v[:-1])

@@ -87,3 +87,47 @@ class TestRegressionDataset:
         ds = build_regression_dataset(small_campaign, gpus=("V100",))
         # features == [stencil features | aux]
         assert np.allclose(ds.features[:, n_features():], ds.aux)
+
+
+class TestProvenanceAndAnalyticalFeatures:
+    """Per-row OC/setting provenance and the hybrid feature columns."""
+
+    def test_provenance_recorded(self, small_campaign):
+        ds = build_regression_dataset(small_campaign, gpus=("V100",))
+        assert len(ds.ocs) == ds.n_samples
+        assert len(ds.settings) == ds.n_samples
+        for m, oc, setting in zip(
+            small_campaign.measurements("V100"), ds.ocs, ds.settings
+        ):
+            assert m.oc == oc and m.setting == setting
+
+    def test_matrix_requires_provenance(self, small_campaign):
+        from repro.errors import DatasetError
+        from repro.profiling.dataset import analytical_feature_matrix
+
+        ds = build_regression_dataset(small_campaign, gpus=("V100",))
+        ds.ocs = []  # simulate a dataset built before provenance existed
+        with pytest.raises(DatasetError, match="provenance"):
+            analytical_feature_matrix(small_campaign, ds)
+
+    def test_matrix_shape_and_crash_flags(self):
+        from repro.analysis.perfmodel import ANALYTICAL_FEATURE_NAMES
+        from repro.optimizations import OC_BY_NAME
+        from repro.profiling import run_campaign
+        from repro.profiling.dataset import analytical_feature_matrix
+        from repro.stencil import get
+
+        campaign = run_campaign(
+            [get("star2d1r"), get("box2d1r")],
+            gpus=("V100",),
+            ocs=[OC_BY_NAME["naive"], OC_BY_NAME["ST"]],
+            n_settings=1,
+            seed=2,
+        )
+        ds = build_regression_dataset(campaign)
+        X = analytical_feature_matrix(campaign, ds)
+        assert X.shape == (ds.n_samples, len(ANALYTICAL_FEATURE_NAMES))
+        # Every profiled row launched, so no crash flags are set and
+        # the log-time column is strictly positive.
+        assert (X[:, -1] == 0.0).all()
+        assert (X[:, 0] > 0.0).all()

@@ -1,0 +1,104 @@
+"""Analytical and hybrid artifacts through the serving stack.
+
+The analytical selector trains nothing -- the artifact is just the
+configured ranker -- but it must behave exactly like a learned selector
+once installed: source == "model", class indices decode through
+``representatives``, registry round trips preserve answers.  Hybrid
+predictor artifacts must augment request features with the analytical
+columns at serve time.
+"""
+
+import pytest
+
+from repro.ml.analytical import AnalyticalSelector
+from repro.optimizations import OC_BY_NAME
+from repro.profiling import run_campaign
+from repro.profiling.train import train_predictor_artifact, train_selector_artifact
+from repro.serve import ModelRegistry, PredictionService
+from repro.serve.service import PredictRequest, setting_from_dict
+from repro.stencil.library import get
+
+TINY_OCS = ("naive", "ST", "ST_RT", "CM")
+
+
+@pytest.fixture(scope="module")
+def tiny_campaign():
+    return run_campaign(
+        [get("star2d1r"), get("box2d1r")],
+        gpus=("V100", "A100"),
+        ocs=[OC_BY_NAME[n] for n in TINY_OCS],
+        n_settings=1,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def analytical_selector_artifact(tiny_campaign):
+    return train_selector_artifact(tiny_campaign, "V100", method="analytical")
+
+
+class TestAnalyticalSelectorArtifact:
+    def test_artifact_shape(self, analytical_selector_artifact):
+        art = analytical_selector_artifact
+        assert art.kind == "selector"
+        assert art.method == "analytical"
+        assert isinstance(art.model, AnalyticalSelector)
+        # Candidates mirror the campaign's OC grid, in order.
+        assert tuple(art.representatives) == TINY_OCS
+        assert art.meta["train_rows"] == 0
+
+    def test_serves_as_model_rung(self, analytical_selector_artifact):
+        svc = PredictionService()
+        svc.install(analytical_selector_artifact, "ana@test")
+        s = get("star2d1r")
+        r = svc.select_one(s, "V100")
+        assert r.source == "model"
+        assert r.artifact == "ana@test"
+        assert r.oc in TINY_OCS
+        assert r.cls == analytical_selector_artifact.representatives.index(r.oc)
+        assert r.oc == analytical_selector_artifact.model.select(s, "V100")
+        assert svc.stats.snapshot()["fallbacks"] == 0
+
+    def test_registry_round_trip(self, analytical_selector_artifact, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        reg.publish(analytical_selector_artifact, "ana-sel")
+        svc = PredictionService(registry=reg)
+        s = get("box2d1r")
+        assert (
+            svc.select_one(s, "V100").oc
+            == analytical_selector_artifact.model.select(s, "V100")
+        )
+
+
+class TestPredictorArtifacts:
+    @pytest.mark.parametrize("method", ["hybrid", "analytical"])
+    def test_predicts_positive_times(self, tiny_campaign, method):
+        hyper = {"n_rounds": 30} if method == "hybrid" else {}
+        art = train_predictor_artifact(tiny_campaign, method=method, **hyper)
+        assert art.kind == "predictor"
+        assert art.method == method
+        svc = PredictionService()
+        svc.install(art)
+        t = svc.predict_one(
+            get("star2d1r"), "ST", setting_from_dict(None), "V100"
+        )
+        assert t > 0
+
+    def test_hybrid_batched_equals_sequential(self, tiny_campaign):
+        art = train_predictor_artifact(tiny_campaign, method="hybrid", n_rounds=30)
+        svc = PredictionService()
+        svc.install(art)
+        reqs = [
+            PredictRequest(get(n), oc, setting_from_dict(None), gpu)
+            for n, oc, gpu in [
+                ("star2d1r", "naive", "V100"),
+                ("star2d1r", "ST", "A100"),
+                ("box2d1r", "ST_RT", "V100"),
+            ]
+        ]
+        batched = svc.predict_many(reqs)
+        single = [
+            svc.predict_one(r.stencil, r.oc, r.setting, r.gpu) for r in reqs
+        ]
+        assert batched == single
+        assert all(t > 0 for t in batched)

@@ -115,20 +115,38 @@ class TestDegradation:
         r = service.select_one(s3, "V100")
         assert r.source == "fallback"
         assert r.artifact is None
-        assert r.oc in LADDER
-        assert service.stats.snapshot()["fallbacks"] == 1
+        assert r.rung in ("analytical", "heuristic-ladder")
+        snap = service.stats.snapshot()
+        assert snap["fallbacks"] == 1
+        assert snap["fallback_rungs"].get(r.rung) == 1
 
     def test_empty_service_always_falls_back(self):
         svc = PredictionService()
         r = svc.select_one(get("star2d1r"), "V100")
         assert r.source == "fallback"
-        assert r.oc in LADDER
+        assert r.oc in svc.analytical.candidates or r.oc in LADDER
 
-    def test_fallback_matches_heuristic(self):
+    def test_analytical_rung_answers_first(self):
         svc = PredictionService()
+        for s in STENCILS_2D[:4]:
+            r = svc.select_one(s, "V100")
+            assert r.rung == "analytical"
+            assert r.oc == svc.analytical.select(s, "V100")
+
+    def test_heuristic_is_last_resort(self):
+        class _Broken:
+            name = "analytical"
+
+            def select(self, stencil, gpu):
+                raise RuntimeError("no estimate")
+
+        svc = PredictionService(analytical=_Broken())
         h = HeuristicSelector()
         for s in STENCILS_2D[:4]:
-            assert svc.select_one(s, "V100").oc == h.select(s, "V100")
+            r = svc.select_one(s, "V100")
+            assert r.rung == "heuristic-ladder"
+            assert r.oc == h.select(s, "V100")
+        assert svc.stats.snapshot()["fallback_rungs"] == {"heuristic-ladder": 4}
 
     def test_corrupt_registry_artifact_degrades(
         self, selector_artifact, tmp_path

@@ -477,6 +477,71 @@ class TestLintCommand:
         rc = main(argv + ["--baseline", str(baseline)])
         assert rc == 0
 
+    def test_fail_on_never_masks_errors(self, capsys, monkeypatch):
+        import dataclasses
+        import json
+
+        from repro.optimizations import kernelmodel
+
+        real = kernelmodel.build_profile
+
+        def perturbed(stencil, oc, setting, grid=None):
+            p = real(stencil, oc, setting, grid)
+            return dataclasses.replace(p, smem_per_block=p.smem_per_block + 64)
+
+        monkeypatch.setattr(kernelmodel, "build_profile", perturbed)
+        argv = ["lint", "--stencil", "star3d1r", "--oc", "ST"]
+        assert main(argv + ["--fail-on", "never"]) == 0
+        capsys.readouterr()
+
+        rc = main(argv + ["--format", "json"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["worst_severity"] == "error"
+        assert payload["fail_on"] == "error"
+
+    def test_fail_on_warning_gates_clean_sweep(self, capsys):
+        # A clean sweep stays rc 0 even at the strictest threshold.
+        rc = main(
+            ["lint", "--stencil", "star2d1r", "--oc", "naive",
+             "--fail-on", "info"]
+        )
+        assert rc == 0
+        capsys.readouterr()
+
+
+class TestEstimateCommand:
+    def test_text_output(self, capsys):
+        rc = main(
+            ["estimate", "--stencil", "star2d1r", "--oc", "naive",
+             "--oc", "ST", "--gpu", "V100"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ms/step" in out
+        assert "star2d1r x naive" in out
+
+    def test_json_payload(self, capsys):
+        import json
+
+        rc = main(
+            ["estimate", "--stencil", "box2d1r", "--oc", "ST_RT",
+             "--gpu", "V100", "--gpu", "A100", "--format", "json",
+             "--metrics"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"estimates", "skipped", "crashed"}
+        rows = payload["estimates"]
+        assert rows and all(r["time_ms"] > 0 for r in rows)
+        assert {r["gpu"] for r in rows} == {"V100", "A100"}
+        assert all("metrics" in r and "phases_ms" in r for r in rows)
+
+    def test_unknown_oc(self, capsys):
+        rc = main(["estimate", "--stencil", "star2d1r", "--oc", "WARP"])
+        assert rc == 2
+        assert "unknown OC" in capsys.readouterr().err
+
 
 class TestServeShutdown:
     def test_sigterm_drains_and_exits_zero(self):
