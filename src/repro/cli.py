@@ -62,12 +62,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n-settings", type=int, default=6)
     p.add_argument(
         "--backend",
-        default="scalar",
+        default="vector",
         choices=("scalar", "vector", "cached", "parallel"),
-        help="measurement backend: per-point reference, NumPy-vectorized "
-        "batches, vectorized with content-keyed memoization, or batches "
-        "sharded across a process pool (equivalent results; "
-        "vector/cached/parallel are much faster)",
+        help="measurement backend: per-point reference (the oracle), "
+        "NumPy-vectorized batches (default), vectorized with "
+        "content-keyed memoization, or batches sharded across a process "
+        "pool (equivalent results, much faster than scalar)",
     )
     p.add_argument(
         "--workers",
@@ -83,6 +83,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="units per shard in parallel runs (default: split pending "
         "work evenly across workers)",
+    )
+    p.add_argument(
+        "--transport",
+        default="shm",
+        choices=("shm", "pickle"),
+        help="request transport for the parallel backend kind: "
+        "shared-memory arrays (default; falls back to pickle where "
+        "unavailable) or the per-row pickle codec -- results are "
+        "bit-identical and checkpoints resume across transports",
     )
     p.add_argument("-o", "--output", required=True, help="campaign JSON path")
     p.add_argument(
@@ -394,7 +403,12 @@ def build_parser() -> argparse.ArgumentParser:
         "train",
         help="train a model from a campaign and save it as a serve artifact",
     )
-    tr.add_argument("--campaign", required=True, help="campaign JSON path")
+    tr.add_argument(
+        "--campaign",
+        required=True,
+        help="campaign JSON path, a published campaign-dataset document, "
+        "or a dataset-registry directory (latest version is used)",
+    )
     tr.add_argument(
         "--task",
         default="select",
@@ -612,6 +626,7 @@ def cmd_profile(args) -> int:
         checkpoint_every=args.checkpoint_every,
         workers=args.workers,
         chunk_size=args.chunk_size,
+        transport=args.transport,
     )
     try:
         campaign = runner.run(resume=args.resume)
@@ -1029,8 +1044,10 @@ def cmd_estimate(args) -> int:
 
 
 def cmd_train(args) -> int:
+    from .errors import DatasetError
     from .profiling import (
         load_campaign,
+        resolve_dataset_path,
         train_predictor_artifact,
         train_selector_artifact,
     )
@@ -1040,7 +1057,11 @@ def cmd_train(args) -> int:
     if not args.out and not args.registry:
         print("train: need --out and/or --registry", file=sys.stderr)
         return 2
-    campaign = load_campaign(args.campaign)
+    try:
+        campaign = load_campaign(resolve_dataset_path(args.campaign))
+    except DatasetError as e:
+        print(f"train: {e}", file=sys.stderr)
+        return 2
     if args.task == "select":
         if not args.gpu:
             print("train --task select requires --gpu", file=sys.stderr)

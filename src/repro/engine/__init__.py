@@ -48,6 +48,7 @@ def make_backend(
     workers: "int | None" = None,
     chunk_size: "int | None" = None,
     context: str = "spawn",
+    transport: str = "shm",
 ) -> Backend:
     """Construct a measurement backend by name.
 
@@ -56,9 +57,10 @@ def make_backend(
     ``parallel`` shards batches across a worker pool of ``workers``
     processes, each running its own vector backend (see
     :class:`~repro.engine.parallel.ParallelBackend`; results are
-    bit-identical for every worker count and chunk size).  *gpu* may be
-    a GPU name, a :class:`~repro.gpu.specs.GPUSpec` or an existing
-    simulator.
+    bit-identical for every worker count, chunk size and *transport* --
+    ``"shm"`` shared-memory arrays by default, ``"pickle"`` the codec
+    fallback).  *gpu* may be a GPU name, a
+    :class:`~repro.gpu.specs.GPUSpec` or an existing simulator.
     """
     if kind == "scalar":
         return ScalarBackend(gpu, sigma=sigma)
@@ -75,6 +77,7 @@ def make_backend(
             workers=workers,
             chunk_size=chunk_size,
             context=context,
+            transport=transport,
         )
     raise ValueError(f"unknown backend kind {kind!r} (choose from {BACKEND_KINDS})")
 

@@ -28,7 +28,14 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..gpu.faults import FaultConfig, FaultInjector
+import numpy as np
+
+from ..errors import (
+    DeviceLostError,
+    MeasurementTimeout,
+    TransientMeasurementError,
+)
+from ..gpu.faults import _CORRUPT_VALUES, FaultConfig, FaultInjector
 from .core import BackendBase, BackendInfo, EvalRequest, EvalResult, as_backend
 
 
@@ -82,27 +89,88 @@ class FaultBackend(BackendBase):
             begin(unit_key)
 
     def evaluate_batch(self, requests: Sequence[EvalRequest]) -> list[EvalResult]:
+        """Batched fault injection: draws computed per-batch, not per-request.
+
+        Draw decisions come from :meth:`FaultInjector.batch_uniform`
+        arrays (prefix-cached blake2b, one row per request) compared
+        against the rates with NumPy; the per-request work that remains
+        is building identity keys and materializing the -- rare -- fault
+        rows.  Every draw uses the same ``(seed, kind, unit, gpu,
+        stencil, oc, setting, attempt)`` key and every counter commits
+        exactly as far as the sequential injector would, so the result
+        stream is bit-identical to the scalar path.
+        """
         inj = self.injector
-        if not inj.config.enabled:
+        cfg = inj.config
+        if not cfg.enabled:
             return self.inner.evaluate_batch(requests)
-        out: list[EvalResult | None] = [None] * len(requests)
-        clean: list[int] = []
-        meta: list[tuple[tuple, int]] = []
-        for i, req in enumerate(requests):
-            identity = inj.identity(req.stencil, req.oc, req.setting)
-            attempt = inj.next_attempt(identity)
-            err = inj.pre_fault(identity, attempt, req.oc)  # may raise DeviceLostError
-            if err is not None:
-                out[i] = EvalResult(error=err)
-            else:
-                clean.append(i)
-                meta.append((identity, attempt))
+        n = len(requests)
+        gpu = inj.sim.spec.name
+        identities = inj.batch_identities(requests)
+        attempts = inj.batch_attempts(identities)
+        if cfg.device_lost_rate > 0:
+            u = inj.batch_uniform("lost", identities, attempts)
+            hit = np.nonzero(u < cfg.device_lost_rate)[0]
+            if hit.size:
+                k = int(hit[0])
+                # The scalar loop advanced counters up to and including
+                # the lost request before raising; replicate, then void.
+                inj.commit_attempts(identities, attempts, upto=k + 1)
+                raise DeviceLostError(
+                    f"device {gpu} lost (unit {inj._unit_key!r}, "
+                    f"attempt {attempts[k]})"
+                )
+        inj.commit_attempts(identities, attempts)
+        out: list[EvalResult | None] = [None] * n
+        faulted = np.zeros(n, dtype=bool)
+        if cfg.timeout_rate > 0:
+            u = inj.batch_uniform("timeout", identities, attempts)
+            for i in np.nonzero(u < cfg.timeout_rate)[0].tolist():
+                faulted[i] = True
+                out[i] = EvalResult(
+                    error=MeasurementTimeout(
+                        f"kernel hung on {gpu} "
+                        f"({requests[i].oc.name}, attempt {attempts[i]})"
+                    )
+                )
+        if cfg.transient_rate > 0:
+            u = inj.batch_uniform("transient", identities, attempts)
+            # Timeout preempts transient for the same request.
+            for i in np.nonzero(~faulted & (u < cfg.transient_rate))[0].tolist():
+                faulted[i] = True
+                out[i] = EvalResult(
+                    error=TransientMeasurementError(
+                        f"sporadic failure on {gpu} "
+                        f"({requests[i].oc.name}, attempt {attempts[i]})"
+                    )
+                )
+        clean = np.nonzero(~faulted)[0].tolist()
         if clean:
             results = self.inner.evaluate_batch([requests[i] for i in clean])
-            for (identity, attempt), i, res in zip(meta, clean, results):
+            corrupted: dict[int, float] = {}
+            if cfg.corrupt_rate > 0:
+                # Corruption only ever applied to successful measurements.
+                ok_idx = [i for i, res in zip(clean, results) if res.ok]
+                if ok_idx:
+                    idents = [identities[i] for i in ok_idx]
+                    atts = [attempts[i] for i in ok_idx]
+                    u = inj.batch_uniform("corrupt", idents, atts)
+                    hits = np.nonzero(u < cfg.corrupt_rate)[0].tolist()
+                    if hits:
+                        u2 = inj.batch_uniform(
+                            "corrupt-kind",
+                            [idents[j] for j in hits],
+                            [atts[j] for j in hits],
+                        )
+                        kinds = np.minimum(
+                            (u2 * len(_CORRUPT_VALUES)).astype(np.int64),
+                            len(_CORRUPT_VALUES) - 1,
+                        ).tolist()
+                        for j, kind in zip(hits, kinds):
+                            corrupted[ok_idx[j]] = _CORRUPT_VALUES[kind]
+            for i, res in zip(clean, results):
                 if res.ok:
-                    t = inj.maybe_corrupt(identity, attempt, res.time_ms)
-                    out[i] = EvalResult(time_ms=t)
+                    out[i] = EvalResult(time_ms=corrupted.get(i, res.time_ms))
                 else:
                     out[i] = res
         return out  # type: ignore[return-value]

@@ -15,15 +15,30 @@ so any partition of a batch across any number of workers reassembles to
 **bit-identical** results (times, crash classes, crash messages).  The
 determinism suite (``tests/engine/test_parallel.py``) verifies this
 against :class:`~repro.engine.scalar.ScalarBackend` for every worker
-count and chunk size it sweeps.
+count, chunk size and transport it sweeps.
 
-Requests cross the process boundary through a compact picklable codec
-(:func:`encode_requests` / :func:`decode_requests`): stencils are
-deduplicated into a per-chunk table of offset lists, OCs travel by name
-and settings as layout-order tuples, so a chunk costs a few hundred
-bytes per distinct stencil plus ~30 bytes per point instead of a full
-object graph pickle.  Results come back as ``(time | error-class +
-message)`` rows (:func:`encode_results` / :func:`decode_results`).
+Two transports move requests across the process boundary:
+
+``shm`` (default)
+    The batch is packed **once** into flat NumPy arrays in a
+    ``multiprocessing.shared_memory`` segment (stencil-table indices, OC
+    ids, setting columns, grid ids); workers attach and evaluate slices
+    by index, writing times into a shared ``(time_ms, status)`` array.
+    Only chunk bounds, two segment names and a short error side-table
+    travel over the pipe.  See :mod:`repro.engine.shm` for the layout
+    and segment lifecycle.  Falls back to ``pickle`` automatically where
+    POSIX shared memory is unavailable.
+
+``pickle``
+    The original codec (:func:`encode_requests` / ``decode_requests``):
+    stencils deduplicated into a table of offset lists -- built once per
+    batch and shared across its chunks -- OCs by name, settings as
+    layout-order tuples; results return as ``(time | error-class +
+    message)`` rows (:func:`encode_results` / :func:`decode_results`).
+
+Both transports reassemble to bit-identical results; the choice is pure
+throughput plumbing and is therefore *not* part of any checkpoint
+identity.
 
 Composition caveat: fault injection draws are scoped per *work unit*
 (``begin_unit``).  ``ParallelBackend`` forwards the unit key with every
@@ -39,6 +54,7 @@ the campaign runner's unit-level sharding.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -46,12 +62,42 @@ from .. import errors as _errors
 from ..errors import ReproError, TransientError, WorkerLostError
 from ..parallel import WorkerPool
 from ..stencil.stencil import Stencil
+from . import shm as shm_transport
 from .core import BackendBase, BackendInfo, EvalRequest, EvalResult
 
-#: Default upper bound on requests per worker task; small enough to load
-#: balance a campaign-sized batch, large enough to amortize IPC and the
-#: vectorized backend's per-call overhead.
+#: Per-transport caps on requests per worker task.  The effective chunk
+#: is ``min(cap, ceil(n / workers))``, so small batches still spread
+#: across every worker.  The pickle codec pays a per-row encode/decode
+#: cost, so its chunks stay small enough to load balance; shm chunks are
+#: index ranges -- near-zero marginal cost -- so they run larger to
+#: amortize pool dispatch.
 DEFAULT_CHUNK_SIZE = 256
+SHM_CHUNK_SIZE = 1024
+TRANSPORT_CHUNK_CAPS = {"pickle": DEFAULT_CHUNK_SIZE, "shm": SHM_CHUNK_SIZE}
+
+#: Request transports selectable on :class:`ParallelBackend`.
+TRANSPORTS = ("shm", "pickle")
+
+#: Exit status of the worker-crash test hook (any nonzero breaks the
+#: pool identically; the value aids debugging).
+CRASH_EXIT_CODE = 19
+
+#: Test hook: when set (pre-fork, inherited by fork-context workers) the
+#: next worker to start a chunk creates this flag file and ``_exit``\ s,
+#: simulating a mid-chunk kill.  ``O_EXCL`` on the flag file makes the
+#: crash fire exactly once across the pool and across pool restarts.
+_CRASH_FLAG_PATH: "str | None" = None
+
+
+def _maybe_crash() -> None:
+    if _CRASH_FLAG_PATH is None:
+        return
+    try:
+        fd = os.open(_CRASH_FLAG_PATH, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return
+    os.close(fd)
+    os._exit(CRASH_EXIT_CODE)
 
 
 # ----------------------------------------------------------------------
@@ -108,7 +154,7 @@ class BackendSpec:
 
 
 # ----------------------------------------------------------------------
-# request / result codec
+# request / result codec (pickle transport)
 # ----------------------------------------------------------------------
 def encode_requests(requests: Sequence[EvalRequest]) -> dict:
     """Compact picklable form of a request batch.
@@ -116,6 +162,8 @@ def encode_requests(requests: Sequence[EvalRequest]) -> dict:
     Stencils are deduplicated (by object identity, then content) into a
     table of ``(ndim, offsets, name)`` rows; each request becomes
     ``(stencil_index, oc_name, setting_tuple, grid)``.
+    ``ParallelBackend`` encodes the whole batch once and slices the row
+    list per chunk, so the table is built once per batch, not per chunk.
     """
     table: list[tuple] = []
     index_by_id: dict[int, int] = {}
@@ -189,6 +237,10 @@ def decode_results(rows: list) -> "list[EvalResult]":
 # ----------------------------------------------------------------------
 _WORKER_BACKEND = None
 _WORKER_UNIT = None
+#: Attached request segments, decoded once per (worker, batch); at most
+#: one batch is live at a time, so a new segment evicts the old views.
+_WORKER_SHM: "dict[str, shm_transport.DecodedBatch]" = {}
+_WORKER_RES: "dict[str, dict]" = {}
 
 
 def _init_worker(spec: BackendSpec) -> None:
@@ -196,6 +248,8 @@ def _init_worker(spec: BackendSpec) -> None:
     global _WORKER_BACKEND, _WORKER_UNIT
     _WORKER_BACKEND = spec.build()
     _WORKER_UNIT = None
+    _WORKER_SHM.clear()
+    _WORKER_RES.clear()
 
 
 def _health_counters(backend) -> "dict | None":
@@ -207,23 +261,28 @@ def _health_counters(backend) -> "dict | None":
     return doc
 
 
+def _begin_unit(backend, unit_key) -> None:
+    global _WORKER_UNIT
+    if unit_key is not None and unit_key != _WORKER_UNIT:
+        begin = getattr(backend, "begin_unit", None)
+        if begin is not None:
+            begin(unit_key)
+        _WORKER_UNIT = unit_key
+
+
 def _eval_chunk(payload: tuple) -> tuple:
-    """Evaluate one encoded chunk through the worker's backend.
+    """Evaluate one pickle-encoded chunk through the worker's backend.
 
     Returns ``("ok", rows, health_delta)`` or ``("err", class, args,
     health_delta)`` for exceptions the parent must re-raise (device
     losses, exhausted retries).  Health deltas carry the worker-local
     retry layer's counters back to the parent.
     """
-    global _WORKER_UNIT
     doc, unit_key = payload
+    _maybe_crash()
     backend = _WORKER_BACKEND
     assert backend is not None, "worker used before initialization"
-    if unit_key is not None and unit_key != _WORKER_UNIT:
-        begin = getattr(backend, "begin_unit", None)
-        if begin is not None:
-            begin(unit_key)
-        _WORKER_UNIT = unit_key
+    _begin_unit(backend, unit_key)
     before = _health_counters(backend)
     try:
         results = backend.evaluate_batch(decode_requests(doc))
@@ -233,6 +292,56 @@ def _eval_chunk(payload: tuple) -> tuple:
         return ("err", type(e).__name__, e.args, delta)
     after = _health_counters(backend)
     return ("ok", encode_results(results), _delta(before, after))
+
+
+def _attached_batch(req_name: str) -> "shm_transport.DecodedBatch":
+    batch = _WORKER_SHM.get(req_name)
+    if batch is None:
+        for name in list(_WORKER_SHM):
+            _WORKER_SHM.pop(name).close()
+        batch = shm_transport.DecodedBatch(shm_transport.attach_segment(req_name))
+        _WORKER_SHM[req_name] = batch
+    return batch
+
+
+def _attached_results(res_name: str, n: int) -> dict:
+    entry = _WORKER_RES.get(res_name)
+    if entry is None:
+        for name in list(_WORKER_RES):
+            old = _WORKER_RES.pop(name)
+            old["times"] = old["status"] = None
+            old["seg"].close()
+        seg = shm_transport.attach_segment(res_name)
+        times, status = shm_transport.result_views(seg, n)
+        entry = {"seg": seg, "times": times, "status": status}
+        _WORKER_RES[res_name] = entry
+    return entry
+
+
+def _eval_chunk_shm(payload: tuple) -> tuple:
+    """Evaluate one shared-memory chunk: attach, slice by index, write back.
+
+    Returns ``("ok", error_rows, health_delta)`` -- times land directly
+    in the shared result array; only ``(index, class, args)`` error rows
+    return over the pipe -- or ``("err", class, args, health_delta)``
+    exactly like :func:`_eval_chunk`.
+    """
+    req_name, res_name, n, lo, hi, unit_key = payload
+    _maybe_crash()
+    backend = _WORKER_BACKEND
+    assert backend is not None, "worker used before initialization"
+    _begin_unit(backend, unit_key)
+    batch = _attached_batch(req_name)
+    res = _attached_results(res_name, n)
+    before = _health_counters(backend)
+    try:
+        results = backend.evaluate_batch(batch.requests(lo, hi))
+    except TransientError as e:
+        after = _health_counters(backend)
+        return ("err", type(e).__name__, e.args, _delta(before, after))
+    errors = shm_transport.write_results(res["times"], res["status"], lo, results)
+    after = _health_counters(backend)
+    return ("ok", errors, _delta(before, after))
 
 
 def _delta(before: "dict | None", after: "dict | None") -> "dict | None":
@@ -259,19 +368,28 @@ class ParallelBackend(BackendBase):
         auto-sizes to the CPU count.
     chunk_size:
         Max requests per worker task.  ``None`` picks
-        ``min(DEFAULT_CHUNK_SIZE, ceil(n / workers))`` per batch.
-        Results are chunking-invariant; this knob trades IPC overhead
-        against load balance only.
+        ``min(cap, ceil(n / workers))`` per batch, where the cap is
+        transport-dependent (:data:`TRANSPORT_CHUNK_CAPS`).  Results are
+        chunking-invariant; this knob trades IPC overhead against load
+        balance only.
     context:
         Pool context (``"spawn"`` default, ``"fork"`` for cheap startup
         on POSIX).
+    transport:
+        ``"shm"`` (default): zero-copy shared-memory arrays, see the
+        module docstring; ``"pickle"``: the per-row codec.  Results are
+        bit-identical either way; ``shm`` silently falls back to
+        ``pickle`` where POSIX shared memory is unavailable.
     health:
         Optional health ledger (``CampaignHealth``-shaped); worker-side
         retry counters and pool restarts are merged into it.
     max_pool_restarts:
         Times a batch survives a worker death (the pool is restarted and
         the batch re-dispatched) before :class:`WorkerLostError`
-        propagates.
+        propagates.  Shared segments stay alive across restarts -- a
+        re-dispatched chunk overwrites its slice with the same
+        deterministic values -- and are unlinked when the batch settles,
+        success or failure.
     """
 
     def __init__(
@@ -280,9 +398,14 @@ class ParallelBackend(BackendBase):
         workers: "int | None" = None,
         chunk_size: "int | None" = None,
         context: str = "spawn",
+        transport: str = "shm",
         health=None,
         max_pool_restarts: int = 2,
     ):
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r} (choose from {TRANSPORTS})"
+            )
         self.backend_spec = spec
         self._local = spec.build()
         self._pool = WorkerPool(
@@ -290,6 +413,10 @@ class ParallelBackend(BackendBase):
         )
         self.workers = self._pool.workers
         self.chunk_size = None if chunk_size is None else max(1, int(chunk_size))
+        self.requested_transport = transport
+        if transport == "shm" and not shm_transport.shm_available():
+            transport = "pickle"
+        self.transport = transport
         self.health = health
         self.max_pool_restarts = int(max_pool_restarts)
         self.worker_deaths = 0
@@ -308,7 +435,10 @@ class ParallelBackend(BackendBase):
     def info(self) -> BackendInfo:
         inner = self._local.info
         return BackendInfo(
-            name=f"parallel({inner.name}, workers={self.workers})",
+            name=(
+                f"parallel({inner.name}, workers={self.workers}, "
+                f"transport={self.transport})"
+            ),
             vectorized=inner.vectorized,
             caching=inner.caching,
             batch_limit=inner.batch_limit,
@@ -335,38 +465,35 @@ class ParallelBackend(BackendBase):
     def _chunks(self, n: int) -> "list[tuple[int, int]]":
         size = self.chunk_size
         if size is None:
-            size = min(DEFAULT_CHUNK_SIZE, math.ceil(n / self.workers))
+            cap = TRANSPORT_CHUNK_CAPS[self.transport]
+            size = min(cap, math.ceil(n / self.workers))
         return [(i, min(i + size, n)) for i in range(0, n, size)]
 
-    def evaluate_batch(self, requests: Sequence[EvalRequest]) -> "list[EvalResult]":
-        n = len(requests)
-        if self.workers <= 1 or n <= 1:
-            return self._local.evaluate_batch(requests)
-        spans = self._chunks(n)
-        payloads = [
-            (encode_requests(requests[a:b]), self._unit_key) for a, b in spans
-        ]
+    def _dispatch(self, fn, payloads: list) -> list:
+        """Pool-map with worker-death recovery (restart + re-dispatch)."""
         for restart in range(self.max_pool_restarts + 1):
             try:
-                replies = self._pool.map(_eval_chunk, payloads)
+                return self._pool.map(fn, payloads)
             except WorkerLostError:
                 self.worker_deaths += 1
                 if self.health is not None:
                     self.health.worker_deaths += 1
                 if restart == self.max_pool_restarts:
                     raise
-                continue
-            break
-        out: list[EvalResult] = []
+        raise AssertionError("unreachable")
+
+    def _merge_reply_meta(self, replies: list) -> "BaseException | None":
+        """Fold health deltas into the ledger; return the first failure.
+
+        Deterministic propagation: the first failing chunk in request
+        order raises, matching where the sequential path would have
+        stopped.
+        """
         failure: "BaseException | None" = None
         for reply in replies:
             if reply[0] == "ok":
-                out.extend(decode_results(reply[1]))
                 delta = reply[2]
             else:
-                # Deterministic propagation: the first failing chunk in
-                # request order raises, matching where the sequential
-                # path would have stopped.
                 cls = getattr(_errors, reply[1], TransientError)
                 if failure is None:
                     failure = cls(*reply[2])
@@ -374,6 +501,58 @@ class ParallelBackend(BackendBase):
             if delta and self.health is not None:
                 for name, value in delta.items():
                     setattr(self.health, name, getattr(self.health, name) + value)
+        return failure
+
+    def _evaluate_pickle(
+        self, requests: Sequence[EvalRequest], spans: list
+    ) -> "list[EvalResult]":
+        doc = encode_requests(requests)  # stencil table built once per batch
+        table, rows = doc["stencils"], doc["requests"]
+        payloads = [
+            ({"stencils": table, "requests": rows[a:b]}, self._unit_key)
+            for a, b in spans
+        ]
+        replies = self._dispatch(_eval_chunk, payloads)
+        failure = self._merge_reply_meta(replies)
         if failure is not None:
             raise failure
+        out: list[EvalResult] = []
+        for reply in replies:
+            out.extend(decode_results(reply[1]))
         return out
+
+    def _evaluate_shm(
+        self, requests: Sequence[EvalRequest], spans: list
+    ) -> "list[EvalResult]":
+        n = len(requests)
+        req_seg = shm_transport.pack_requests(requests)
+        res_seg = shm_transport.create_segment(
+            shm_transport.result_segment_size(n), tag="res"
+        )
+        times = status = None
+        try:
+            times, status = shm_transport.result_views(res_seg, n)
+            payloads = [
+                (req_seg.name, res_seg.name, n, a, b, self._unit_key)
+                for a, b in spans
+            ]
+            replies = self._dispatch(_eval_chunk_shm, payloads)
+            failure = self._merge_reply_meta(replies)
+            if failure is not None:
+                raise failure
+            error_rows = [row for reply in replies for row in reply[1]]
+            return shm_transport.read_results(times, status, error_rows)
+        finally:
+            # Release the array views before closing the buffer they alias.
+            times = status = None
+            shm_transport.unlink_segment(req_seg)
+            shm_transport.unlink_segment(res_seg)
+
+    def evaluate_batch(self, requests: Sequence[EvalRequest]) -> "list[EvalResult]":
+        n = len(requests)
+        if self.workers <= 1 or n <= 1:
+            return self._local.evaluate_batch(requests)
+        spans = self._chunks(n)
+        if self.transport == "shm":
+            return self._evaluate_shm(requests, spans)
+        return self._evaluate_pickle(requests, spans)

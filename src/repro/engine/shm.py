@@ -1,0 +1,404 @@
+"""Shared-memory transport for the parallel engine.
+
+The pickle codec (:func:`~repro.engine.parallel.encode_requests`) ships
+every request and result through the pool pipe; at campaign scale that
+serialization is most of what the parent and workers do.  This module
+replaces the hot path with ``multiprocessing.shared_memory``: the parent
+packs a whole batch *once* into flat NumPy arrays inside one shared
+segment (stencil-table indices, OC ids, setting columns, grid ids), the
+workers attach and evaluate slices by index, and times come back through
+a second shared ``(time_ms, status)`` array -- only chunk bounds, the two
+segment names and a short error side-table ever cross the pipe.
+
+Segment layout (request segment)::
+
+    [ meta_len : uint64 ]
+    [ meta JSON : meta_len bytes ]           stencil table, OC names,
+    [ pad to 8-byte alignment ]              grid table, array offsets
+    [ stencil_idx : int32[n]  ]
+    [ oc_idx      : int32[n]  ]
+    [ grid_idx    : int32[n]  ]
+    [ settings    : int64[n, n_params] ]     layout-order columns
+
+Result segment::
+
+    [ times  : float64[n] ]                  NaN for non-ok rows
+    [ status : uint8[n]   ]                  0 = ok, 1 = error
+
+Error rows are rare (deterministic crashes plus injected faults), so
+their ``(index, class_name, args)`` details travel back over the pipe
+per chunk -- identical to the pickle codec's error rows, which keeps the
+reassembled results bit-identical across transports.
+
+Lifecycle rules: the parent creates both segments per batch, keeps them
+alive across pool restarts (a re-dispatched chunk just overwrites its
+disjoint slice with the same deterministic values) and unlinks them when
+the batch settles -- success or propagated failure.  Workers only ever
+attach and ``close()``; they never unlink.  Python's shared
+``resource_tracker`` (inherited by both spawn and fork pool children)
+provides the backstop unlink if the parent dies without cleanup, and
+:func:`reap_stale_segments` sweeps segments whose embedded creator pid
+is dead -- the case a SIGKILLed tree can leave behind.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import struct
+import uuid
+from multiprocessing import shared_memory
+from typing import Sequence
+
+import numpy as np
+
+from ..stencil.stencil import Stencil
+from .core import EvalRequest, EvalResult
+
+#: Every segment this repo creates is named ``repro-shm-<pid>-<tag>-<hex>``
+#: so leak checks and the stale-segment reaper can tell ours apart (and
+#: read the creator pid) from a bare ``/dev/shm`` listing.
+SEGMENT_PREFIX = "repro-shm"
+
+#: Where POSIX shared memory appears as files (Linux); leak detection is
+#: a directory listing there.
+SHM_DIR = "/dev/shm"
+
+#: Parent-side ledger of segments created (name -> SharedMemory); the
+#: atexit sweep unlinks anything a crashed batch left behind.
+_CREATED: "dict[str, shared_memory.SharedMemory]" = {}
+
+_HEADER = struct.Struct("<Q")
+
+
+def _segment_name(tag: str) -> str:
+    return f"{SEGMENT_PREFIX}-{os.getpid()}-{tag}-{uuid.uuid4().hex[:8]}"
+
+
+def create_segment(nbytes: int, tag: str = "seg") -> shared_memory.SharedMemory:
+    """Create a tracked shared segment with this repo's naming scheme."""
+    shm = shared_memory.SharedMemory(
+        name=_segment_name(tag), create=True, size=max(1, int(nbytes))
+    )
+    _CREATED[shm.name] = shm
+    return shm
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment (worker side; never unlinks)."""
+    return shared_memory.SharedMemory(name=name)
+
+
+def unlink_segment(shm: shared_memory.SharedMemory) -> bool:
+    """Close and unlink a segment, tolerating double unlinks.
+
+    Returns whether this call performed the unlink; a segment already
+    removed (by a previous call, the resource tracker, or the reaper) is
+    not an error -- cleanup paths may overlap after crashes.
+    """
+    _CREATED.pop(shm.name, None)
+    try:
+        shm.close()
+    except OSError:
+        pass
+    try:
+        shm.unlink()
+        return True
+    except FileNotFoundError:
+        return False
+
+
+def live_segments() -> "list[str]":
+    """Names of segments this process created and has not unlinked."""
+    return sorted(_CREATED)
+
+
+def list_host_segments() -> "list[str]":
+    """All ``repro-shm-*`` segments visible on the host (Linux)."""
+    try:
+        entries = os.listdir(SHM_DIR)
+    except OSError:
+        return []
+    return sorted(e for e in entries if e.startswith(SEGMENT_PREFIX + "-"))
+
+
+def _creator_pid(name: str) -> "int | None":
+    parts = name.split("-")
+    try:
+        return int(parts[2])
+    except (IndexError, ValueError):
+        return None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    return True
+
+
+def reap_stale_segments() -> "list[str]":
+    """Unlink ``repro-shm-*`` segments whose creator process is dead.
+
+    The resource tracker already unlinks leaks on any orderly interpreter
+    exit; this sweep covers the remaining case -- a whole process tree
+    killed with SIGKILL -- by reading the creator pid out of the segment
+    name.  Returns the names it removed.
+    """
+    reaped: list[str] = []
+    for name in list_host_segments():
+        if name in _CREATED:
+            continue  # ours and still in use
+        pid = _creator_pid(name)
+        if pid is None or _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(SHM_DIR, name))
+            reaped.append(name)
+        except OSError:
+            pass
+    return reaped
+
+
+def _cleanup_created() -> None:  # pragma: no cover - atexit path
+    for shm in list(_CREATED.values()):
+        unlink_segment(shm)
+
+
+atexit.register(_cleanup_created)
+
+
+_AVAILABLE: "bool | None" = None
+
+
+def shm_available() -> bool:
+    """Whether POSIX shared memory actually works on this host (memoized)."""
+    global _AVAILABLE
+    if _AVAILABLE is not None:
+        return _AVAILABLE
+    _AVAILABLE = _probe_shm()
+    return _AVAILABLE
+
+
+def _probe_shm() -> bool:
+    try:
+        probe = shared_memory.SharedMemory(
+            name=_segment_name("probe"), create=True, size=8
+        )
+    except (OSError, ValueError):
+        return False
+    probe.close()
+    try:
+        probe.unlink()
+    except FileNotFoundError:
+        pass
+    return True
+
+
+# ----------------------------------------------------------------------
+# request packing (parent side)
+# ----------------------------------------------------------------------
+def pack_requests(requests: Sequence[EvalRequest]) -> shared_memory.SharedMemory:
+    """Pack a request batch into one shared segment (see module layout).
+
+    Stencils are deduplicated by object identity then content into a
+    table -- built once for the whole batch, shared by every chunk --
+    exactly like the pickle codec's per-chunk table, hoisted.
+    """
+    from ..optimizations.params import PARAM_NAMES
+
+    n = len(requests)
+    n_params = len(PARAM_NAMES)
+    table: list[tuple] = []
+    index_by_id: dict[int, int] = {}
+    index_by_key: dict[tuple, int] = {}
+    oc_ids: dict[str, int] = {}
+    oc_names: list[str] = []
+    grid_ids: dict["tuple | None", int] = {}
+    grids: list = []
+
+    stencil_idx = np.empty(n, dtype=np.int32)
+    oc_idx = np.empty(n, dtype=np.int32)
+    grid_idx = np.empty(n, dtype=np.int32)
+    settings = np.empty((n, n_params), dtype=np.int64)
+
+    for i, req in enumerate(requests):
+        s = req.stencil
+        idx = index_by_id.get(id(s))
+        if idx is None:
+            key = s.cache_key()
+            idx = index_by_key.get(key)
+            if idx is None:
+                idx = len(table)
+                table.append((s.ndim, [list(p) for p in s.sorted_offsets], s.name))
+                index_by_key[key] = idx
+            index_by_id[id(s)] = idx
+        stencil_idx[i] = idx
+        oi = oc_ids.get(req.oc.name)
+        if oi is None:
+            oi = oc_ids[req.oc.name] = len(oc_names)
+            oc_names.append(req.oc.name)
+        oc_idx[i] = oi
+        gi = grid_ids.get(req.grid)
+        if gi is None:
+            gi = grid_ids[req.grid] = len(grids)
+            grids.append(None if req.grid is None else list(req.grid))
+        grid_idx[i] = gi
+        settings[i] = req.setting.as_tuple()
+
+    meta = json.dumps(
+        {
+            "n": n,
+            "n_params": n_params,
+            "stencils": table,
+            "ocs": oc_names,
+            "grids": grids,
+        }
+    ).encode()
+    base = _HEADER.size + len(meta)
+    base += (-base) % 8  # align the arrays
+    arrays = (stencil_idx, oc_idx, grid_idx, settings)
+    offsets = []
+    off = base
+    for a in arrays:
+        offsets.append(off)
+        off += a.nbytes
+
+    shm = create_segment(off, tag="req")
+    buf = shm.buf
+    _HEADER.pack_into(buf, 0, len(meta))
+    buf[_HEADER.size:_HEADER.size + len(meta)] = meta
+    for a, o in zip(arrays, offsets):
+        dst = np.ndarray(a.shape, dtype=a.dtype, buffer=buf, offset=o)
+        dst[...] = a
+    return shm
+
+
+class DecodedBatch:
+    """Worker-side view of a packed request segment.
+
+    Decodes the meta block once per (worker, segment) -- stencil objects,
+    canonical OC registry entries, grid tuples -- and serves request
+    slices by index.  Settings are memoized per distinct tuple, mirroring
+    :func:`~repro.engine.parallel.decode_requests`.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory):
+        from ..optimizations.combos import OC_BY_NAME
+
+        self.shm = shm
+        buf = shm.buf
+        (meta_len,) = _HEADER.unpack_from(buf, 0)
+        meta = json.loads(bytes(buf[_HEADER.size:_HEADER.size + meta_len]))
+        self.n = int(meta["n"])
+        n_params = int(meta["n_params"])
+        self.stencils = [
+            Stencil(ndim=ndim, offsets=frozenset(tuple(p) for p in offs), name=name)
+            for ndim, offs, name in meta["stencils"]
+        ]
+        self.ocs = [OC_BY_NAME[name] for name in meta["ocs"]]
+        self.grids = [None if g is None else tuple(g) for g in meta["grids"]]
+        base = _HEADER.size + meta_len
+        base += (-base) % 8
+        off = base
+        self.stencil_idx = np.ndarray(self.n, dtype=np.int32, buffer=buf, offset=off)
+        off += self.stencil_idx.nbytes
+        self.oc_idx = np.ndarray(self.n, dtype=np.int32, buffer=buf, offset=off)
+        off += self.oc_idx.nbytes
+        self.grid_idx = np.ndarray(self.n, dtype=np.int32, buffer=buf, offset=off)
+        off += self.grid_idx.nbytes
+        self.settings = np.ndarray(
+            (self.n, n_params), dtype=np.int64, buffer=buf, offset=off
+        )
+        self._setting_memo: dict[tuple, object] = {}
+
+    def requests(self, lo: int, hi: int) -> "list[EvalRequest]":
+        from ..optimizations.params import PARAM_NAMES, ParamSetting
+
+        memo = self._setting_memo
+        out: list[EvalRequest] = []
+        rows = self.settings[lo:hi].tolist()  # Python ints: exact key parity
+        for k, values in enumerate(rows):
+            i = lo + k
+            key = tuple(values)
+            setting = memo.get(key)
+            if setting is None:
+                setting = ParamSetting(**dict(zip(PARAM_NAMES, key)))
+                memo[key] = setting
+            out.append(
+                EvalRequest(
+                    self.stencils[self.stencil_idx[i]],
+                    self.ocs[self.oc_idx[i]],
+                    setting,
+                    self.grids[self.grid_idx[i]],
+                )
+            )
+        return out
+
+    def close(self) -> None:
+        # Drop the array views before closing the buffer they alias.
+        self.stencil_idx = self.oc_idx = self.grid_idx = self.settings = None
+        self.shm.close()
+
+
+# ----------------------------------------------------------------------
+# result array (both sides)
+# ----------------------------------------------------------------------
+def result_segment_size(n: int) -> int:
+    return n * 8 + n  # float64 times + uint8 status
+
+
+def result_views(
+    shm: shared_memory.SharedMemory, n: int
+) -> "tuple[np.ndarray, np.ndarray]":
+    """(times, status) views over a result segment."""
+    times = np.ndarray(n, dtype=np.float64, buffer=shm.buf, offset=0)
+    status = np.ndarray(n, dtype=np.uint8, buffer=shm.buf, offset=n * 8)
+    return times, status
+
+
+def write_results(
+    times: np.ndarray,
+    status: np.ndarray,
+    lo: int,
+    results: Sequence[EvalResult],
+) -> "list[tuple]":
+    """Store a chunk's results at ``lo``; return its error side-table.
+
+    Error rows are ``(global_index, class_name, args)`` -- the same
+    identity the pickle codec ships, so reassembly is transport-exact.
+    """
+    errors: list[tuple] = []
+    for k, res in enumerate(results):
+        i = lo + k
+        if res.error is None:
+            times[i] = res.time_ms
+            status[i] = 0
+        else:
+            times[i] = np.nan
+            status[i] = 1
+            errors.append((i, type(res.error).__name__, res.error.args))
+    return errors
+
+
+def read_results(
+    times: np.ndarray, status: np.ndarray, error_rows: "list[tuple]"
+) -> "list[EvalResult]":
+    """Reassemble the full batch from the shared arrays + error rows."""
+    from .. import errors as _errors
+    from ..errors import ReproError
+
+    out: "list[EvalResult | None]" = [None] * len(times)
+    for i, cls_name, args in error_rows:
+        cls = getattr(_errors, cls_name, ReproError)
+        out[i] = EvalResult(error=cls(*args))
+    ok_times = times.tolist()  # one bulk conversion to Python floats
+    for i, r in enumerate(out):
+        if r is None:
+            assert status[i] == 0, f"row {i} has no result"
+            out[i] = EvalResult(time_ms=ok_times[i])
+    return out  # type: ignore[return-value]

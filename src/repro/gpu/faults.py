@@ -32,8 +32,12 @@ behavioral difference over the bare simulator.
 
 from __future__ import annotations
 
+import hashlib
 import math
+import struct
 from dataclasses import dataclass, fields
+
+import numpy as np
 
 from ..errors import (
     DeviceLostError,
@@ -199,6 +203,93 @@ class FaultInjector:
                 f"({oc.name}, attempt {attempt})"
             )
         return None
+
+    # -- batched draw primitives ----------------------------------------
+    # The engine's FaultBackend evaluates whole batches; these helpers
+    # compute the same draws as the scalar primitives above, amortized:
+    # attempt counters are sequenced through a local overlay (so draws
+    # can be made speculatively and committed only as far as the scalar
+    # path would have advanced), and the blake2b keying hashes the
+    # (seed, kind, unit, gpu, stencil) prefix once per distinct stencil,
+    # paying only the (oc, setting, attempt) suffix per row.
+
+    def batch_identities(self, requests) -> list[tuple]:
+        """Fault-stream keys for a request batch (stencil keys memoized)."""
+        unit = self._unit_key
+        gpu = self.sim.spec.name
+        keys: dict[int, tuple] = {}
+        out: list[tuple] = []
+        for req in requests:
+            s = req.stencil
+            sk = keys.get(id(s))
+            if sk is None:
+                sk = s.cache_key()
+                keys[id(s)] = sk
+            out.append((unit, gpu, sk, req.oc.name, req.setting.as_tuple()))
+        return out
+
+    def batch_attempts(self, identities: list[tuple]) -> list[int]:
+        """Provisional attempt numbers, sequenced within the batch.
+
+        A repeated identity gets successive attempts, exactly as repeated
+        :meth:`next_attempt` calls would.  Nothing is committed; call
+        :meth:`commit_attempts` with how far the batch actually got.
+        """
+        overlay: dict[tuple, int] = {}
+        base = self._attempts
+        out: list[int] = []
+        for ident in identities:
+            a = overlay.get(ident)
+            if a is None:
+                a = base.get(ident, 0)
+            out.append(a)
+            overlay[ident] = a + 1
+        return out
+
+    def commit_attempts(
+        self, identities: list[tuple], attempts: list[int], upto: int | None = None
+    ) -> None:
+        """Commit provisional attempts for rows ``[0, upto)`` (default all).
+
+        Matches the scalar path: a device loss at row *k* leaves counters
+        advanced for rows ``0..k`` inclusive (``upto=k+1``) and untouched
+        beyond.
+        """
+        n = len(identities) if upto is None else upto
+        for i in range(n):
+            self._attempts[identities[i]] = attempts[i] + 1
+
+    def batch_uniform(
+        self, kind: str, identities: list[tuple], attempts: list[int]
+    ) -> np.ndarray:
+        """``uniform01(seed, kind, *identity, attempt)`` per row, as float64.
+
+        Bit-identical to the scalar draw: same blake2b keying, same
+        ``first_word / 2**64`` mapping (computed in exact integer
+        arithmetic before the float division).
+        """
+        out = np.empty(len(identities))
+        prefixes: dict[tuple, "hashlib.blake2b"] = {}
+        sep = b"\x1f"
+        seed = self.seed
+        for i, ident in enumerate(identities):
+            pkey = ident[:3]  # (unit, gpu, stencil_key); kind fixed per call
+            h = prefixes.get(pkey)
+            if h is None:
+                h = hashlib.blake2b(digest_size=16)
+                for part in (seed, kind, ident[0], ident[1], ident[2]):
+                    h.update(repr(part).encode())
+                    h.update(sep)
+                prefixes[pkey] = h
+            d = h.copy()
+            d.update(repr(ident[3]).encode())
+            d.update(sep)
+            d.update(repr(ident[4]).encode())
+            d.update(sep)
+            d.update(repr(attempts[i]).encode())
+            d.update(sep)
+            out[i] = struct.unpack_from("<Q", d.digest())[0] / 2**64
+        return out
 
     def maybe_corrupt(self, identity: tuple, attempt: int, t: float) -> float:
         """Replace a measured time with detectable garbage, or keep it."""

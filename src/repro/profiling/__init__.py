@@ -19,6 +19,7 @@ from .merge import (
 )
 from .profiler import ProfileCampaign, run_campaign
 from .records import Measurement, OCResult, StencilProfile
+from .registry import DatasetRegistry, resolve_dataset_path
 from .runner import CampaignHealth, CampaignRunner, RetryPolicy, SimClock
 from .search import RandomSearch
 from .storage import atomic_write_text, load_campaign, save_campaign
@@ -30,6 +31,7 @@ __all__ = [
     "CampaignHealth",
     "CampaignRunner",
     "ClassificationDataset",
+    "DatasetRegistry",
     "Measurement",
     "OCGrouping",
     "OCResult",
@@ -50,6 +52,7 @@ __all__ = [
     "oc_time_matrix",
     "pairwise_pcc",
     "pcc_intersection",
+    "resolve_dataset_path",
     "run_campaign",
     "save_campaign",
     "regression_feature_size",

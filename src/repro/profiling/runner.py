@@ -181,6 +181,7 @@ def build_search(
     policy: RetryPolicy,
     clock: SimClock,
     health: CampaignHealth,
+    transport: str = "shm",
 ) -> RandomSearch:
     """One GPU's measurement stack, wrapped in a :class:`RandomSearch`.
 
@@ -188,9 +189,11 @@ def build_search(
     build the *same* stack from the same code path: backend, then --
     when injection is enabled -- faults wrapped *around* any cache
     (transients must not be memoized) and the retry guard wrapped around
-    the faults.
+    the faults.  *transport* only matters to the ``parallel`` backend
+    kind and never changes results (see
+    :class:`~repro.engine.parallel.ParallelBackend`).
     """
-    be: object = make_backend(backend_kind, gpu, sigma=sigma)
+    be: object = make_backend(backend_kind, gpu, sigma=sigma, transport=transport)
     if faults.enabled:
         be = RetryBackend(
             FaultBackend(be, faults, seed=seed), policy, clock, health
@@ -301,6 +304,13 @@ class CampaignRunner:
     mp_context:
         ``"spawn"`` (portable default) or ``"fork"`` (fast startup,
         POSIX only).
+    transport:
+        Request transport for the ``parallel`` backend kind (``"shm"``
+        shared-memory arrays by default, ``"pickle"`` the codec
+        fallback).  Pure plumbing: results are bit-identical either
+        way, so -- like ``workers``/``chunk_size`` -- it is *not* part
+        of the checkpoint identity; a campaign checkpointed under one
+        transport resumes under the other.
     max_shard_retries:
         How many worker-death recovery rounds to attempt before giving
         up and re-raising :class:`~repro.errors.WorkerLostError`.
@@ -328,6 +338,7 @@ class CampaignRunner:
         workers: "int | None" = 1,
         chunk_size: "int | None" = None,
         mp_context: str = "spawn",
+        transport: str = "shm",
         max_shard_retries: int = 3,
         worker_crash_units: "tuple | list | None" = None,
     ):
@@ -355,6 +366,7 @@ class CampaignRunner:
         self.workers = resolve_workers(workers)
         self.chunk_size = chunk_size
         self.mp_context = mp_context
+        self.transport = str(transport)
         self.max_shard_retries = int(max_shard_retries)
         self.worker_crash_units = tuple(
             (str(g), int(s)) for g, s in (worker_crash_units or ())
@@ -512,6 +524,7 @@ class CampaignRunner:
             gpu: build_search(
                 self.backend, gpu, self.sigma, self.faults, self.seed,
                 self.n_settings, self.policy, self.clock, self.health,
+                transport=self.transport,
             )
             for gpu in self.gpus
         }
@@ -617,7 +630,10 @@ class CampaignRunner:
             self.workers,
             context=self.mp_context,
             initializer=_init_shard_worker,
-            initargs=(self._config_doc(), self.policy, self.checkpoint_every),
+            initargs=(
+                self._config_doc(), self.policy, self.checkpoint_every,
+                self.transport,
+            ),
         )
         deaths = 0
         try:

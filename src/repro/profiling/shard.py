@@ -50,12 +50,18 @@ _CFG: "dict | None" = None
 CRASH_EXIT_CODE = 17
 
 
-def _init_shard_worker(config_doc: dict, policy, checkpoint_every: int) -> None:
+def _init_shard_worker(
+    config_doc: dict, policy, checkpoint_every: int, transport: str = "shm"
+) -> None:
     """Pool initializer: decode the campaign config once per worker.
 
     *config_doc* is the runner's ``_config_doc()`` -- already a plain
     JSON document, so it ships cheaply; stencils, OCs and the fault
     schedule are rebuilt here so tasks only need to carry unit ids.
+    *transport* arrives as a separate initarg, deliberately outside the
+    config doc: like workers/chunk_size it is execution plumbing, not
+    campaign identity, so checkpoints written under one transport resume
+    under the other.
     """
     global _CFG
     _CFG = {
@@ -67,6 +73,7 @@ def _init_shard_worker(config_doc: dict, policy, checkpoint_every: int) -> None:
         "sigma": float(config_doc["sigma"]),
         "seed": int(config_doc["seed"]),
         "n_settings": int(config_doc["n_settings"]),
+        "transport": str(transport),
         "policy": policy,
         "checkpoint_every": int(checkpoint_every),
     }
@@ -118,7 +125,7 @@ def run_shard(task: tuple) -> dict:
             search = build_search(
                 cfg["backend"], gpu, cfg["sigma"], cfg["faults"],
                 cfg["seed"], cfg["n_settings"], cfg["policy"],
-                clock, health,
+                clock, health, transport=cfg["transport"],
             )
             searches[gpu] = search
         profile = run_unit(

@@ -210,5 +210,12 @@ def save_campaign(campaign: ProfileCampaign, path: "str | Path") -> None:
 
 
 def load_campaign(path: "str | Path") -> ProfileCampaign:
-    """Read a campaign previously written by :func:`save_campaign`."""
-    return campaign_from_dict(json.loads(Path(path).read_text()))
+    """Read a campaign written by :func:`save_campaign` -- or a published
+    campaign-dataset document (checksum-verified; see
+    :mod:`repro.profiling.registry`)."""
+    doc = json.loads(Path(path).read_text())
+    if isinstance(doc, dict) and doc.get("kind") == "campaign-dataset":
+        from .registry import unwrap_dataset_document
+
+        return unwrap_dataset_document(doc)
+    return campaign_from_dict(doc)

@@ -59,16 +59,18 @@ class TestCodec:
 
 
 class TestBitIdenticalSharding:
+    @pytest.mark.parametrize("transport", ["shm", "pickle"])
     @pytest.mark.parametrize("workers", [1, 2, 4])
     @pytest.mark.parametrize("chunk_size", [None, 7])
     def test_parallel_scalar_matches_scalar(self, workload, workers,
-                                            chunk_size):
+                                            chunk_size, transport):
         reference = make_backend("scalar", "V100").evaluate_batch(workload)
         with ParallelBackend(
             BackendSpec(kind="scalar", gpu="V100"),
             workers=workers,
             chunk_size=chunk_size,
             context="fork",
+            transport=transport,
         ) as backend:
             sharded = backend.evaluate_batch(workload)
         assert _digest(sharded) == _digest(reference)
@@ -82,6 +84,21 @@ class TestBitIdenticalSharding:
             sharded = backend.evaluate_batch(workload)
         assert _digest(sharded) == _digest(reference)
 
+    @pytest.mark.parametrize("chunk_size", [None, 7])
+    def test_shm_matches_pickle(self, workload, chunk_size):
+        """The two transports reassemble the same batch identically."""
+        digests = {}
+        for transport in ("shm", "pickle"):
+            with ParallelBackend(
+                BackendSpec(kind="vector", gpu="V100"),
+                workers=2,
+                chunk_size=chunk_size,
+                context="fork",
+                transport=transport,
+            ) as backend:
+                digests[transport] = _digest(backend.evaluate_batch(workload))
+        assert digests["shm"] == digests["pickle"]
+
     def test_single_worker_bypasses_pool(self, workload):
         backend = ParallelBackend(BackendSpec(), workers=1)
         try:
@@ -92,15 +109,97 @@ class TestBitIdenticalSharding:
             backend.close()
 
 
+class TestChunking:
+    def test_adaptive_chunks_spread_small_batches(self):
+        """With no explicit chunk_size, small batches split across all
+        workers instead of serializing through one chunk."""
+        backend = ParallelBackend(BackendSpec(), workers=4)
+        try:
+            spans = backend._chunks(40)
+            assert spans[0] == (0, 10)
+            assert len(spans) == 4
+        finally:
+            backend.close()
+
+    def test_adaptive_chunks_cap_by_transport(self):
+        from repro.engine.parallel import TRANSPORT_CHUNK_CAPS
+
+        for transport, cap in TRANSPORT_CHUNK_CAPS.items():
+            backend = ParallelBackend(
+                BackendSpec(), workers=2, transport=transport
+            )
+            try:
+                if backend.transport != transport:
+                    continue  # shm unavailable on this host
+                spans = backend._chunks(cap * 4)
+                assert spans[0] == (0, cap)
+            finally:
+                backend.close()
+
+    def test_explicit_chunk_size_wins(self):
+        backend = ParallelBackend(BackendSpec(), workers=2, chunk_size=5)
+        try:
+            assert backend._chunks(12) == [(0, 5), (5, 10), (10, 12)]
+        finally:
+            backend.close()
+
+
+class TestWorkerDeath:
+    @pytest.mark.parametrize("transport", ["shm", "pickle"])
+    def test_killed_worker_recovers_without_leaks(self, workload, tmp_path,
+                                                  monkeypatch, transport):
+        """A worker dying mid-chunk (simulated ``os._exit``) breaks the
+        pool; the batch restarts, re-dispatches, and still reassembles
+        bit-identically -- with every shared segment unlinked."""
+        import repro.engine.parallel as par
+        from repro.engine import shm as shm_transport
+
+        reference = make_backend("vector", "V100").evaluate_batch(workload)
+        # Fork-context workers inherit the flag path; O_EXCL on the flag
+        # file makes exactly one worker crash exactly once.
+        monkeypatch.setattr(
+            par, "_CRASH_FLAG_PATH", str(tmp_path / "crash-flag")
+        )
+        with ParallelBackend(
+            BackendSpec(kind="vector", gpu="V100"),
+            workers=2,
+            context="fork",
+            transport=transport,
+        ) as backend:
+            results = backend.evaluate_batch(workload)
+            assert backend.worker_deaths == 1
+        assert (tmp_path / "crash-flag").exists()
+        assert _digest(results) == _digest(reference)
+        assert not shm_transport.live_segments()
+        assert not shm_transport.list_host_segments()
+
+
 class TestMetadata:
-    def test_info_names_inner_and_workers(self):
+    def test_info_names_inner_workers_and_transport(self):
         backend = ParallelBackend(
             BackendSpec(kind="vector", gpu="V100"), workers=3
         )
         try:
             info = backend.info
-            assert info.name == "parallel(vector, workers=3)"
+            assert info.name == (
+                f"parallel(vector, workers=3, transport={backend.transport})"
+            )
             assert info.vectorized
+        finally:
+            backend.close()
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="transport"):
+            ParallelBackend(BackendSpec(), workers=2, transport="carrier-pigeon")
+
+    def test_shm_unavailable_falls_back_to_pickle(self, monkeypatch):
+        from repro.engine import shm as shm_transport
+
+        monkeypatch.setattr(shm_transport, "_AVAILABLE", False)
+        backend = ParallelBackend(BackendSpec(), workers=2, transport="shm")
+        try:
+            assert backend.requested_transport == "shm"
+            assert backend.transport == "pickle"
         finally:
             backend.close()
 

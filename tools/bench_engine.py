@@ -81,12 +81,15 @@ def main(argv=None) -> int:
         f"worker sweep ({par['gpu']}, {par['cpu_count']} CPUs, "
         f"{par['n_points']} points, {args.context})"
     )
-    for workers, row in par["backend_sweep"].items():
-        print(
-            f"  backend  workers={workers}  "
-            f"{row['points_per_sec']:12,.0f} points/sec "
-            f"({row['speedup_vs_1']:.2f}x workers=1)"
-        )
+    for transport, sweep in par["backend_sweep"].items():
+        for workers, row in sweep.items():
+            print(
+                f"  backend/{transport:6s} workers={workers}  "
+                f"{row['points_per_sec']:12,.0f} points/sec "
+                f"({row['speedup_vs_1']:.2f}x workers=1)"
+            )
+    for workers, ratio in par.get("shm_vs_pickle", {}).items():
+        print(f"  shm vs pickle workers={workers}  {ratio:.2f}x")
     for workers, row in par["campaign"]["sweep"].items():
         print(
             f"  campaign workers={workers}  "

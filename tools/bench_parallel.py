@@ -1,0 +1,215 @@
+"""Parallel-engine bench + paper-scale campaign driver (developer / CI tool).
+
+Two modes:
+
+- Default: the transport x worker-count sweep from
+  ``repro.engine.bench.run_parallel_bench`` (shm vs pickle points/sec,
+  sharded campaign throughput), written to ``BENCH_parallel.json`` at
+  the repo root by convention.
+
+- ``--paper-scale``: the paper's headline data collection -- 500
+  stencils x all OCs x sampled settings per GPU (~65k usable instances
+  per GPU after crashes) -- run through the sharded campaign runner
+  with the shared-memory transport, then published as a checksummed,
+  versioned dataset artifact (``repro.profiling.registry``) that
+  ``repro train --campaign <registry dir>`` consumes directly.
+
+Run: python tools/bench_parallel.py [--quick] [--gpu NAME] [-o PATH]
+         [--workers N ...] [--context CTX] [--transports T ...]
+     python tools/bench_parallel.py --paper-scale [--registry DIR]
+         [--name NAME] [--stencils N] [--n-settings K] [--workers N]
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+
+def run_sweep(args) -> int:
+    from repro.engine.bench import run_parallel_bench
+
+    doc = run_parallel_bench(
+        quick=args.quick,
+        gpu=args.gpu,
+        workers_sweep=tuple(args.workers) if args.workers else (1, 2, 4),
+        context=args.context,
+        transports=tuple(args.transports),
+    )
+    with open(args.output, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+
+    print(
+        f"worker sweep ({doc['gpu']}, {doc['cpu_count']} CPUs, "
+        f"{doc['n_points']} points, {args.context})"
+    )
+    for transport, sweep in doc["backend_sweep"].items():
+        for workers, row in sweep.items():
+            print(
+                f"  backend/{transport:6s} workers={workers}  "
+                f"{row['points_per_sec']:12,.0f} points/sec "
+                f"({row['speedup_vs_1']:.2f}x workers=1)"
+            )
+    for workers, ratio in doc.get("shm_vs_pickle", {}).items():
+        print(f"  shm vs pickle workers={workers}  {ratio:.2f}x")
+    for workers, row in doc["campaign"]["sweep"].items():
+        print(
+            f"  campaign workers={workers}  "
+            f"{row['measurements_per_sec']:12,.1f} measurements/sec "
+            f"({row['speedup_vs_1']:.2f}x workers=1)"
+        )
+    print(f"wrote {args.output}")
+    return 0
+
+
+def run_paper_scale(args) -> int:
+    from repro.engine import shm as shm_transport
+    from repro.profiling import CampaignRunner, DatasetRegistry
+    from repro.stencil import generate_population
+
+    stencils = generate_population(args.ndim, args.stencils, seed=args.seed)
+    runner = CampaignRunner(
+        stencils,
+        gpus=tuple(args.gpus),
+        n_settings=args.n_settings,
+        seed=args.seed,
+        backend=args.backend,
+        workers=args.workers,
+        mp_context=args.context,
+        transport=args.transport,
+    )
+    start = time.perf_counter()
+    campaign = runner.run()
+    elapsed = time.perf_counter() - start
+
+    per_gpu = {g: len(campaign.measurements(g)) for g in campaign.gpus}
+    total = sum(per_gpu.values())
+    print(
+        f"paper-scale campaign: {len(stencils)} stencils x "
+        f"{len(campaign.ocs)} OCs x {args.n_settings} settings on "
+        f"{len(campaign.gpus)} GPU(s) in {elapsed:.1f}s "
+        f"({total / elapsed:,.0f} measurements/sec)"
+    )
+    for gpu, n in per_gpu.items():
+        print(f"  {gpu}: {n} measurements")
+    leaked = shm_transport.list_host_segments()
+    if leaked:
+        print(f"leaked shared-memory segments: {leaked}", file=sys.stderr)
+        return 1
+
+    registry = DatasetRegistry(args.registry)
+    meta = {
+        "generator": "tools/bench_parallel.py --paper-scale",
+        "elapsed_s": elapsed,
+        "measurements": per_gpu,
+        "cpu_count": os.cpu_count() or 1,
+        "workers": runner.workers,
+        "backend": args.backend,
+        "transport": args.transport,
+    }
+    version = registry.publish(campaign, args.name, meta=meta)
+    path = registry.path(args.name, version)
+    print(f"published {args.name}@{version} -> {path}")
+    print(f"train on it with: repro train --campaign {path.parent}")
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workload for CI smoke runs (no speedup guarantee)",
+    )
+    ap.add_argument("--gpu", default="V100", help="GPU spec for the sweep")
+    ap.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_parallel.json",
+        help="where the sweep JSON document goes",
+    )
+    ap.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=None,
+        help="worker counts to sweep (default 1 2 4); in --paper-scale "
+        "mode the first value is the campaign worker count (0 = one "
+        "per CPU)",
+    )
+    ap.add_argument(
+        "--transports",
+        nargs="+",
+        default=["shm", "pickle"],
+        choices=("shm", "pickle"),
+        help="request transports to sweep",
+    )
+    ap.add_argument(
+        "--context",
+        default="fork" if sys.platform.startswith("linux") else "spawn",
+        choices=("fork", "spawn"),
+        help="multiprocessing start method",
+    )
+    ap.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="run the paper-scale campaign and publish it as a versioned "
+        "dataset instead of the sweep",
+    )
+    ap.add_argument(
+        "--registry",
+        default="datasets",
+        help="dataset registry root for --paper-scale publishing",
+    )
+    ap.add_argument(
+        "--name",
+        default=None,
+        help="dataset name in the registry (default campaign-paper-<ndim>d)",
+    )
+    ap.add_argument("--ndim", type=int, default=2, choices=(2, 3))
+    ap.add_argument(
+        "--stencils",
+        type=int,
+        default=500,
+        help="population size for --paper-scale (paper: 500)",
+    )
+    ap.add_argument(
+        "--n-settings",
+        type=int,
+        default=5,
+        help="sampled settings per (stencil, OC) for --paper-scale "
+        "(500 x 30 OCs x 5 gives the paper's ~65k usable instances/GPU)",
+    )
+    ap.add_argument(
+        "--gpus",
+        nargs="+",
+        default=["V100"],
+        help="GPUs to profile in --paper-scale mode",
+    )
+    ap.add_argument(
+        "--backend",
+        default="vector",
+        choices=("scalar", "vector", "cached", "parallel"),
+        help="measurement backend for --paper-scale",
+    )
+    ap.add_argument(
+        "--transport",
+        default="shm",
+        choices=("shm", "pickle"),
+        help="parallel-engine transport for --paper-scale",
+    )
+    ap.add_argument("--seed", type=int, default=2022)
+    args = ap.parse_args(argv)
+
+    if args.paper_scale:
+        if args.name is None:
+            args.name = f"campaign-paper-{args.ndim}d"
+        args.workers = (args.workers or [0])[0]
+        return run_paper_scale(args)
+    return run_sweep(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""CI leak check: fail when orphaned shared-memory segments remain.
+
+Run after a test or bench job.  Every segment the parallel engine
+creates is named ``repro-shm-<pid>-...`` (see ``repro.engine.shm``), so
+any such name still present once the suite's processes have exited is a
+leak -- a batch that crashed without unlinking and escaped both the
+resource tracker and the engine's own cleanup.  Segments whose creator
+pid is dead are reported (and reaped, so reruns start clean); segments
+whose creator is still alive are reported without being touched, since
+a concurrent job may legitimately own them.
+
+Run: python tools/check_shm_leaks.py
+"""
+
+import sys
+
+from repro.engine import shm
+
+
+def main() -> int:
+    before = shm.list_host_segments()
+    if not before:
+        print("no repro shared-memory segments on the host: clean")
+        return 0
+    reaped = shm.reap_stale_segments()
+    live = shm.list_host_segments()
+    for name in reaped:
+        print(f"LEAKED (creator dead, reaped): {name}", file=sys.stderr)
+    for name in live:
+        print(f"present (creator alive): {name}", file=sys.stderr)
+    print(
+        f"{len(before)} repro segment(s) found after the run "
+        f"({len(reaped)} orphaned)",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
