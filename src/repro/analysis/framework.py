@@ -108,6 +108,9 @@ class AnalysisContext:
     grid: tuple | None = None
     profile: object = None  # KernelProfile | None
     profile_error: str | None = None
+    gpu: object = None  # repro.gpu.GPUSpec | None (target device, if any)
+    warp_size: int = 32  # scheduling width of the target device
+    dialect: str = "cuda"  # source dialect ("cuda" | "hip")
 
     @property
     def has_model(self) -> bool:
@@ -137,19 +140,38 @@ def build_context(
     oc=None,
     setting=None,
     grid=None,
+    gpu=None,
 ) -> AnalysisContext:
     """Parse *source* and attach model context when the triple is known.
 
     ``build_profile`` failures are carried as ``profile_error`` instead of
     raising: an infeasible configuration (e.g. a temporal halo consuming
     the tile) is a property of the triple, not a lint crash.
+
+    ``gpu`` (a :class:`~repro.gpu.GPUSpec` or name) selects the target
+    device: its scheduling width feeds the profile's coalescing model and
+    the warp-sensitive rules, and the parsed ``// dialect:`` metadata (or
+    the default ``"cuda"``) is recorded so dialect-aware passes can tell
+    HIP from CUDA sources.
     """
     unit = parse_unit_cached(source)
+    if gpu is not None and isinstance(gpu, str):
+        from ..gpu.specs import get_gpu
+
+        gpu = get_gpu(gpu)
+    warp_size = 32 if gpu is None else gpu.warp_size
     profile = None
     profile_error = None
     if stencil is not None and oc is not None and setting is not None:
         try:
-            profile = kernelmodel.build_profile(stencil, oc, setting, grid)
+            if warp_size == 32:
+                # Default width uses the legacy positional call so tests
+                # (and tooling) that stub build_profile keep working.
+                profile = kernelmodel.build_profile(stencil, oc, setting, grid)
+            else:
+                profile = kernelmodel.build_profile(
+                    stencil, oc, setting, grid, warp_size=warp_size
+                )
         except (KernelLaunchError, OptimizationError) as e:
             profile_error = str(e)
     return AnalysisContext(
@@ -162,6 +184,9 @@ def build_context(
         grid=grid,
         profile=profile,
         profile_error=profile_error,
+        gpu=gpu,
+        warp_size=warp_size,
+        dialect=unit.meta.get("dialect", "cuda"),
     )
 
 
@@ -198,13 +223,15 @@ class Analyzer:
         oc=None,
         setting=None,
         grid=None,
+        gpu=None,
         baseline: "Baseline | None" = None,
     ) -> Report:
-        """Analyze one CUDA source; returns the suppression-filtered report."""
+        """Analyze one source (CUDA or HIP); returns the filtered report."""
         suppressions = Suppressions.scan(source)
         try:
             ctx = build_context(
-                source, stencil=stencil, oc=oc, setting=setting, grid=grid
+                source, stencil=stencil, oc=oc, setting=setting, grid=grid,
+                gpu=gpu,
             )
         except Exception as e:  # ParseError or ExprError from the IR layer
             finding = Finding.make(

@@ -191,6 +191,10 @@ _FOR_RE = re.compile(r"^for\s*\((?P<header>.*)\)\s*\{$")
 _IF_RE = re.compile(r"^if\s*\((?P<cond>.*)\)\s*\{$")
 _DIM3_RE = re.compile(r"^dim3\s+(\w+)\s*\((.*)\)\s*;?$")
 _LAUNCH_RE = re.compile(r"^(\w+)\s*<<<\s*(\w+)\s*,\s*(\w+)\s*>>>\s*\((.*)\)\s*;?$")
+_HIP_LAUNCH_RE = re.compile(
+    r"^hipLaunchKernelGGL\s*\(\s*(\w+)\s*,\s*(\w+)\s*,\s*(\w+)\s*,"
+    r"\s*0\s*,\s*0\s*,\s*(.*)\)\s*;?$"
+)
 
 CTYPE_SIZE = {"double": 8, "float": 4, "int": 4, "unsigned": 4, "long": 8}
 
@@ -349,7 +353,7 @@ def _parse_host(lines, i, macros) -> tuple[Host, int]:
             loop = _parse_for(m.group("header"), lineno)
             if loop.var == "step":
                 launches = _upper_bound(loop.cond)
-        m = _LAUNCH_RE.match(text)
+        m = _LAUNCH_RE.match(text) or _HIP_LAUNCH_RE.match(text)
         if m is not None:
             launched = m.group(1)
         i += 1
@@ -371,7 +375,9 @@ def _upper_bound(cond):
     return None
 
 
-_META_RE = re.compile(r"//\s*(stencil|optimization combination|grid):\s*(.+)$")
+_META_RE = re.compile(
+    r"//\s*(stencil|optimization combination|grid|dialect):\s*(.+)$"
+)
 
 
 def parse_unit(source: str) -> TranslationUnit:

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..codegen.cuda import generate_cuda
+from ..codegen.core import generate_source
 from ..errors import KernelLaunchError, OptimizationError
 from ..optimizations import kernelmodel
 from ..optimizations.combos import ALL_OCS, OC
@@ -72,14 +72,21 @@ def lint_kernel(
     grid: "tuple[int, ...] | None" = None,
     analyzer: "Analyzer | None" = None,
     baseline: "Baseline | None" = None,
+    dialect: str = "cuda",
+    gpu=None,
 ):
-    """Generate one kernel variant and analyze it; ``(source, Report)``."""
+    """Generate one kernel variant and analyze it; ``(source, Report)``.
+
+    ``dialect`` selects the emitted source flavour (CUDA or HIP); ``gpu``
+    (spec or name) attaches the target device so warp-sensitive rules use
+    its scheduling width.
+    """
     oc_obj = OC.parse(oc) if isinstance(oc, str) else oc
-    source = generate_cuda(stencil, oc_obj, setting, grid)
+    source = generate_source(stencil, oc_obj, setting, grid, dialect=dialect)
     analyzer = analyzer or Analyzer()
     report = analyzer.analyze(
         source, stencil=stencil, oc=oc_obj, setting=setting, grid=grid,
-        baseline=baseline,
+        gpu=gpu, baseline=baseline,
     )
     return source, report
 
@@ -162,6 +169,8 @@ def lint_sweep(
     grid: "tuple[int, ...] | None" = None,
     analyzer: "Analyzer | None" = None,
     baseline: "Baseline | None" = None,
+    dialect: str = "cuda",
+    gpu=None,
 ) -> LintSummary:
     """Lint every (stencil, OC) pair with sampled feasible settings."""
     stencils = list(library.LIBRARY.values()) if stencils is None else list(stencils)
@@ -176,7 +185,8 @@ def lint_sweep(
                 continue
             for setting in settings:
                 _, report = lint_kernel(
-                    stencil, oc, setting, grid, analyzer, baseline
+                    stencil, oc, setting, grid, analyzer, baseline,
+                    dialect=dialect, gpu=gpu,
                 )
                 summary.records.append(
                     LintRecord(

@@ -426,20 +426,23 @@ class AccessPass(MetricPass):
         return hi - lo
 
     @staticmethod
-    def _coalescing(stride: float | None, x_threads: int) -> float:
+    def _coalescing(stride: float | None, x_threads: int, warp: int = 32) -> float:
         """Warp transaction efficiency of one global access pattern.
 
         ``stride`` is the address step (in elements) between adjacent
         ``threadIdx.x`` lanes: 0 broadcasts, 1 is fully coalesced, small
         strides waste a proportional sector fraction, and row-pitch
         strides (streaming along x) degrade to strided row fetches.
+        ``warp`` is the scheduling width of the target device (32 for
+        NVIDIA warps, 64 for AMD wavefronts): narrower-than-warp blocks
+        waste proportionally more of each transaction on wider machines.
         """
         if stride is None:
             return 0.25
         stride = abs(stride)
         if stride == 0:
             return 1.0
-        base = 1.0 if x_threads >= 32 else max(x_threads / 32.0, 0.25)
+        base = 1.0 if x_threads >= warp else max(x_threads / float(warp), 0.25)
         if stride == 1:
             eff = base
         elif stride <= 8:
@@ -499,7 +502,9 @@ class SchemePass(MetricPass):
                 footprint = tuple(reversed(stage))
                 # 8-byte words over 32 4-byte banks: a row length that is
                 # a multiple of 32 words puts same-lane rows in the same
-                # bank pair (no padding in the generated source).
+                # bank pair (no padding in the generated source).  Both
+                # modeled vendors expose 32 scratchpad banks, so the
+                # modulus is vendor-independent.
                 if footprint and footprint[0] % 32 == 0:
                     conflict = 2.0
             m.smem_per_block = total
@@ -818,17 +823,34 @@ def _compose(metrics: KernelMetrics, gpu: str) -> PerfEstimate:
     constant; the source carries the macro, so re-scale when they
     differ (they agree for all generator output).
     """
+    from dataclasses import replace as _replace
+
     from ..gpu.simulator import GPUSimulator
     from ..gpu.specs import get_gpu
     from ..optimizations.kernelmodel import TIME_STEPS
 
     spec = get_gpu(gpu)
     sim = GPUSimulator(spec, sigma=0.0)
-    result = sim.time_profile(_to_profile(metrics))
+    profile = _to_profile(metrics)
+    if spec.warp_size != 32:
+        # The extracted coalescing factor was classified at the default
+        # 32-lane width; re-derive it for this device's scheduling width
+        # from the recorded threadIdx.x stride (matches build_profile's
+        # warp_size-parameterized clause on generator output).
+        stride = metrics.tx_stride if math.isfinite(metrics.tx_stride) else None
+        profile = _replace(
+            profile,
+            coalescing=AccessPass._coalescing(
+                stride, metrics.block_dims[0], warp=spec.warp_size
+            ),
+        )
+    result = sim.time_profile(profile)
     scale = TIME_STEPS / max(1, metrics.time_steps)
     smem_s = 0.0
     if metrics.smem_bytes:
-        smem_bw = spec.sms * 128.0 * spec.boost_clock_mhz * 1e6 * 0.35
+        smem_bw = (
+            spec.sms * spec.smem_bytes_per_clk * spec.boost_clock_mhz * 1e6 * 0.35
+        )
         smem_s = metrics.smem_bytes / smem_bw
     return PerfEstimate(
         gpu=spec.name,

@@ -13,7 +13,9 @@ from __future__ import annotations
 from .findings import Finding, Severity
 from .framework import AnalysisPass, RuleInfo
 
-#: Threads per warp on every evaluated GPU.
+#: Threads per warp on every NVIDIA GPU; the default when the analysis
+#: context has no target device.  AMD wavefronts are 64 wide, so PERF002
+#: reads the width from ``ctx.warp_size`` when a device is attached.
 WARP = 32
 
 
@@ -68,13 +70,14 @@ class MemoryAccessPass(AnalysisPass):
                     )
                 )
 
+        warp = getattr(ctx, "warp_size", WARP)
         block_x = ctx.macros.get("BLOCK_X")
-        if block_x is not None and block_x < WARP:
+        if block_x is not None and block_x < warp:
             findings.append(
                 Finding.make(
                     "PERF002",
                     Severity.WARNING,
-                    f"BLOCK_X={int(block_x)} is narrower than a {WARP}-thread "
+                    f"BLOCK_X={int(block_x)} is narrower than a {warp}-thread "
                     "warp; global loads issue partially-filled transactions",
                 )
             )

@@ -36,7 +36,7 @@ import argparse
 import sys
 
 from .config import DEFAULT_SEED
-from .gpu.specs import GPU_ORDER
+from .gpu.specs import ALL_GPU_ORDER, GPU_ORDER
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -142,7 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="campaign JSON path (optional when --model is given)",
     )
     s.add_argument("--stencil", required=True, help="named stencil, e.g. star2d2r")
-    s.add_argument("--gpu", required=True, choices=list(GPU_ORDER))
+    s.add_argument("--gpu", required=True, choices=list(ALL_GPU_ORDER))
     s.add_argument("--method", default="gbdt", choices=("gbdt", "convnet", "fcnet"))
     s.add_argument(
         "--workers",
@@ -165,7 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tu.add_argument("--stencil", required=True, help="named stencil, e.g. star2d2r")
     tu.add_argument("--oc", required=True, help="optimization combination, e.g. ST_RT")
-    tu.add_argument("--gpu", required=True, choices=list(GPU_ORDER))
+    tu.add_argument("--gpu", required=True, choices=list(ALL_GPU_ORDER))
     tu.add_argument(
         "--strategy",
         default="random",
@@ -229,7 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="mechanism to evaluate (default: gbdt for select, gbr for "
         "predict)",
     )
-    e.add_argument("--gpu", required=True, choices=list(GPU_ORDER))
+    e.add_argument("--gpu", required=True, choices=list(ALL_GPU_ORDER))
     e.add_argument("--folds", type=int, default=5)
     e.add_argument(
         "--ndim", type=int, choices=(2, 3),
@@ -275,7 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     t.add_argument("--stencil", required=True)
     t.add_argument("--oc", required=True, help="OC name, e.g. ST_RT")
-    t.add_argument("--gpu", required=True, choices=list(GPU_ORDER))
+    t.add_argument("--gpu", required=True, choices=list(ALL_GPU_ORDER))
     t.add_argument(
         "--method", default="gbr", choices=("gbr", "mlp", "convmlp", "hybrid")
     )
@@ -286,7 +286,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(t)
 
-    c = sub.add_parser("codegen", help="emit CUDA source for a kernel variant")
+    c = sub.add_parser(
+        "codegen", help="emit CUDA/HIP source for a kernel variant"
+    )
     c.add_argument("--stencil", required=True, help="named stencil, e.g. star2d2r")
     c.add_argument(
         "--oc",
@@ -307,9 +309,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="sample a feasible setting instead of starting from defaults",
     )
     c.add_argument(
+        "--gpu",
+        choices=list(ALL_GPU_ORDER),
+        help="target device; selects the dialect via its vendor unless "
+        "--dialect overrides it",
+    )
+    c.add_argument(
+        "--dialect",
+        choices=("cuda", "hip"),
+        help="source dialect (default: the target GPU's vendor dialect, "
+        "or cuda)",
+    )
+    c.add_argument(
         "-o",
         "--output-dir",
-        help="write <stencil>__<oc>.cu files here instead of stdout",
+        help="write <stencil>__<oc>.<ext> files here instead of stdout",
     )
     _add_common(c)
 
@@ -356,6 +370,18 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--rules", action="store_true", help="print the rule catalog and exit"
     )
+    lint.add_argument(
+        "--gpu",
+        choices=list(ALL_GPU_ORDER),
+        help="target device; warp-sensitive rules use its scheduling "
+        "width and the dialect defaults to its vendor's",
+    )
+    lint.add_argument(
+        "--dialect",
+        choices=("cuda", "hip"),
+        help="source dialect to emit and lint (default: the target GPU's "
+        "vendor dialect, or cuda)",
+    )
     _add_common(lint)
 
     est = sub.add_parser(
@@ -382,7 +408,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--gpu",
         action="append",
         dest="gpus",
-        choices=list(GPU_ORDER),
+        choices=list(ALL_GPU_ORDER),
         help="target GPUs (repeatable; default: all)",
     )
     est.add_argument(
@@ -424,7 +450,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tr.add_argument(
         "--gpu",
-        choices=list(GPU_ORDER),
+        choices=list(ALL_GPU_ORDER),
         help="target GPU (required for --task select)",
     )
     tr.add_argument(
@@ -540,7 +566,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true", help="print /stats JSON and exit"
     )
     q.add_argument("--stencil", help="named stencil, e.g. star2d2r")
-    q.add_argument("--gpu", choices=list(GPU_ORDER))
+    q.add_argument("--gpu", choices=list(ALL_GPU_ORDER))
     q.add_argument(
         "--oc",
         help="ask /v1/predict for this OC's execution time instead of "
@@ -853,16 +879,28 @@ def _parse_overrides(pairs: "list[str]") -> dict:
     return out
 
 
+def _resolve_dialect(args):
+    """The codegen dialect from ``--dialect`` / ``--gpu`` (cuda default)."""
+    from .codegen import dialect_for_gpu, get_dialect
+
+    if getattr(args, "dialect", None):
+        return get_dialect(args.dialect)
+    if getattr(args, "gpu", None):
+        return dialect_for_gpu(args.gpu)
+    return get_dialect("cuda")
+
+
 def cmd_codegen(args) -> int:
     import os
 
     from .analysis.lint import feasible_settings
-    from .codegen.cuda import generate_cuda
+    from .codegen import generate_source
     from .optimizations import ALL_OCS, OC_BY_NAME
     from .optimizations.params import ParamSetting
     from .stencil import get
 
     stencil = get(args.stencil)
+    dialect = _resolve_dialect(args)
     if args.oc == "all":
         ocs = list(ALL_OCS)
     else:
@@ -886,11 +924,12 @@ def cmd_codegen(args) -> int:
             setting = sampled[0].replace(**overrides) if overrides else sampled[0]
         else:
             setting = ParamSetting(**overrides)
-        source = generate_cuda(stencil, oc, setting)
+        source = generate_source(stencil, oc, setting, dialect=dialect)
         if args.output_dir:
             os.makedirs(args.output_dir, exist_ok=True)
             path = os.path.join(
-                args.output_dir, f"{stencil.name}__{oc.name}.cu"
+                args.output_dir,
+                f"{stencil.name}__{oc.name}{dialect.source_suffix}",
             )
             with open(path, "w", encoding="utf-8") as fh:
                 fh.write(source)
@@ -935,6 +974,8 @@ def cmd_lint(args) -> int:
         n_settings=args.n_settings,
         seed=args.seed,
         baseline=baseline,
+        dialect=_resolve_dialect(args).name,
+        gpu=getattr(args, "gpu", None),
     )
 
     if args.write_baseline:

@@ -1,5 +1,42 @@
-"""CUDA source generation for stencil kernel variants."""
+"""Kernel source generation for stencil variants (CUDA and HIP dialects).
 
+A vendor-neutral core (:mod:`repro.codegen.core`) owns the optimization
+semantics; thin dialect backends bind it to CUDA (:mod:`.cuda`) and HIP
+(:mod:`.hip`).  :func:`dialect_for_gpu` maps a device spec to the dialect
+its vendor compiles.
+"""
+
+from ..gpu.specs import GPUSpec, get_gpu
+from .core import (
+    CUDA_DIALECT,
+    DIALECTS,
+    HIP_DIALECT,
+    Dialect,
+    KernelEmitter,
+    generate_source,
+    get_dialect,
+)
 from .cuda import CudaKernelGenerator, generate_cuda
+from .hip import HipKernelGenerator, generate_hip
 
-__all__ = ["CudaKernelGenerator", "generate_cuda"]
+
+def dialect_for_gpu(gpu: "GPUSpec | str") -> Dialect:
+    """The source dialect a device's vendor toolchain compiles."""
+    spec = get_gpu(gpu) if isinstance(gpu, str) else gpu
+    return get_dialect(spec.dialect)
+
+
+__all__ = [
+    "CUDA_DIALECT",
+    "CudaKernelGenerator",
+    "DIALECTS",
+    "Dialect",
+    "HIP_DIALECT",
+    "HipKernelGenerator",
+    "KernelEmitter",
+    "dialect_for_gpu",
+    "generate_cuda",
+    "generate_hip",
+    "generate_source",
+    "get_dialect",
+]

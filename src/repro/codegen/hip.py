@@ -1,0 +1,34 @@
+"""HIP dialect backend: thin wrapper over the vendor-neutral core.
+
+HIP device code is source-compatible with the CUDA subset the emitter
+uses (``__global__``, ``__shared__``, ``__syncthreads()``), so the kernel
+bodies are byte-identical to the CUDA backend's; only the runtime include
+(``hip/hip_runtime.h``), the portable ``hipLaunchKernelGGL`` launch macro
+and the host-side ``hipDeviceSynchronize`` / ``hipGetLastError`` calls
+differ.  The header additionally carries a ``// dialect: hip`` metadata
+line so the analysis IR can recover the dialect from source alone.
+"""
+
+from __future__ import annotations
+
+from ..optimizations.combos import OC
+from ..optimizations.params import ParamSetting
+from ..stencil.stencil import Stencil
+from .core import HIP_DIALECT, KernelEmitter
+
+
+class HipKernelGenerator(KernelEmitter):
+    """Emit HIP C++ for one kernel variant (AMD-class devices)."""
+
+    dialect = HIP_DIALECT
+
+
+def generate_hip(
+    stencil: Stencil,
+    oc: "OC | str",
+    setting: ParamSetting,
+    grid: "tuple[int, ...] | None" = None,
+) -> str:
+    """Convenience wrapper: HIP translation unit for one kernel variant."""
+    oc_obj = OC.parse(oc) if isinstance(oc, str) else oc
+    return HipKernelGenerator(stencil, oc_obj, setting, grid).generate()

@@ -53,7 +53,6 @@ from ..optimizations.kernelmodel import (
 )
 from ..optimizations.params import PARAM_NAMES
 from ..optimizations.passes import Opt
-from ..gpu.occupancy import _REG_ALLOC_UNIT, _SMEM_ALLOC_UNIT
 from ..gpu.simulator import (
     _BW_HALF_OCC,
     _COMPUTE_HALF_OCC,
@@ -443,8 +442,9 @@ class VectorBackend(BackendBase):
 
         # --- coalescing -----------------------------------------------
         x_threads = bd[0]
+        warp = float(spec.warp_size)
         coalesce = np.where(
-            x_threads >= 32, 1.0, np.maximum(x_threads / 32.0, 0.25)
+            x_threads >= warp, 1.0, np.maximum(x_threads / warp, 0.25)
         )
         coalesce = np.where(stream_axis == 0, 0.25, coalesce)
         coalesce = np.where(
@@ -490,11 +490,11 @@ class VectorBackend(BackendBase):
         wpb_safe = np.maximum(wpb, 1)
         lim_threads = spec.max_warps_per_sm // wpb_safe
         regs_per_warp = _round_up(
-            np.maximum(regs_pt, 1) * spec.warp_size, _REG_ALLOC_UNIT
+            np.maximum(regs_pt, 1) * spec.warp_size, spec.reg_alloc_unit
         )
         regs_per_block = regs_per_warp * wpb_safe
         lim_regs = spec.registers_per_sm // np.maximum(regs_per_block, 1)
-        smem_rounded = _round_up(smem, _SMEM_ALLOC_UNIT)
+        smem_rounded = _round_up(smem, spec.smem_alloc_unit)
         lim_smem = np.where(
             smem > 0,
             spec.smem_per_sm // np.maximum(smem_rounded, 1),
@@ -561,7 +561,14 @@ class VectorBackend(BackendBase):
         l2_bw = spec.dram_bytes_per_s * spec.l2_bw_ratio * bw_frac
         l2_s = l2_bytes[v] / l2_bw
 
-        smem_bw = spec.sms * 128.0 * spec.boost_clock_mhz * 1e6 * 0.35 * comp_frac
+        smem_bw = (
+            spec.sms
+            * spec.smem_bytes_per_clk
+            * spec.boost_clock_mhz
+            * 1e6
+            * 0.35
+            * comp_frac
+        )
         smem_s = smem_bytes[v] / smem_bw
 
         flops_rate = spec.peak_fp64_flops * spec.compute_efficiency * comp_frac

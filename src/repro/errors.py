@@ -93,6 +93,21 @@ class CampaignInterrupted(ReproError):
     """
 
 
+class UnknownGPUError(ReproError, KeyError):
+    """A GPU name is not in the spec database.
+
+    Subclasses :class:`KeyError` so call sites that historically caught
+    the bare ``KeyError`` from a dict lookup keep working, but carries a
+    descriptive message naming every known device (engine, tuning and
+    serve paths used to surface an opaque ``KeyError: 'MI300'``).
+    """
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s the first arg, which would wrap the
+        # whole sentence in quotes; report the plain message instead.
+        return Exception.__str__(self)
+
+
 class DatasetError(ReproError):
     """Malformed or inconsistent profiling dataset."""
 

@@ -5,6 +5,8 @@ from .noise import noise_factor, uniform01
 from .occupancy import Occupancy, compute_occupancy
 from .simulator import GPUSimulator, SimResult, simulate
 from .specs import (
+    ALL_GPU_ORDER,
+    AMD_GPU_ORDER,
     GPU_ORDER,
     GPUS,
     HARDWARE_FEATURE_NAMES,
@@ -15,8 +17,11 @@ from .specs import (
     get_gpu,
     hardware_features,
 )
+from .vendor import VENDOR_INFO, Vendor, VendorInfo, vendor_info
 
 __all__ = [
+    "ALL_GPU_ORDER",
+    "AMD_GPU_ORDER",
     "FaultConfig",
     "FaultInjector",
     "GPU_ORDER",
@@ -29,6 +34,9 @@ __all__ = [
     "Occupancy",
     "RENTAL_GPUS",
     "SimResult",
+    "VENDOR_INFO",
+    "Vendor",
+    "VendorInfo",
     "compute_occupancy",
     "get_gpu",
     "hardware_features",
@@ -36,4 +44,5 @@ __all__ = [
     "noise_factor",
     "simulate",
     "uniform01",
+    "vendor_info",
 ]

@@ -14,11 +14,14 @@ from dataclasses import dataclass
 from ..errors import KernelLaunchError
 from .specs import GPUSpec
 
-#: Register allocation granularity (registers are allocated per warp in
-#: units of 256 on all modeled generations).
+#: Register allocation granularity on NVIDIA devices (registers are
+#: allocated per warp in units of 256 on all modeled generations).  Kept
+#: for backward compatibility; :func:`compute_occupancy` reads the
+#: per-vendor granule from ``spec.reg_alloc_unit``.
 _REG_ALLOC_UNIT = 256
 
-#: Shared memory allocation granularity.
+#: Shared memory allocation granularity on NVIDIA devices (see above;
+#: AMD LDS uses 512 B granules via ``spec.smem_alloc_unit``).
 _SMEM_ALLOC_UNIT = 256
 
 
@@ -85,13 +88,13 @@ def compute_occupancy(
     limits["blocks"] = spec.max_blocks_per_sm
 
     regs_per_warp = _round_up(
-        max(regs_per_thread, 1) * spec.warp_size, _REG_ALLOC_UNIT
+        max(regs_per_thread, 1) * spec.warp_size, spec.reg_alloc_unit
     )
     regs_per_block = regs_per_warp * warps_per_block
     limits["registers"] = spec.registers_per_sm // regs_per_block
 
     if smem_per_block > 0:
-        smem = _round_up(smem_per_block, _SMEM_ALLOC_UNIT)
+        smem = _round_up(smem_per_block, spec.smem_alloc_unit)
         limits["smem"] = spec.smem_per_sm // smem
     else:
         limits["smem"] = limits["blocks"]

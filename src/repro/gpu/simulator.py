@@ -116,7 +116,15 @@ class GPUSimulator:
         KernelLaunchError
             When the configuration exceeds a hardware limit on this GPU.
         """
-        profile = build_profile(stencil, oc, setting, grid=grid)
+        if self.spec.warp_size == 32:
+            # Legacy positional call: keeps build_profile stubs (tests,
+            # tooling) working and shares cache entries across NVIDIA
+            # devices exactly as before.
+            profile = build_profile(stencil, oc, setting, grid=grid)
+        else:
+            profile = build_profile(
+                stencil, oc, setting, grid=grid, warp_size=self.spec.warp_size
+            )
         result = self.time_profile(profile)
         if boundary is not None:
             from ..stencil.boundary import boundary_overhead_factor
@@ -204,9 +212,17 @@ class GPUSimulator:
         l2_s = profile.l2_bytes / l2_bw
 
         # --- shared-memory phase ------------------------------------------
-        # Aggregate shared-memory bandwidth: 128 B/cycle per SM derated for
-        # bank conflicts and issue overhead.
-        smem_bw = spec.sms * 128.0 * spec.boost_clock_mhz * 1e6 * 0.35 * comp_frac
+        # Aggregate scratchpad (smem/LDS) bandwidth: bytes/cycle per SM/CU
+        # from the vendor layer, derated for bank conflicts and issue
+        # overhead.
+        smem_bw = (
+            spec.sms
+            * spec.smem_bytes_per_clk
+            * spec.boost_clock_mhz
+            * 1e6
+            * 0.35
+            * comp_frac
+        )
         smem_s = profile.smem_bytes / smem_bw
 
         # --- compute phase ----------------------------------------------

@@ -24,6 +24,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import UnknownGPUError
+from repro.gpu.vendor import VENDOR_INFO, Vendor, VendorInfo
+
 
 @dataclass(frozen=True)
 class GPUSpec:
@@ -32,6 +35,10 @@ class GPUSpec:
     Headline fields mirror Table III; the remaining fields are the
     occupancy and memory-hierarchy limits the simulator consumes.
     Sizes are bytes unless suffixed otherwise; clocks are MHz.
+    Architectural constants shared by a whole vendor (warp/wavefront
+    width, allocation granules, scratchpad banking, source dialect) are
+    not stored per device: they delegate to :data:`repro.gpu.vendor.VENDOR_INFO`
+    via the ``vendor`` field.
     """
 
     name: str
@@ -63,9 +70,41 @@ class GPUSpec:
     compute_efficiency: float
     memory_efficiency: float
 
+    # Vendor (defaulted last so the NVIDIA entries above need no edit).
+    vendor: Vendor = Vendor.NVIDIA
+
+    @property
+    def vendor_info(self) -> VendorInfo:
+        return VENDOR_INFO[self.vendor]
+
     @property
     def warp_size(self) -> int:
-        return 32
+        """Threads per scheduling unit (warp on NVIDIA, wavefront on AMD)."""
+        return self.vendor_info.warp_size
+
+    @property
+    def reg_alloc_unit(self) -> int:
+        """Register allocation granularity (registers per warp/wave)."""
+        return self.vendor_info.reg_alloc_unit
+
+    @property
+    def smem_alloc_unit(self) -> int:
+        """Scratchpad (smem/LDS) allocation granularity in bytes."""
+        return self.vendor_info.smem_alloc_unit
+
+    @property
+    def smem_banks(self) -> int:
+        return self.vendor_info.smem_banks
+
+    @property
+    def smem_bytes_per_clk(self) -> float:
+        """Per-SM/CU scratchpad bandwidth in bytes per clock."""
+        return self.vendor_info.smem_bytes_per_clk
+
+    @property
+    def dialect(self) -> str:
+        """Source dialect the code generator targets for this device."""
+        return self.vendor_info.dialect
 
     @property
     def max_warps_per_sm(self) -> int:
@@ -188,22 +227,113 @@ GPUS: dict[str, GPUSpec] = {
         compute_efficiency=0.70,
         memory_efficiency=0.82,
     ),
+    # ------------------------------------------------------------------
+    # AMD CDNA-class devices (cross-vendor extension, not in Table III).
+    # Numbers follow the CDNA1/CDNA2 whitepapers and the ROCm tuning
+    # guides: 64-lane wavefronts, a fixed 64 KB LDS per CU, a 256 KB
+    # VGPR file per CU (128 KB x 2 SIMD pairs -> 131072 4-byte regs),
+    # 40 resident waves per CU (2560 threads).  ``sms`` counts CUs.
+    # Efficiency factors mirror the measured-vs-peak gaps reported for
+    # HPC stencils on MI100/MI210/MI250 (rocHPL / BabelStream-class
+    # numbers); the MI250 is modeled as its two GCDs aggregated, which
+    # costs extra launch latency and some efficiency (no single kernel
+    # spans both dies at full speed).
+    "MI100": GPUSpec(
+        name="MI100",
+        generation="CDNA1",
+        memory_gb=32,
+        mem_bw_gbs=1228.8,
+        sms=120,
+        fp64_tflops=11.5,
+        rental_per_hour=None,
+        registers_per_sm=131072,
+        smem_per_sm=64 * _KB,
+        smem_per_block_max=64 * _KB,
+        max_threads_per_sm=2560,
+        max_threads_per_block=1024,
+        max_blocks_per_sm=16,
+        max_registers_per_thread=256,
+        l2_bytes=8 * _MB,
+        l2_bw_ratio=2.0,
+        boost_clock_mhz=1502,
+        kernel_launch_us=8.0,
+        compute_efficiency=0.88,
+        memory_efficiency=0.72,
+        vendor=Vendor.AMD,
+    ),
+    "MI210": GPUSpec(
+        name="MI210",
+        generation="CDNA2",
+        memory_gb=64,
+        mem_bw_gbs=1638.4,
+        sms=104,
+        fp64_tflops=22.6,
+        rental_per_hour=None,
+        registers_per_sm=131072,
+        smem_per_sm=64 * _KB,
+        smem_per_block_max=64 * _KB,
+        max_threads_per_sm=2560,
+        max_threads_per_block=1024,
+        max_blocks_per_sm=16,
+        max_registers_per_thread=256,
+        l2_bytes=8 * _MB,
+        l2_bw_ratio=2.2,
+        boost_clock_mhz=1700,
+        kernel_launch_us=8.0,
+        compute_efficiency=0.90,
+        memory_efficiency=0.75,
+        vendor=Vendor.AMD,
+    ),
+    "MI250": GPUSpec(
+        name="MI250",
+        generation="CDNA2",
+        memory_gb=128,
+        mem_bw_gbs=3276.8,
+        sms=208,
+        fp64_tflops=45.3,
+        rental_per_hour=None,
+        registers_per_sm=131072,
+        smem_per_sm=64 * _KB,
+        smem_per_block_max=64 * _KB,
+        max_threads_per_sm=2560,
+        max_threads_per_block=1024,
+        max_blocks_per_sm=16,
+        max_registers_per_thread=256,
+        l2_bytes=16 * _MB,
+        l2_bw_ratio=2.2,
+        boost_clock_mhz=1700,
+        kernel_launch_us=10.0,
+        compute_efficiency=0.85,
+        memory_efficiency=0.70,
+        vendor=Vendor.AMD,
+    ),
 }
 
-#: Evaluation order used by the figures.
+#: Evaluation order used by the figures (the paper's four NVIDIA GPUs).
 GPU_ORDER = ("2080Ti", "P100", "V100", "A100")
+
+#: AMD-class devices for the cross-vendor transfer experiment.
+AMD_GPU_ORDER = ("MI100", "MI210", "MI250")
+
+#: Every known device, NVIDIA first (figure order), then AMD.
+ALL_GPU_ORDER = GPU_ORDER + AMD_GPU_ORDER
 
 #: GPUs available for cloud rental (Fig. 15 excludes the 2080Ti).
 RENTAL_GPUS = tuple(n for n in GPU_ORDER if GPUS[n].rental_per_hour is not None)
 
 
 def get_gpu(name: str) -> GPUSpec:
-    """Look up a GPU spec by name (e.g. ``"V100"``)."""
+    """Look up a GPU spec by name (e.g. ``"V100"`` or ``"MI210"``).
+
+    Raises :class:`~repro.errors.UnknownGPUError` (a ``KeyError``
+    subclass, so legacy ``except KeyError`` handlers still match) with a
+    message naming every known device.
+    """
     try:
         return GPUS[name]
     except KeyError:
-        known = ", ".join(GPU_ORDER)
-        raise KeyError(f"unknown GPU {name!r}; known: {known}") from None
+        known = ", ".join(ALL_GPU_ORDER)
+        raise UnknownGPUError(f"unknown GPU {name!r}; known: {known}") from None
 
 
 @dataclass(frozen=True)

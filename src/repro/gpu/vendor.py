@@ -1,0 +1,107 @@
+"""Vendor abstraction: the architectural constants that differ by GPU maker.
+
+The reproduction's original spec database was NVIDIA-shaped: a 32-thread
+warp, CUDA-style shared memory, 256-register allocation granules and the
+CUDA dialect were baked into the occupancy math, the kernel model and the
+code generator.  Cross-vendor portability (Lappi et al., arXiv:2406.08923;
+Sai et al., arXiv:2309.04671) needs those choices to be *data*, not code:
+an AMD CDNA-class device schedules 64-lane wavefronts against a fixed
+64 KB LDS and compiles HIP, and every formula that hard-codes 32 (or
+emits ``<<< >>>``) silently mis-models it.
+
+This module centralizes the per-vendor constants.  :class:`VendorInfo` is
+deliberately small: only quantities at least one consumer actually reads
+are recorded, so every field is testable.  Device-specific numbers
+(memory, CU/SM count, register file, cache sizes) stay per-device in
+:mod:`repro.gpu.specs`; what lives here is what all devices of a vendor
+share.
+
+NVIDIA values are the exact constants the formulas used before the
+abstraction existed, so routing through the vendor layer is bit-identical
+for every NVIDIA device -- the regression tests in
+``tests/engine/test_portability_identity.py`` pin that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Vendor(str, Enum):
+    """GPU vendor; the key into :data:`VENDOR_INFO`."""
+
+    NVIDIA = "nvidia"
+    AMD = "amd"
+
+
+@dataclass(frozen=True)
+class VendorInfo:
+    """Architectural constants shared by every device of one vendor.
+
+    Attributes
+    ----------
+    warp_size:
+        Threads per scheduling unit (NVIDIA warp: 32, AMD wavefront: 64).
+    reg_alloc_unit:
+        Register-file allocation granularity in registers per warp/wave
+        (CUDA occupancy tables: 256; CDNA allocates 4-VGPR granules per
+        64-lane wave, also 256 registers).
+    smem_alloc_unit:
+        Scratchpad allocation granularity in bytes (CUDA smem: 256 B;
+        CDNA LDS is allocated in 512 B granules).
+    smem_banks:
+        Scratchpad banks (32 four-byte banks on both modeled vendors).
+    smem_bytes_per_clk:
+        Per-SM/CU scratchpad bandwidth in bytes per clock (128 B/clk on
+        both: 32 banks x 4 B).
+    dialect:
+        Source dialect the code generator emits for this vendor
+        (``"cuda"`` or ``"hip"``).
+    smem_term:
+        Vendor vocabulary for the scratchpad ("shared memory" vs "LDS"),
+        used by reports and docs.
+    compiler:
+        Reference offline compiler for the dialect (``nvcc`` / ``hipcc``).
+    """
+
+    vendor: Vendor
+    warp_size: int
+    reg_alloc_unit: int
+    smem_alloc_unit: int
+    smem_banks: int
+    smem_bytes_per_clk: float
+    dialect: str
+    smem_term: str
+    compiler: str
+
+
+VENDOR_INFO: dict[Vendor, VendorInfo] = {
+    Vendor.NVIDIA: VendorInfo(
+        vendor=Vendor.NVIDIA,
+        warp_size=32,
+        reg_alloc_unit=256,
+        smem_alloc_unit=256,
+        smem_banks=32,
+        smem_bytes_per_clk=128.0,
+        dialect="cuda",
+        smem_term="shared memory",
+        compiler="nvcc",
+    ),
+    Vendor.AMD: VendorInfo(
+        vendor=Vendor.AMD,
+        warp_size=64,
+        reg_alloc_unit=256,
+        smem_alloc_unit=512,
+        smem_banks=32,
+        smem_bytes_per_clk=128.0,
+        dialect="hip",
+        smem_term="LDS",
+        compiler="hipcc",
+    ),
+}
+
+
+def vendor_info(vendor: Vendor) -> VendorInfo:
+    """Constants for *vendor* (total function over the enum)."""
+    return VENDOR_INFO[vendor]

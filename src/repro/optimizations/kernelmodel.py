@@ -146,12 +146,16 @@ def build_profile(
     oc: OC,
     setting: ParamSetting,
     grid: tuple[int, ...] | None = None,
+    warp_size: int = 32,
 ) -> KernelProfile:
     """Characterise the kernel implementing *stencil* under *oc*/*setting*.
 
-    Profiles are GPU-independent, so results are memoized: a four-GPU
-    profiling campaign re-times the same (stencil, OC, setting) triples on
-    each architecture and pays the characterization cost once.
+    Profiles are GPU-*model*-independent given the scheduling width, so
+    results are memoized: a multi-GPU profiling campaign re-times the
+    same (stencil, OC, setting) triples on each architecture and pays
+    the characterization cost once per ``warp_size`` (32 for every
+    NVIDIA device, 64 for AMD wavefronts -- the width only affects the
+    coalescing estimate).
 
     Raises
     ------
@@ -371,7 +375,11 @@ def build_profile(
         coalesce = 0.25
     else:
         x_threads = block_dims[0]
-        coalesce = 1.0 if x_threads >= 32 else max(x_threads / 32.0, 0.25)
+        coalesce = (
+            1.0
+            if x_threads >= warp_size
+            else max(x_threads / float(warp_size), 0.25)
+        )
     if block_merge and merge_axis == 0:
         coalesce *= 1.0 / min(m, 4)
     coalesce = max(coalesce, 0.15)

@@ -29,7 +29,7 @@ import numpy as np
 
 from ..config import MAX_ORDER
 from ..errors import ArtifactError, OverloadError, ServiceError
-from ..gpu.specs import GPU_ORDER, hardware_features
+from ..gpu.specs import ALL_GPU_ORDER, hardware_features
 from ..ml.analytical import AnalyticalSelector
 from ..ml.preprocess import LogTimeTransform, augment_features
 from ..optimizations.combos import OC_BY_NAME
@@ -87,9 +87,9 @@ class _Installed:
 
 
 def _check_gpu(gpu: str) -> str:
-    if gpu not in GPU_ORDER:
+    if gpu not in ALL_GPU_ORDER:
         raise ServiceError(
-            f"unknown GPU {gpu!r}; known: {list(GPU_ORDER)}"
+            f"unknown GPU {gpu!r}; known: {list(ALL_GPU_ORDER)}"
         )
     return gpu
 

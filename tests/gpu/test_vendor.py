@@ -1,0 +1,141 @@
+"""Tests for the vendor abstraction layer and the AMD-class specs."""
+
+import pytest
+
+from repro.errors import UnknownGPUError
+from repro.gpu import (
+    ALL_GPU_ORDER,
+    AMD_GPU_ORDER,
+    GPU_ORDER,
+    GPUS,
+    VENDOR_INFO,
+    Vendor,
+    get_gpu,
+    hardware_features,
+    vendor_info,
+)
+from repro.gpu.occupancy import compute_occupancy
+
+
+class TestVendorTable:
+    def test_two_vendors(self):
+        assert set(VENDOR_INFO) == {Vendor.NVIDIA, Vendor.AMD}
+
+    def test_scheduling_widths(self):
+        assert vendor_info(Vendor.NVIDIA).warp_size == 32
+        assert vendor_info(Vendor.AMD).warp_size == 64
+
+    def test_nvidia_constants_match_legacy_values(self):
+        # These numbers were hard-coded throughout occupancy/engine code
+        # before the vendor layer existed; NVIDIA bit-identity depends on
+        # them never drifting.
+        nv = vendor_info(Vendor.NVIDIA)
+        assert nv.reg_alloc_unit == 256
+        assert nv.smem_alloc_unit == 256
+        assert nv.smem_banks == 32
+        assert nv.smem_bytes_per_clk == 128.0
+        assert nv.dialect == "cuda"
+
+    def test_amd_dialect_and_granules(self):
+        amd = vendor_info(Vendor.AMD)
+        assert amd.dialect == "hip"
+        assert amd.compiler == "hipcc"
+        assert amd.smem_alloc_unit == 512
+        assert amd.smem_banks == 32
+
+    def test_spec_delegates_to_vendor(self):
+        v100, mi100 = get_gpu("V100"), get_gpu("MI100")
+        assert v100.vendor is Vendor.NVIDIA and v100.warp_size == 32
+        assert mi100.vendor is Vendor.AMD and mi100.warp_size == 64
+        assert mi100.dialect == "hip" and v100.dialect == "cuda"
+
+
+class TestAMDSpecs:
+    def test_device_lists(self):
+        # GPU_ORDER stays the paper's four NVIDIA GPUs; the AMD devices
+        # extend it through ALL_GPU_ORDER without disturbing any dataset
+        # or artifact ordering.
+        assert set(GPU_ORDER) == {"P100", "V100", "2080Ti", "A100"}
+        assert AMD_GPU_ORDER == ("MI100", "MI210", "MI250")
+        assert ALL_GPU_ORDER == GPU_ORDER + AMD_GPU_ORDER
+        assert set(ALL_GPU_ORDER) <= set(GPUS)
+
+    def test_headline_numbers(self):
+        expected = {
+            "MI100": (32, 1228.8, 120, 11.5),
+            "MI210": (64, 1638.4, 104, 22.6),
+            "MI250": (128, 3276.8, 208, 45.3),
+        }
+        for name, (mem, bw, cus, tflops) in expected.items():
+            g = get_gpu(name)
+            assert g.vendor is Vendor.AMD
+            assert g.memory_gb == mem
+            assert g.mem_bw_gbs == bw
+            assert g.sms == cus
+            assert g.fp64_tflops == tflops
+
+    def test_wavefront_residency(self):
+        # 2560 threads per CU at wavefront 64 = 40 resident waves.
+        for name in AMD_GPU_ORDER:
+            assert get_gpu(name).max_warps_per_sm == 40
+
+    def test_hardware_features_cover_amd(self):
+        for name in AMD_GPU_ORDER:
+            feats = hardware_features(name)
+            assert len(feats) == 4
+            assert all(f > 0 for f in feats)
+
+
+class TestUnknownGPUError:
+    def test_is_a_keyerror(self):
+        # Legacy callers catch KeyError; the descriptive error must keep
+        # satisfying them.
+        with pytest.raises(KeyError):
+            get_gpu("H100")
+
+    def test_message_names_known_devices(self):
+        with pytest.raises(UnknownGPUError) as ei:
+            get_gpu("H100")
+        msg = str(ei.value)
+        assert "H100" in msg
+        for name in ("V100", "A100", "MI100", "MI250"):
+            assert name in msg
+
+    def test_simulator_and_engine_propagate_it(self):
+        from repro.engine import ScalarBackend
+        from repro.gpu.simulator import GPUSimulator
+
+        with pytest.raises(UnknownGPUError):
+            GPUSimulator("RTX9000")
+        with pytest.raises(UnknownGPUError):
+            ScalarBackend("RTX9000")
+
+
+class TestWavefrontOccupancy:
+    def test_warps_per_block_uses_wavefront_width(self):
+        # 256 threads = 8 warps on NVIDIA but only 4 waves on AMD.
+        nv = compute_occupancy(get_gpu("V100"), 256, 32, 0)
+        amd = compute_occupancy(get_gpu("MI100"), 256, 32, 0)
+        assert nv.warps_per_sm % 8 == 0
+        assert amd.warps_per_sm % 4 == 0
+        assert amd.warps_per_sm / amd.blocks_per_sm == 4
+
+    def test_register_rounding_uses_wavefront_width(self):
+        # regs/wave = round_up(64 * 64, 256) = 4096 on AMD; 4 waves per
+        # 256-thread block -> 131072-reg file / 16384 = 8 resident
+        # blocks, below both the 10-block wave limit and the block cap.
+        amd = compute_occupancy(get_gpu("MI100"), 256, 64, 0)
+        assert amd.limiter == "registers"
+        assert amd.blocks_per_sm == 131072 // (4096 * 4)
+
+    def test_lds_granule(self):
+        # 4100 B rounds to 4608 (granule 512, not NVIDIA's 256) on AMD:
+        # 65536 // 4608 = 14 blocks by LDS, the binding limit here.
+        occ = compute_occupancy(get_gpu("MI100"), 64, 16, 4100)
+        assert occ.limiter == "smem"
+        assert occ.blocks_per_sm == 65536 // 4608
+
+    def test_occupancy_in_unit_range(self):
+        for name in AMD_GPU_ORDER:
+            occ = compute_occupancy(get_gpu(name), 256, 64, 4096)
+            assert 0.0 < occ.occupancy <= 1.0

@@ -411,6 +411,26 @@ class TestCodegenCommand:
         assert rc == 2
         assert "unknown OC" in capsys.readouterr().err
 
+    def test_hip_dialect_flag(self, capsys):
+        rc = main(
+            ["codegen", "--stencil", "star2d1r", "--oc", "ST_RT",
+             "--set", "stream_dim=2", "--dialect", "hip"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "// dialect: hip" in out
+        assert "hipLaunchKernelGGL(" in out
+
+    def test_amd_gpu_implies_hip(self, tmp_path, capsys):
+        rc = main(
+            ["codegen", "--stencil", "star2d1r", "--oc", "naive",
+             "--gpu", "MI100", "-o", str(tmp_path)]
+        )
+        assert rc == 0
+        path = tmp_path / "star2d1r__naive.hip.cpp"
+        assert path.exists()
+        assert "#include <hip/hip_runtime.h>" in path.read_text()
+
     def test_bad_override_rejected(self):
         with pytest.raises(SystemExit):
             main(
@@ -422,6 +442,14 @@ class TestLintCommand:
     def test_clean_sweep_exits_zero(self, capsys):
         rc = main(
             ["lint", "--stencil", "star2d1r", "--oc", "naive", "--oc", "ST"]
+        )
+        assert rc == 0
+        assert "kernels linted: 0 error(s)" in capsys.readouterr().out
+
+    def test_hip_sweep_on_amd_target(self, capsys):
+        rc = main(
+            ["lint", "--stencil", "star2d1r", "--oc", "naive", "--oc", "ST",
+             "--gpu", "MI210"]
         )
         assert rc == 0
         assert "kernels linted: 0 error(s)" in capsys.readouterr().out

@@ -1,0 +1,81 @@
+"""Cross-vendor portability benchmark recorder (developer / CI tool).
+
+Runs the transfer benches of ``repro.analysis.portability``: selectors
+trained on NVIDIA profiling campaigns are scored on held-out stencils
+measured on AMD-class targets, in three regimes per family --
+``zero_shot`` (NVIDIA training data only), ``plus_one_amd`` (NVIDIA
+plus the MI100 rows) and ``native`` (trained on the target itself, the
+in-distribution ceiling).
+
+The document is written as ``BENCH_portability.json`` at the repo root
+by convention, so the cross-vendor transfer trajectory is
+machine-readable across PRs.
+
+Run: python tools/bench_portability.py [--quick] [--seed N] [-o PATH]
+"""
+
+import argparse
+import json
+import sys
+
+from repro.analysis.portability import run_portability_bench
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workload for CI smoke runs (fewer stencils/GPUs)",
+    )
+    ap.add_argument("--seed", type=int, default=31, help="campaign seed")
+    ap.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_portability.json",
+        help="where to write the JSON document",
+    )
+    args = ap.parse_args(argv)
+
+    doc = run_portability_bench(quick=args.quick, seed=args.seed)
+
+    sel = doc["selection"]
+    print(
+        f"selection transfer ({sel['n_test_stencils']} held-out stencils, "
+        f"targets {', '.join(sel['targets'])}, "
+        f"sources {', '.join(sel['nvidia_sources'])} "
+        f"[+{sel['amd_train_gpu']}], regret <= {sel['regret_threshold']:.2f})"
+    )
+    for name, fam in sorted(
+        sel["families"].items(),
+        key=lambda kv: -kv[1]["regimes"]["zero_shot"]["near_optimal"],
+    ):
+        r = fam["regimes"]
+        frac = fam["recovery_fraction"]
+        frac_s = f"{frac:+.2f}" if frac is not None else "  n/a"
+        print(
+            f"  {name:17s} near-opt zs {r['zero_shot']['near_optimal']:.3f}"
+            f" -> +1amd {r['plus_one_amd']['near_optimal']:.3f}"
+            f" (native {r['native']['near_optimal']:.3f},"
+            f" recovered {frac_s})  ({fam['wall_s']:.2f}s)"
+        )
+
+    reg = doc["regression"]
+    print("regression transfer (held-out AMD runtime fidelity)")
+    for name, row in reg["predictors"].items():
+        print(
+            f"  {name:11s} PCC zs {row['zero_shot']['pcc']:.4f}"
+            f" -> +1amd {row['plus_one_amd']['pcc']:.4f}  "
+            f"log-PCC zs {row['zero_shot']['log_pcc']:.4f}"
+            f" -> +1amd {row['plus_one_amd']['log_pcc']:.4f}"
+        )
+
+    with open(args.output, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
